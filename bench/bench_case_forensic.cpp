@@ -1,0 +1,101 @@
+// Case study 1 reproduction (§VI-C): forensic detection on a recorded
+// free-live-streaming session.
+//
+// The paper replayed a 90-minute capture of a user watching the EURO2016
+// final on a free streaming site: 3011 HTTP transactions, 18 tabs, 3 service
+// interruptions each pushing an "out-of-date player" fix, 32 downloads,
+// longest redirect chain 4.  DynaMiner issued 5 alerts with redirect
+// threshold 3; VirusTotal confirmed 4 of the 5 payloads immediately and the
+// fifth (a PDF) only 11 days later.
+#include "baseline/virustotal_sim.h"
+#include "bench_common.h"
+#include "core/online.h"
+#include "http/classify.h"
+
+int main() {
+  const double scale = dm::bench::scale_from_env(0.3);
+  const auto seed = dm::bench::seed_from_env();
+  dm::bench::print_header("Case study 1 (§VI-C): forensic streaming-session replay",
+                          scale, seed);
+
+  // Stage 1: train a detector on the ground truth.
+  const auto corpus = dm::bench::build_corpus(seed, scale);
+  const dm::core::Detector detector(
+      dm::core::train_dynaminer(dm::bench::corpus_dataset(corpus), seed));
+
+  // The recorded session: 5 malicious pop-up flows buried in streaming
+  // traffic (paper had 5 alert-relevant payloads across 3 interruptions).
+  dm::synth::TraceGenerator gen(seed ^ 0x5007);
+  const auto session = gen.free_streaming_session(
+      /*interruptions=*/5,
+      /*background_transactions=*/static_cast<std::size_t>(3011 * scale));
+
+  // Replay through the on-the-wire engine with the paper's threshold l = 3.
+  dm::core::OnlineOptions options;
+  options.redirect_chain_threshold = 3;
+  dm::core::OnlineDetector online(detector, options);
+  for (const auto& txn : session.transactions) online.observe(txn);
+
+  std::printf("replayed %zu HTTP transactions (paper: 3011)\n",
+              session.transactions.size());
+  std::printf("alerts issued: %zu (paper: 5)\n\n", online.alerts().size());
+
+  dm::util::TextTable alert_table(
+      {"Alert", "Trigger host", "Payload", "Score", "WCG order", "WCG size"});
+  std::size_t index = 1;
+  for (const auto& alert : online.alerts()) {
+    alert_table.add_row(
+        {std::to_string(index++), alert.trigger_host,
+         std::string(dm::http::payload_type_name(alert.trigger_payload)),
+         dm::util::TextTable::num(alert.score, 3),
+         std::to_string(alert.wcg_order), std::to_string(alert.wcg_size)});
+  }
+  alert_table.print(std::cout);
+
+  // VirusTotal comparison: payloads first seen at capture time (day 1000),
+  // scanned immediately and again 11 days later.
+  dm::baseline::VirusTotalSim virustotal;
+  const double capture_day = 1000.0;
+  // The pop-up campaigns had been running for weeks before this capture —
+  // except the last payload, which is brand new (the paper's PDF).
+  {
+    dm::util::Rng ages(seed ^ 0xa9ed);
+    std::size_t remaining = session.meta.payloads.size();
+    for (const auto& payload : session.meta.payloads) {
+      --remaining;
+      const bool fresh = payload.malicious && remaining == 0;
+      const double first_seen =
+          fresh ? capture_day : capture_day - ages.uniform(15.0, 60.0);
+      virustotal.register_payload(payload.digest, payload.malicious, first_seen,
+                                  payload.host);
+    }
+  }
+
+  std::size_t malicious_total = 0;
+  std::size_t flagged_day0 = 0;
+  std::size_t flagged_day11 = 0;
+  std::size_t late_bloomers = 0;
+  for (const auto& payload : session.meta.payloads) {
+    if (!payload.malicious) continue;
+    ++malicious_total;
+    const bool day0 =
+        virustotal.flags_malicious(virustotal.scan(payload.digest, capture_day));
+    const bool day11 = virustotal.flags_malicious(
+        virustotal.scan(payload.digest, capture_day + 11.0));
+    flagged_day0 += day0;
+    flagged_day11 += day11;
+    if (!day0 && day11) ++late_bloomers;
+  }
+  std::printf(
+      "\nVirusTotal(sim) on the %zu malicious downloads:\n"
+      "  flagged at capture time:  %zu\n"
+      "  flagged 11 days later:    %zu\n"
+      "  picked up only after the lag: %zu (the paper's PDF took exactly 11 "
+      "days)\n",
+      malicious_total, flagged_day0, flagged_day11, late_bloomers);
+  std::printf(
+      "\nPaper: VT flagged 4/5 of the alerted payloads at capture time; the "
+      "5th (PDF) went from\n0/56 to 3/56 detections after 11 days — DynaMiner "
+      "flagged it at capture time from the WCG alone.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Every bench accepts two environment variables:
+//   DM_SCALE  — corpus scale factor (1.0 = paper-sized ground truth of
+//               980 benign + 770 infection episodes).  Benches pick their
+//               own default to keep the default `for b in bench/*` sweep
+//               fast; set DM_SCALE=1 for paper-sized runs.
+//   DM_SEED   — base RNG seed (default 42).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/trainer.h"
+#include "core/wcg_builder.h"
+#include "synth/dataset.h"
+#include "util/table.h"
+
+namespace dm::bench {
+
+inline double scale_from_env(double fallback) {
+  if (const char* s = std::getenv("DM_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+inline std::uint64_t seed_from_env(std::uint64_t fallback = 42) {
+  if (const char* s = std::getenv("DM_SEED")) {
+    return static_cast<std::uint64_t>(std::atoll(s));
+  }
+  return fallback;
+}
+
+/// Ground-truth corpus with WCGs built for every episode.
+struct Corpus {
+  dm::synth::GroundTruth ground_truth;
+  std::vector<dm::core::Wcg> infection_wcgs;
+  std::vector<dm::core::Wcg> benign_wcgs;
+};
+
+inline Corpus build_corpus(std::uint64_t seed, double scale,
+                           const dm::core::BuilderOptions& options = {}) {
+  Corpus corpus;
+  corpus.ground_truth = dm::synth::generate_ground_truth(seed, scale);
+  corpus.infection_wcgs.reserve(corpus.ground_truth.infections.size());
+  for (const auto& episode : corpus.ground_truth.infections) {
+    corpus.infection_wcgs.push_back(
+        dm::core::build_wcg(episode.transactions, options));
+  }
+  corpus.benign_wcgs.reserve(corpus.ground_truth.benign.size());
+  for (const auto& episode : corpus.ground_truth.benign) {
+    corpus.benign_wcgs.push_back(
+        dm::core::build_wcg(episode.transactions, options));
+  }
+  return corpus;
+}
+
+inline dm::ml::Dataset corpus_dataset(const Corpus& corpus) {
+  return dm::core::dataset_from_wcgs(corpus.infection_wcgs, corpus.benign_wcgs);
+}
+
+inline void print_header(const std::string& title, double scale,
+                         std::uint64_t seed) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(synthetic reproduction; DM_SCALE=%.3g, DM_SEED=%llu)\n", scale,
+              static_cast<unsigned long long>(seed));
+  std::printf("================================================================\n");
+}
+
+}  // namespace dm::bench

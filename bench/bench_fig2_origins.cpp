@@ -1,0 +1,45 @@
+// Figure 2 reproduction: per-family infection-origin distribution — search
+// engines and compromised sites consistently rank as the top enticement
+// strategies across all nine exploit-kit families.
+#include <map>
+
+#include "bench_common.h"
+
+int main() {
+  const double scale = dm::bench::scale_from_env(1.0);
+  const auto seed = dm::bench::seed_from_env();
+  dm::bench::print_header("Figure 2: Infection origin distribution per family",
+                          scale, seed);
+
+  const auto gt = dm::synth::generate_ground_truth(seed, scale);
+  // family -> enticement -> count
+  std::map<std::string, std::map<dm::synth::Enticement, std::size_t>> rows;
+  std::map<std::string, std::size_t> totals;
+  for (const auto& episode : gt.infections) {
+    ++rows[episode.meta.family][episode.meta.enticement];
+    ++totals[episode.meta.family];
+  }
+
+  dm::util::TextTable table({"Family", "Google", "Bing", "Compromised",
+                             "Empty", "Redacted", "Social"});
+  for (const auto& family : dm::synth::exploit_kit_families()) {
+    auto& counts = rows[family.name];
+    const double total = static_cast<double>(totals[family.name]);
+    auto pct = [&](dm::synth::Enticement e) {
+      return total == 0 ? std::string("-")
+                        : dm::util::TextTable::pct(counts[e] / total, 1);
+    };
+    table.add_row({family.name, pct(dm::synth::Enticement::kGoogle),
+                   pct(dm::synth::Enticement::kBing),
+                   pct(dm::synth::Enticement::kCompromisedSite),
+                   pct(dm::synth::Enticement::kEmptyReferrer),
+                   pct(dm::synth::Enticement::kRedactedReferrer),
+                   pct(dm::synth::Enticement::kSocial)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nPaper (Fig 2): search engines dominate every family; social "
+      "networks stay under 1%%.\nThe per-family similarity reflects shared "
+      "black-hat SEO practice across kit authors.\n");
+  return 0;
+}

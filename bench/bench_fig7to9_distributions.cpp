@@ -1,0 +1,74 @@
+// Figures 7-9 reproduction: distributions of average node connectivity,
+// average betweenness centrality and average closeness centrality across
+// benign and infection WCGs — the per-graph feature distributions whose
+// separation §IV-A argues for.
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace {
+
+void print_distribution(const char* title, std::vector<double> infection,
+                        std::vector<double> benign, double lo, double hi) {
+  std::printf("\n--- %s ---\n", title);
+  dm::util::Histogram hist_inf(lo, hi, 10);
+  dm::util::Histogram hist_ben(lo, hi, 10);
+  for (double x : infection) hist_inf.add(x);
+  for (double x : benign) hist_ben.add(x);
+
+  dm::util::TextTable table({"Bucket", "Infection", "Benign", "Inf bar",
+                             "Ben bar"});
+  for (std::size_t b = 0; b < hist_inf.bins(); ++b) {
+    auto bar = [](double fraction) {
+      return std::string(static_cast<std::size_t>(fraction * 40.0), '#');
+    };
+    char bucket[64];
+    std::snprintf(bucket, sizeof bucket, "[%.3f, %.3f)", hist_inf.bin_low(b),
+                  hist_inf.bin_high(b));
+    table.add_row({bucket, dm::util::TextTable::pct(hist_inf.fraction(b), 1),
+                   dm::util::TextTable::pct(hist_ben.fraction(b), 1),
+                   bar(hist_inf.fraction(b)), bar(hist_ben.fraction(b))});
+  }
+  table.print(std::cout);
+  std::printf("means: infection %.4f, benign %.4f\n",
+              dm::util::mean(infection), dm::util::mean(benign));
+}
+
+}  // namespace
+
+int main() {
+  const double scale = dm::bench::scale_from_env(0.35);
+  const auto seed = dm::bench::seed_from_env();
+  dm::bench::print_header(
+      "Figures 7-9: node connectivity / betweenness / closeness distributions",
+      scale, seed);
+
+  const auto corpus = dm::bench::build_corpus(seed, scale);
+
+  std::vector<double> conn_inf, conn_ben, betw_inf, betw_ben, close_inf,
+      close_ben;
+  auto collect = [](const std::vector<dm::core::Wcg>& wcgs,
+                    std::vector<double>& conn, std::vector<double>& betw,
+                    std::vector<double>& close) {
+    for (const auto& wcg : wcgs) {
+      const auto m = dm::graph::compute_metrics(wcg.graph());
+      conn.push_back(m.avg_node_connectivity);
+      betw.push_back(m.avg_betweenness_centrality);
+      close.push_back(m.avg_closeness_centrality);
+    }
+  };
+  collect(corpus.infection_wcgs, conn_inf, betw_inf, close_inf);
+  collect(corpus.benign_wcgs, conn_ben, betw_ben, close_ben);
+
+  print_distribution("Figure 7: Average node connectivity", conn_inf, conn_ben,
+                     0.0, 2.0);
+  print_distribution("Figure 8: Average betweenness centrality", betw_inf,
+                     betw_ben, 0.0, 0.4);
+  print_distribution("Figure 9: Average closeness centrality", close_inf,
+                     close_ben, 0.0, 1.0);
+
+  std::printf(
+      "\nPaper (Figs 7-9): the two classes form visibly shifted "
+      "distributions on every one of\nthese graph measures — the basis of "
+      "the graph features' discriminating power.\n");
+  return 0;
+}

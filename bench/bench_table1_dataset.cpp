@@ -1,0 +1,118 @@
+// Table I reproduction: ground-truth dataset statistics per family.
+//
+// This bench exercises the FULL Stage-1 substrate: every episode is rendered
+// to genuine pcap bytes, re-ingested through Ethernet/IPv4/TCP reassembly
+// and HTTP parsing, and only then measured — exactly how the paper's corpus
+// was processed.
+#include <chrono>
+#include <map>
+
+#include "bench_common.h"
+#include "http/transaction_stream.h"
+#include "synth/pcap_export.h"
+#include "util/stats.h"
+
+namespace {
+
+using dm::http::PayloadType;
+
+struct FamilyRow {
+  std::size_t pcaps = 0;
+  dm::util::Accumulator hosts;
+  dm::util::Accumulator redirects;
+  std::map<PayloadType, std::size_t> payloads;
+  std::size_t js_count = 0;
+};
+
+void account(FamilyRow& row, const dm::synth::Episode& episode,
+             std::uint64_t& bytes_total) {
+  // Full substrate path: episode -> pcap -> reassembly -> HTTP -> WCG.
+  const auto capture = dm::synth::episode_to_pcap(episode);
+  for (const auto& pkt : capture.packets) bytes_total += pkt.data.size();
+  const auto transactions = dm::http::transactions_from_pcap(capture);
+  const auto wcg = dm::core::build_wcg(transactions);
+
+  ++row.pcaps;
+  const double hosts = static_cast<double>(
+      wcg.node_count() - (wcg.origin() != dm::graph::kInvalidNode ? 1 : 0));
+  row.hosts.add(hosts);
+  row.redirects.add(wcg.annotations().longest_redirect_chain);
+  for (const auto& txn : transactions) {
+    if (!txn.response) continue;
+    const auto type = dm::http::classify_payload(
+        txn.response->content_type().value_or(""), txn.request.uri);
+    if (type == PayloadType::kJavaScript) ++row.js_count;
+    switch (type) {
+      case PayloadType::kPdf:
+      case PayloadType::kExe:
+      case PayloadType::kJar:
+      case PayloadType::kSwf:
+      case PayloadType::kCrypt:
+        ++row.payloads[type];
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = dm::bench::scale_from_env(0.25);
+  const auto seed = dm::bench::seed_from_env();
+  dm::bench::print_header(
+      "Table I: Ground truth dataset (per-family statistics)", scale, seed);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto gt = dm::synth::generate_ground_truth(seed, scale);
+  std::map<std::string, FamilyRow> rows;
+  std::uint64_t bytes_total = 0;
+
+  for (const auto& episode : gt.benign) {
+    account(rows["Benign"], episode, bytes_total);
+  }
+  for (const auto& episode : gt.infections) {
+    account(rows[episode.meta.family], episode, bytes_total);
+  }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  dm::util::TextTable table({"Family", "PCAPs", "Hosts min", "Hosts max",
+                             "Hosts avg", "Redir min", "Redir max", "Redir avg",
+                             "pdf", "exe", "jar", "swf", "crypt", "js"});
+  auto add_row = [&](const std::string& name) {
+    const auto it = rows.find(name);
+    if (it == rows.end()) return;
+    FamilyRow& row = it->second;  // operator[] on payloads default-inserts
+    table.add_row({name, std::to_string(row.pcaps),
+                   dm::util::TextTable::num(row.hosts.min(), 0),
+                   dm::util::TextTable::num(row.hosts.max(), 0),
+                   dm::util::TextTable::num(row.hosts.mean(), 1),
+                   dm::util::TextTable::num(row.redirects.min(), 0),
+                   dm::util::TextTable::num(row.redirects.max(), 0),
+                   dm::util::TextTable::num(row.redirects.mean(), 1),
+                   std::to_string(row.payloads[dm::http::PayloadType::kPdf]),
+                   std::to_string(row.payloads[dm::http::PayloadType::kExe]),
+                   std::to_string(row.payloads[dm::http::PayloadType::kJar]),
+                   std::to_string(row.payloads[dm::http::PayloadType::kSwf]),
+                   std::to_string(row.payloads[dm::http::PayloadType::kCrypt]),
+                   std::to_string(row.js_count)});
+  };
+  add_row("Benign");
+  for (const auto& family : dm::synth::exploit_kit_families()) {
+    add_row(family.name);
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nPaper (Table I, full scale): 980 benign / 770 infections; benign "
+      "hosts 2-34 avg 3, redirects <=2 avg 0;\ninfection hosts up to 231 "
+      "(Magnitude), redirect chains up to 30 (Goon), avg 1-2.\n");
+  std::printf(
+      "Substrate: %.1f MB of pcap generated, reassembled and parsed in %.1f s "
+      "(%.1f MB/s).\n",
+      bytes_total / 1e6, elapsed, bytes_total / 1e6 / elapsed);
+  return 0;
+}

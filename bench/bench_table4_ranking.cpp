@@ -1,0 +1,55 @@
+// Table IV reproduction: top-20 feature ranking by gain ratio with 10-fold
+// cross-validation (mean +/- stdev of both the gain ratio and the rank).
+// The paper's headline: graph-centric features take 15 of the top 20 slots,
+// with the two temporal features ranked first and second.
+#include "ml/feature_ranking.h"
+
+#include "bench_common.h"
+
+int main() {
+  const double scale = dm::bench::scale_from_env(0.5);
+  const auto seed = dm::bench::seed_from_env();
+  dm::bench::print_header("Table IV: Top-20 feature ranking (gain ratio)",
+                          scale, seed);
+
+  const auto corpus = dm::bench::build_corpus(seed, scale);
+  const auto data = dm::bench::corpus_dataset(corpus);
+
+  dm::util::Rng rng(seed);
+  const auto ranking = dm::ml::rank_features(data, 10, rng);
+
+  dm::util::TextTable table({"#", "Feature", "Group", "Gain ratio", "Avg rank"});
+  auto group_name = [](dm::core::FeatureGroup g) {
+    switch (g) {
+      case dm::core::FeatureGroup::kHighLevel: return "HLF";
+      case dm::core::FeatureGroup::kGraph: return "GF";
+      case dm::core::FeatureGroup::kHeader: return "HF";
+      case dm::core::FeatureGroup::kTemporal: return "TF";
+    }
+    return "?";
+  };
+  std::size_t graph_in_top20 = 0;
+  std::size_t temporal_in_top2 = 0;
+  for (std::size_t i = 0; i < ranking.size() && i < 20; ++i) {
+    const auto& fr = ranking[i];
+    const auto group = dm::core::feature_group(fr.feature_index);
+    if (group == dm::core::FeatureGroup::kGraph) ++graph_in_top20;
+    if (i < 2 && group == dm::core::FeatureGroup::kTemporal) ++temporal_in_top2;
+    char gain[48];
+    std::snprintf(gain, sizeof gain, "%.3f +/- %.3f", fr.gain_ratio_mean,
+                  fr.gain_ratio_stdev);
+    char rank[48];
+    std::snprintf(rank, sizeof rank, "%.1f +/- %.2f", fr.rank_mean,
+                  fr.rank_stdev);
+    table.add_row({std::to_string(i + 1), fr.name, group_name(group), gain,
+                   rank});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nGraph features in top-20: %zu (paper: 15).  Temporal features in "
+      "top-2: %zu (paper: 2 —\nAvg-inter-trans-time 0.484 and Duration 0.454 "
+      "lead the ranking).\n",
+      graph_in_top20, temporal_in_top2);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Table V reproduction: detection on an independent validation set, compared
+// against the simulated VirusTotal baseline.
+//
+// The paper tested 7489 ThreatGlass infection WCGs + 1500 benign WCGs
+// (disjoint from the ground truth) and submitted the same corpus to
+// VirusTotal: DynaMiner 97.38% infections / 98.1% benign correct vs
+// VirusTotal 84.3% / 94.0%, with 110 of VT's misses due to scan timeouts.
+#include "baseline/virustotal_sim.h"
+#include "bench_common.h"
+
+int main() {
+  const double scale = dm::bench::scale_from_env(0.2);
+  const auto seed = dm::bench::seed_from_env();
+  dm::bench::print_header(
+      "Table V: Classifier performance on independent test data", scale, seed);
+
+  // Stage 1: train on the ground-truth corpus.
+  const auto corpus = dm::bench::build_corpus(seed, scale);
+  const auto data = dm::bench::corpus_dataset(corpus);
+  const dm::core::Detector detector(dm::core::train_dynaminer(data, seed));
+
+  // Validation set, disjoint seed; paper sizes scaled.
+  const auto n_infection = static_cast<std::size_t>(7489 * scale);
+  const auto n_benign = static_cast<std::size_t>(1500 * scale);
+  const auto validation =
+      dm::synth::generate_validation_set(seed ^ 0xdeadbeef, n_infection, n_benign);
+
+  // Simulated VirusTotal: payloads first seen when their campaign started
+  // (staggered over the past year); scans run "today".
+  dm::baseline::VirusTotalSim virustotal;
+  const double query_day = 365.0;
+  {
+    dm::util::Rng ages(seed ^ 0xa9e5);
+    for (const auto& episode : validation.infections) {
+      virustotal.register_episode(episode, ages.uniform(0.0, 350.0));
+    }
+    for (const auto& episode : validation.benign) {
+      virustotal.register_episode(episode, ages.uniform(0.0, 350.0));
+    }
+  }
+
+  std::size_t dm_tp = 0, dm_fn = 0, dm_fp = 0, dm_tn = 0;
+  std::size_t vt_tp = 0, vt_fn = 0, vt_fp = 0, vt_tn = 0, vt_timeouts = 0;
+
+  for (const auto& episode : validation.infections) {
+    const auto wcg = dm::core::build_wcg(episode.transactions);
+    (detector.is_infection(wcg) ? dm_tp : dm_fn) += 1;
+    const auto verdict = virustotal.scan_episode(episode, query_day);
+    if (verdict.timed_out && !verdict.flagged) ++vt_timeouts;
+    (verdict.flagged ? vt_tp : vt_fn) += 1;
+  }
+  for (const auto& episode : validation.benign) {
+    const auto wcg = dm::core::build_wcg(episode.transactions);
+    (detector.is_infection(wcg) ? dm_fp : dm_tn) += 1;
+    const auto verdict = virustotal.scan_episode(episode, query_day);
+    (verdict.flagged ? vt_fp : vt_tn) += 1;
+  }
+
+  const double n_inf = static_cast<double>(validation.infections.size());
+  const double n_ben = static_cast<double>(validation.benign.size());
+
+  dm::util::TextTable table({"System", "WCGs tested", "Benign correct",
+                             "Infection correct", "FP", "FN"});
+  char tested[64];
+  std::snprintf(tested, sizeof tested, "benign:%zu infection:%zu",
+                validation.benign.size(), validation.infections.size());
+  table.add_row({"DynaMiner", tested,
+                 dm::util::TextTable::pct(dm_tn / n_ben, 2),
+                 dm::util::TextTable::pct(dm_tp / n_inf, 2),
+                 std::to_string(dm_fp), std::to_string(dm_fn)});
+  table.add_row({"VirusTotal(sim)", tested,
+                 dm::util::TextTable::pct(vt_tn / n_ben, 2),
+                 dm::util::TextTable::pct(vt_tp / n_inf, 2),
+                 std::to_string(vt_fp), std::to_string(vt_fn)});
+  table.print(std::cout);
+
+  std::printf("\nVirusTotal scan timeouts among missed infections: %zu "
+              "(paper: 110 of 1179 FNs timed out).\n",
+              vt_timeouts);
+  std::printf("Paper: DynaMiner benign 98.1%% / infection 97.38%% (29 FP, 206 "
+              "FN); VirusTotal 94.0%% / 84.3%%\n(91 FP, 1179 FN) — an 11.5%% "
+              "infection-coverage margin for DynaMiner.\n");
+  std::printf("Margin measured here: %.1f%%.\n",
+              100.0 * (dm_tp / n_inf - vt_tp / n_inf));
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Table VI reproduction: live on-the-wire detection in a 3-host
+// mini-enterprise (§VI-D).
+//
+// Setup mirrored from the paper: DynaMiner runs as a web proxy in front of a
+// Windows host (with a COTS AV engine), an Ubuntu host and a MacOS host for
+// 48 hours of routine browsing.  Each host's stream mixes ordinary browsing
+// with a few malicious "player update" pop-up flows; the paper observed 62
+// downloads, average redirect chain 2 (max 6), and 8 DynaMiner alerts
+// (4 Windows / 3 Ubuntu / 1 MacOS) while the COTS AV stayed silent.
+#include <algorithm>
+#include <functional>
+
+#include "baseline/virustotal_sim.h"
+#include "bench_common.h"
+#include "core/online.h"
+#include "http/classify.h"
+#include "util/stats.h"
+
+namespace {
+
+using dm::http::PayloadType;
+
+/// Re-times an episode to start at `start_micros` and pins its client IP.
+void retime(dm::synth::Episode& episode, std::uint64_t start_micros,
+            const std::string& client_ip) {
+  if (episode.transactions.empty()) return;
+  const std::uint64_t base = episode.transactions.front().request.ts_micros;
+  for (auto& txn : episode.transactions) {
+    txn.client_host = client_ip;
+    txn.request.ts_micros = txn.request.ts_micros - base + start_micros;
+    if (txn.response) {
+      txn.response->ts_micros = txn.response->ts_micros - base + start_micros;
+    }
+  }
+  for (auto& payload : episode.meta.payloads) {
+    payload.ts_micros = payload.ts_micros - base + start_micros;
+  }
+}
+
+struct HostReport {
+  std::map<PayloadType, std::size_t> downloads;
+  dm::util::Accumulator chains;
+  std::size_t alerts = 0;
+  std::size_t transactions = 0;
+};
+
+}  // namespace
+
+int main() {
+  const double scale = dm::bench::scale_from_env(0.3);
+  const auto seed = dm::bench::seed_from_env();
+  dm::bench::print_header(
+      "Table VI: Live detection summary (48h, 3-host mini-enterprise)", scale,
+      seed);
+
+  const auto corpus = dm::bench::build_corpus(seed, scale);
+  const dm::core::Detector detector(
+      dm::core::train_dynaminer(dm::bench::corpus_dataset(corpus), seed));
+
+  struct HostSpec {
+    const char* name;
+    const char* ip;
+    std::size_t malicious_flows;  // paper's alert counts per host
+    std::size_t benign_episodes;
+  };
+  const HostSpec hosts[] = {
+      {"Windows Host", "10.1.0.11", 4, 10},
+      {"Ubuntu Host", "10.1.0.12", 3, 10},
+      {"MacOS Host", "10.1.0.13", 1, 10},
+  };
+
+  dm::core::OnlineOptions options;
+  options.redirect_chain_threshold = 3;
+  dm::core::OnlineDetector proxy(detector, options);
+
+  dm::baseline::VirusTotalSim virustotal;  // full 56-engine aggregator
+  dm::baseline::VtOptions cots_options;
+  cots_options.num_engines = 1;  // the Windows host's single COTS AV engine
+  cots_options.lag_mean_days = 14.0;
+  dm::baseline::VirusTotalSim cots_av(cots_options);
+
+  dm::synth::TraceGenerator gen(seed ^ 0x11fe);
+  constexpr std::uint64_t kHour = 3600ULL * 1000000;
+  const std::uint64_t window_start = 1451606400ULL * 1000000;
+  const double capture_day = 1000.0;
+
+  std::map<std::string, HostReport> reports;
+  std::size_t total_downloads = 0;
+  std::size_t vt_flagged = 0;
+  std::size_t cots_alerts = 0;
+
+  for (const auto& host : hosts) {
+    // Assemble the host's 48-hour stream: benign episodes spread over the
+    // window plus one streaming session carrying its malicious pop-ups.
+    std::vector<dm::synth::Episode> episodes;
+    for (std::size_t i = 0; i < host.benign_episodes; ++i) {
+      episodes.push_back(gen.benign());
+    }
+    episodes.push_back(gen.free_streaming_session(host.malicious_flows, 30));
+    for (std::size_t i = 0; i < episodes.size(); ++i) {
+      retime(episodes[i], window_start + i * 4 * kHour +
+                              static_cast<std::uint64_t>(
+                                  gen.rng().uniform(0, 2.0 * kHour)),
+             host.ip);
+    }
+
+    // Merge into one time-ordered stream.
+    std::vector<dm::http::HttpTransaction> stream;
+    for (auto& episode : episodes) {
+      virustotal.register_episode(episode, capture_day);
+      cots_av.register_episode(episode, capture_day);
+      for (const auto& payload : episode.meta.payloads) {
+        HostReport& report = reports[host.name];
+        ++report.downloads[payload.type];
+        ++total_downloads;
+        if (virustotal.flags_malicious(
+                virustotal.scan(payload.digest, capture_day + 30.0))) {
+          ++vt_flagged;
+        }
+        if (cots_av.flags_malicious(
+                cots_av.scan(payload.digest, capture_day))) {
+          ++cots_alerts;
+        }
+      }
+      // Chain statistics must be computed before the transactions are
+      // moved into the merged stream.
+      {
+        const auto wcg = dm::core::build_wcg(episode.transactions);
+        reports[host.name].chains.add(wcg.annotations().longest_redirect_chain);
+      }
+      for (auto& txn : episode.transactions) stream.push_back(std::move(txn));
+    }
+    std::stable_sort(stream.begin(), stream.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.request.ts_micros < b.request.ts_micros;
+                     });
+
+    HostReport& report = reports[host.name];
+    report.transactions = stream.size();
+    const std::size_t alerts_before = proxy.alerts().size();
+    for (const auto& txn : stream) proxy.observe(txn);
+    report.alerts = proxy.alerts().size() - alerts_before;
+  }
+
+  dm::util::TextTable table({"Total", "Windows Host", "Ubuntu Host",
+                             "MacOS Host", "Paper (W/U/M)"});
+  auto row = [&](const std::string& label,
+                 const std::function<std::string(const HostReport&)>& getter,
+                 const std::string& paper) {
+    table.add_row({label, getter(reports["Windows Host"]),
+                   getter(reports["Ubuntu Host"]),
+                   getter(reports["MacOS Host"]), paper});
+  };
+  auto count_of = [](PayloadType t) {
+    return [t](const HostReport& r) {
+      const auto it = r.downloads.find(t);
+      return std::to_string(it == r.downloads.end() ? 0 : it->second);
+    };
+  };
+  row("PDF", count_of(PayloadType::kPdf), "11 / 15 / 6");
+  row("Executable", count_of(PayloadType::kExe), "6 / 0 / 8");
+  row("Flash", count_of(PayloadType::kSwf), "0 / 0 / 0");
+  row("Silverlight", count_of(PayloadType::kSilverlight), "0 / 0 / 0");
+  row("JAR", count_of(PayloadType::kJar), "5 / 8 / 3");
+  row("Avg redirect chain",
+      [](const HostReport& r) { return dm::util::TextTable::num(r.chains.mean(), 1); },
+      "2 / 2 / 2");
+  row("Max redirect chain",
+      [](const HostReport& r) { return dm::util::TextTable::num(r.chains.max(), 0); },
+      "6 / 4 / 3");
+  row("DynaMiner alerts",
+      [](const HostReport& r) { return std::to_string(r.alerts); }, "4 / 3 / 1");
+  table.print(std::cout);
+
+  const auto& stats = proxy.stats();
+  std::printf("\nproxy: %zu transactions, %zu sessions, %zu clues, %zu queries, %zu alerts\n",
+              stats.transactions_seen, stats.sessions_opened, stats.clues_fired,
+              stats.classifier_queries, stats.alerts);
+  std::printf("Downloads across all hosts: %zu (paper: 62)\n", total_downloads);
+  std::printf("VirusTotal(sim) flagged %zu of them when scanned post-hoc "
+              "(paper: the 8 alert-relevant\npayloads plus 2 PDFs DynaMiner "
+              "missed).\n", vt_flagged);
+  std::printf("COTS AV alerts on the Windows host during the window: %zu "
+              "(paper: 0 — the AV stayed silent).\n", cots_alerts);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// WCG explorer: builds the Web Conversation Graph of one episode and dumps
+// everything the abstraction captures — nodes with types and payload
+// summaries, annotated edges per conversation stage, graph-level
+// annotations, the full graph-metric sweep, and a Graphviz DOT rendering
+// (paper Figure 6 is exactly such a graph, drawn for an Angler capture).
+//
+// Usage: wcg_explorer [family]   (default: Angler)
+#include <cstdio>
+#include <string>
+
+#include "core/features.h"
+#include "core/wcg_builder.h"
+#include "graph/metrics.h"
+#include "synth/generator.h"
+
+int main(int argc, char** argv) {
+  const std::string family = argc > 1 ? argv[1] : "Angler";
+  dm::synth::TraceGenerator gen(/*seed=*/2016);
+  const auto episode = gen.infection(dm::synth::family_by_name(family));
+  const auto wcg = dm::core::build_wcg(episode.transactions);
+
+  std::printf("=== WCG for a synthetic %s infection episode ===\n\n",
+              family.c_str());
+
+  // ---- Nodes ---------------------------------------------------------------
+  std::printf("nodes (%zu):\n", wcg.node_count());
+  for (dm::graph::NodeId id = 0; id < wcg.node_count(); ++id) {
+    const auto& node = wcg.node(id);
+    std::printf("  [%2u] %-28s %-13s uris=%zu", id, node.host.c_str(),
+                std::string(dm::core::node_type_name(node.type)).c_str(),
+                node.uris.size());
+    if (!node.payloads_served.empty()) {
+      std::printf("  serves:");
+      for (const auto& [type, count] : node.payloads_served) {
+        std::printf(" %s x%u",
+                    std::string(dm::http::payload_type_name(type)).c_str(),
+                    count);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // ---- Edges by stage --------------------------------------------------------
+  std::size_t by_stage[3] = {0, 0, 0};
+  std::size_t by_kind[3] = {0, 0, 0};
+  for (const auto& edge : wcg.edges()) {
+    ++by_stage[static_cast<int>(edge.stage)];
+    ++by_kind[static_cast<int>(edge.kind)];
+  }
+  std::printf("\nedges (%zu): %zu requests, %zu responses, %zu redirects\n",
+              wcg.edge_count(), by_kind[0], by_kind[1], by_kind[2]);
+  std::printf("stages: pre-download %zu, download %zu, post-download %zu\n",
+              by_stage[0], by_stage[1], by_stage[2]);
+
+  // ---- Graph-level annotations -----------------------------------------------
+  const auto& ann = wcg.annotations();
+  std::printf("\nannotations:\n");
+  std::printf("  origin known: %s, X-Flash: %s, DNT: %s\n",
+              ann.origin_known ? "yes" : "no",
+              ann.x_flash_version_set ? ann.x_flash_version.c_str() : "no",
+              ann.do_not_track ? "yes" : "no");
+  std::printf("  GET %u / POST %u / other %u; responses 1xx..5xx:",
+              ann.get_count, ann.post_count, ann.other_method_count);
+  for (const auto count : ann.response_class_counts) std::printf(" %u", count);
+  std::printf("\n  redirects %u (chain %u, cross-domain %u, TLDs %u, avg "
+              "delay %.2fs)\n",
+              ann.total_redirects, ann.longest_redirect_chain,
+              ann.cross_domain_redirects, ann.tld_diversity,
+              ann.avg_redirect_delay_s);
+  std::printf("  payloads: %u totaling %llu bytes\n", ann.payload_count,
+              static_cast<unsigned long long>(ann.total_payload_bytes));
+  std::printf("  duration %.1fs, avg inter-transaction %.2fs\n", ann.duration_s,
+              ann.avg_inter_transaction_s);
+
+  // ---- Metrics + features ------------------------------------------------------
+  const auto metrics = dm::graph::compute_metrics(wcg.graph());
+  std::printf("\ngraph metrics: order=%zu size=%zu diameter=%u density=%.3f "
+              "volume=%zu\n",
+              metrics.order, metrics.size, metrics.diameter, metrics.density,
+              metrics.volume);
+  std::printf("  centralities: degree %.3f closeness %.3f betweenness %.3f "
+              "load %.3f\n",
+              metrics.avg_degree_centrality, metrics.avg_closeness_centrality,
+              metrics.avg_betweenness_centrality, metrics.avg_load_centrality);
+  std::printf("  connectivity %.3f, clustering %.3f, neighbor-degree %.3f, "
+              "pagerank %.4f\n",
+              metrics.avg_node_connectivity, metrics.avg_clustering_coefficient,
+              metrics.avg_neighbor_degree, metrics.avg_pagerank);
+
+  const auto features = dm::core::extract_features(wcg);
+  std::printf("\nall %zu features (f1..f37):\n", features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    std::printf("  f%-2zu %-28s = %.4f\n", i + 1,
+                dm::core::feature_names()[i].c_str(), features[i]);
+  }
+
+  // ---- DOT output ---------------------------------------------------------------
+  std::printf("\n// Graphviz rendering (pipe into `dot -Tpng`):\n");
+  std::printf("digraph wcg {\n  rankdir=LR;\n");
+  for (dm::graph::NodeId id = 0; id < wcg.node_count(); ++id) {
+    const auto& node = wcg.node(id);
+    const char* color =
+        node.type == dm::core::NodeType::kMalicious   ? "red"
+        : node.type == dm::core::NodeType::kVictim    ? "lightblue"
+        : node.type == dm::core::NodeType::kOrigin    ? "green"
+        : node.type == dm::core::NodeType::kIntermediary ? "orange"
+                                                         : "gray";
+    std::printf("  n%u [label=\"%s\", style=filled, fillcolor=%s];\n", id,
+                node.host.c_str(), color);
+  }
+  for (std::size_t e = 0; e < wcg.edge_count(); ++e) {
+    const auto& structural = wcg.graph().edge(static_cast<dm::graph::EdgeId>(e));
+    const auto& attrs = wcg.edge(static_cast<dm::graph::EdgeId>(e));
+    std::printf("  n%u -> n%u [label=\"%s/s%d\"];\n", structural.src,
+                structural.dst,
+                std::string(dm::core::edge_kind_name(attrs.kind)).c_str(),
+                static_cast<int>(attrs.stage));
+  }
+  std::printf("}\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "baseline/virustotal_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace dm::baseline {
+namespace {
+
+/// Deterministic uniform in [0,1) derived from a composite key, so that a
+/// given (engine, payload) pair always rolls the same values.
+double hash_uniform(std::uint64_t seed, std::string_view key, std::uint64_t salt) {
+  std::uint64_t h = dm::util::fnv1a_append(seed ^ salt, key);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+VirusTotalSim::VirusTotalSim(VtOptions options) : options_(options) {}
+
+void VirusTotalSim::register_payload(const std::string& digest, bool malicious,
+                                     double first_seen_day,
+                                     const std::string& campaign_key) {
+  auto [it, inserted] = payloads_.try_emplace(digest);
+  if (!inserted) {
+    // Re-observation: keep the earliest first-seen date.
+    it->second.first_seen_day = std::min(it->second.first_seen_day, first_seen_day);
+    return;
+  }
+  PayloadEntry& entry = it->second;
+  entry.malicious = malicious;
+  entry.first_seen_day = first_seen_day;
+
+  auto [cit, cinserted] = campaign_visible_.try_emplace(campaign_key, false);
+  if (cinserted) {
+    cit->second = hash_uniform(options_.seed, campaign_key, 0xca11) <
+                  options_.campaign_visibility;
+  }
+  entry.campaign_visible = cit->second;
+  entry.grey = !malicious &&
+               hash_uniform(options_.seed, digest, 0x97e1) < options_.benign_grey_prob;
+}
+
+ScanResult VirusTotalSim::scan(const std::string& digest, double query_day) const {
+  ScanResult result;
+  result.total_engines = options_.num_engines;
+  result.timed_out =
+      hash_uniform(options_.seed, digest,
+                   0x71e0 ^ static_cast<std::uint64_t>(query_day)) <
+      options_.timeout_prob;
+
+  const auto it = payloads_.find(digest);
+  if (it == payloads_.end()) return result;
+  result.known = true;
+  const PayloadEntry& entry = it->second;
+
+  if (entry.malicious) {
+    if (!entry.campaign_visible) return result;
+    for (int engine = 0; engine < options_.num_engines; ++engine) {
+      const auto salt = static_cast<std::uint64_t>(engine);
+      if (hash_uniform(options_.seed, digest, 0xc0de ^ salt) >=
+          options_.engine_coverage) {
+        continue;  // this engine never writes a signature for this payload
+      }
+      // Exponential signature lag, engine/payload specific.
+      const double u = hash_uniform(options_.seed, digest, 0x1a9 ^ (salt << 8));
+      const double lag_days =
+          -options_.lag_mean_days * std::log(1.0 - std::min(u, 1.0 - 1e-12));
+      if (query_day >= entry.first_seen_day + lag_days) ++result.detections;
+    }
+  } else if (entry.grey) {
+    // Grey content: a handful of heuristic engines flag it immediately
+    // (bounded by how many engines this aggregator actually runs).
+    result.detections = std::min(
+        options_.num_engines,
+        3 + static_cast<int>(hash_uniform(options_.seed, digest, 0x96) * 5.0));
+  } else {
+    // Clean content: rare single-engine false positives, below threshold.
+    if (hash_uniform(options_.seed, digest, 0xfa15e) < 0.01) {
+      result.detections = 1;
+    }
+  }
+  return result;
+}
+
+void VirusTotalSim::register_episode(const dm::synth::Episode& episode,
+                                     double first_seen_day) {
+  for (const auto& payload : episode.meta.payloads) {
+    register_payload(payload.digest, payload.malicious, first_seen_day,
+                     payload.host);
+  }
+}
+
+VirusTotalSim::EpisodeVerdict VirusTotalSim::scan_episode(
+    const dm::synth::Episode& episode, double query_day) const {
+  EpisodeVerdict verdict;
+  for (const auto& payload : episode.meta.payloads) {
+    const ScanResult result = scan(payload.digest, query_day);
+    if (result.timed_out) verdict.timed_out = true;
+    if (flags_malicious(result)) verdict.flagged = true;
+  }
+  return verdict;
+}
+
+}  // namespace dm::baseline

@@ -1,0 +1,18 @@
+#include "core/detector.h"
+
+namespace dm::core {
+
+Detector::Detector(dm::ml::RandomForest forest, FeatureExtractorOptions options,
+                   double threshold)
+    : forest_(std::move(forest)), options_(options), threshold_(threshold) {}
+
+double Detector::score(const Wcg& wcg) const {
+  const auto features = extract_features(wcg, options_);
+  return forest_.predict_proba(features);
+}
+
+bool Detector::is_infection(const Wcg& wcg) const {
+  return score(wcg) >= threshold_;
+}
+
+}  // namespace dm::core

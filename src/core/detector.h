@@ -1,0 +1,31 @@
+// Offline (forensic) detection: score a fully-built WCG with a trained ERF.
+#pragma once
+
+#include "core/features.h"
+#include "ml/random_forest.h"
+
+namespace dm::core {
+
+/// Wraps a trained forest with the feature extractor and a decision
+/// threshold; the unit the on-the-wire engine queries after each WCG update.
+class Detector {
+ public:
+  Detector(dm::ml::RandomForest forest, FeatureExtractorOptions options = {},
+           double threshold = 0.5);
+
+  /// Ensemble infection score in [0, 1].
+  double score(const Wcg& wcg) const;
+
+  /// Hard verdict at the configured threshold.
+  bool is_infection(const Wcg& wcg) const;
+
+  double threshold() const noexcept { return threshold_; }
+  const dm::ml::RandomForest& forest() const noexcept { return forest_; }
+
+ private:
+  dm::ml::RandomForest forest_;
+  FeatureExtractorOptions options_;
+  double threshold_;
+};
+
+}  // namespace dm::core

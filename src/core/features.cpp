@@ -1,0 +1,154 @@
+#include "core/features.h"
+
+#include <numeric>
+
+namespace dm::core {
+
+const std::array<std::string, kNumFeatures>& feature_names() {
+  static const std::array<std::string, kNumFeatures> kNames = {
+      // HLFs
+      "Origin",                      // f1
+      "X-Flash-Version",             // f2
+      "WCG-Size",                    // f3
+      "Conversation-Length",         // f4
+      "Avg-URIs-per-Host",           // f5
+      "Average-URI-Length",          // f6
+      // GFs
+      "Order",                       // f7
+      "Size",                        // f8
+      "Degree",                      // f9
+      "Density",                     // f10
+      "Volume",                      // f11
+      "Diameter",                    // f12
+      "Avg-In-Degree",               // f13
+      "Avg-Out-Degree",              // f14
+      "Reciprocity",                 // f15
+      "Avg-Degree-Centrality",       // f16
+      "Avg-Closeness-Centrality",    // f17
+      "Avg-Betweenness-Centrality",  // f18
+      "Avg-Load-Centrality",         // f19
+      "Avg-Node-Centrality",         // f20
+      "Avg-Clustering-Coefficient",  // f21
+      "Avg-Neighbor-Degree",         // f22
+      "Avg-Degree-Connectivity",     // f23
+      "Avg-K-Nearest-Neighbors",     // f24
+      "Avg-PageRank",                // f25
+      // HFs
+      "GETs",                        // f26
+      "POSTs",                       // f27
+      "Other-Methods",               // f28
+      "HTTP-10Xs",                   // f29
+      "HTTP-20Xs",                   // f30
+      "HTTP-30Xs",                   // f31
+      "HTTP-40Xs",                   // f32
+      "HTTP-50Xs",                   // f33
+      "Referrer-Ctrs",               // f34
+      "No-Referrer-Ctrs",            // f35
+      // TFs
+      "Duration",                    // f36
+      "Avg-Inter-Transact-Time",     // f37
+  };
+  return kNames;
+}
+
+FeatureGroup feature_group(std::size_t index) noexcept {
+  if (index < 6) return FeatureGroup::kHighLevel;
+  if (index < 25) return FeatureGroup::kGraph;
+  if (index < 35) return FeatureGroup::kHeader;
+  return FeatureGroup::kTemporal;
+}
+
+std::vector<std::size_t> feature_indices(FeatureGroup group) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    if (feature_group(i) == group) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> feature_indices_excluding(FeatureGroup group) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    if (feature_group(i) != group) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> all_feature_indices() {
+  std::vector<std::size_t> out(kNumFeatures);
+  std::iota(out.begin(), out.end(), std::size_t{0});
+  return out;
+}
+
+std::vector<double> extract_features(const Wcg& wcg,
+                                     const FeatureExtractorOptions& options) {
+  const auto& ann = wcg.annotations();
+  const auto metrics = dm::graph::compute_metrics(wcg.graph(), options.metrics);
+
+  // f4: unique hosts participating in the conversation (exclude the
+  // synthetic origin node).
+  const double conversation_length = static_cast<double>(
+      wcg.node_count() - (wcg.origin() != dm::graph::kInvalidNode ? 1 : 0));
+
+  const std::size_t total_uris = wcg.total_unique_uris();
+  const double hosts = std::max<double>(1.0, conversation_length);
+  const double avg_uris_per_host = static_cast<double>(total_uris) / hosts;
+
+  double total_uri_length = 0.0;
+  for (const auto& node : wcg.nodes()) {
+    for (const auto& uri : node.uris) {
+      total_uri_length += static_cast<double>(uri.size());
+    }
+  }
+  const double avg_uri_length =
+      total_uris == 0 ? 0.0 : total_uri_length / static_cast<double>(total_uris);
+
+  std::vector<double> f;
+  f.reserve(kNumFeatures);
+  // HLFs
+  f.push_back(ann.origin_known ? 1.0 : 0.0);                   // f1
+  f.push_back(ann.x_flash_version_set ? 1.0 : 0.0);            // f2
+  f.push_back(static_cast<double>(wcg.edge_count()));          // f3 WCG-Size
+  f.push_back(conversation_length);                            // f4
+  f.push_back(avg_uris_per_host);                              // f5
+  f.push_back(avg_uri_length);                                 // f6
+  // GFs
+  f.push_back(static_cast<double>(metrics.order));             // f7
+  f.push_back(static_cast<double>(metrics.size));              // f8
+  f.push_back(metrics.avg_degree);                             // f9
+  f.push_back(metrics.density);                                // f10
+  f.push_back(static_cast<double>(metrics.volume));            // f11
+  f.push_back(static_cast<double>(metrics.diameter));          // f12
+  f.push_back(metrics.avg_in_degree);                          // f13
+  f.push_back(metrics.avg_out_degree);                         // f14
+  f.push_back(metrics.reciprocity);                            // f15
+  f.push_back(metrics.avg_degree_centrality);                  // f16
+  f.push_back(metrics.avg_closeness_centrality);               // f17
+  f.push_back(metrics.avg_betweenness_centrality);             // f18
+  f.push_back(metrics.avg_load_centrality);                    // f19
+  f.push_back(metrics.avg_node_connectivity);                  // f20
+  f.push_back(metrics.avg_clustering_coefficient);             // f21
+  f.push_back(metrics.avg_neighbor_degree);                    // f22
+  f.push_back(metrics.avg_degree_connectivity);                // f23
+  f.push_back(metrics.avg_k_nearest_neighbors);                // f24
+  f.push_back(metrics.avg_pagerank);                           // f25
+  // HFs
+  f.push_back(static_cast<double>(ann.get_count));             // f26
+  f.push_back(static_cast<double>(ann.post_count));            // f27
+  f.push_back(static_cast<double>(ann.other_method_count));    // f28
+  f.push_back(static_cast<double>(ann.response_class_counts[0]));  // f29
+  f.push_back(static_cast<double>(ann.response_class_counts[1]));  // f30
+  f.push_back(static_cast<double>(ann.response_class_counts[2]));  // f31
+  f.push_back(static_cast<double>(ann.response_class_counts[3]));  // f32
+  f.push_back(static_cast<double>(ann.response_class_counts[4]));  // f33
+  f.push_back(static_cast<double>(ann.referrer_count));        // f34
+  f.push_back(static_cast<double>(ann.no_referrer_count));     // f35
+  // TFs: f36 is "average duration to access a single URI in a WCG session".
+  const double per_uri_duration =
+      total_uris == 0 ? 0.0 : ann.duration_s / static_cast<double>(total_uris);
+  f.push_back(per_uri_duration);                               // f36
+  f.push_back(ann.avg_inter_transaction_s);                    // f37
+  return f;
+}
+
+}  // namespace dm::core

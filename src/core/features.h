@@ -1,0 +1,42 @@
+// The 37 payload-agnostic features of Table II, extracted from an annotated
+// WCG.  Order and names follow the paper:
+//   f1-f6   High-Level Features (HLFs)
+//   f7-f25  Graph Features (GFs)
+//   f26-f35 Header Features (HFs)
+//   f36-f37 Temporal Features (TFs)
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/wcg.h"
+#include "graph/metrics.h"
+
+namespace dm::core {
+
+inline constexpr std::size_t kNumFeatures = 37;
+
+enum class FeatureGroup { kHighLevel, kGraph, kHeader, kTemporal };
+
+/// Canonical feature names, index i = f_{i+1} of Table II.
+const std::array<std::string, kNumFeatures>& feature_names();
+
+/// Group of feature index i (0-based).
+FeatureGroup feature_group(std::size_t index) noexcept;
+
+/// 0-based indices of every feature in a group; used by the Table III
+/// ablation (GFs alone vs HLFs+HFs+TFs).
+std::vector<std::size_t> feature_indices(FeatureGroup group);
+std::vector<std::size_t> feature_indices_excluding(FeatureGroup group);
+std::vector<std::size_t> all_feature_indices();
+
+struct FeatureExtractorOptions {
+  dm::graph::MetricsOptions metrics;
+};
+
+/// Extracts the full 37-dimensional feature vector from a WCG.
+std::vector<double> extract_features(const Wcg& wcg,
+                                     const FeatureExtractorOptions& options = {});
+
+}  // namespace dm::core

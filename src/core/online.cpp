@@ -1,0 +1,221 @@
+#include "core/online.h"
+
+#include <algorithm>
+
+#include "http/classify.h"
+#include "http/redirect_miner.h"
+#include "util/strings.h"
+
+namespace dm::core {
+namespace {
+
+using dm::http::HttpTransaction;
+using dm::http::PayloadType;
+
+/// Host named by the transaction's referrer, if any.
+std::string referrer_host_of(const HttpTransaction& txn) {
+  if (const auto ref = txn.request.referrer()) {
+    return dm::http::host_of_url(*ref);
+  }
+  return {};
+}
+
+}  // namespace
+
+OnlineDetector::OnlineDetector(Detector detector, OnlineOptions options)
+    : detector_(std::move(detector)), options_(std::move(options)) {}
+
+OnlineDetector::Session& OnlineDetector::find_or_create_session(
+    const HttpTransaction& txn, const std::optional<std::string>& sid) {
+  // 1. Session-ID match (the primary grouping rule, §V-B).
+  if (sid) {
+    for (auto& [key, session] : sessions_) {
+      if (session.client == txn.client_host && session.session_id == sid) {
+        return session;
+      }
+    }
+  }
+  // 2. Referrer/timestamp heuristic: join the most recent session of this
+  //    client that already involves the server or referrer host and whose
+  //    last activity is within the join gap.
+  const std::string ref_host = referrer_host_of(txn);
+  Session* best = nullptr;
+  for (auto& [key, session] : sessions_) {
+    if (session.client != txn.client_host || session.alerted) continue;
+    const double gap_s =
+        static_cast<double>(txn.request.ts_micros - session.last_activity) / 1e6;
+    if (txn.request.ts_micros < session.last_activity ||
+        gap_s <= options_.session_join_gap_s) {
+      const bool host_link =
+          session.hosts.count(txn.server_host) > 0 ||
+          (!ref_host.empty() && session.hosts.count(ref_host) > 0);
+      if (host_link && (!best || session.last_activity > best->last_activity)) {
+        best = &session;
+      }
+    }
+  }
+  if (best) return *best;
+
+  // 3. New session.
+  Session session;
+  session.key = txn.client_host + "#" + std::to_string(session_counter_++);
+  session.client = txn.client_host;
+  session.builder = WcgBuilder(options_.builder);
+  ++stats_.sessions_opened;
+  auto [it, inserted] = sessions_.emplace(session.key, std::move(session));
+  return it->second;
+}
+
+std::optional<Alert> OnlineDetector::observe(HttpTransaction txn) {
+  ++stats_.transactions_seen;
+  const std::uint64_t now = txn.request.ts_micros;
+
+  if (options_.builder.trusted.is_trusted(txn.server_host)) {
+    ++stats_.transactions_weeded;
+    return std::nullopt;
+  }
+
+  const auto sid = dm::http::extract_session_id(txn);
+  Session& session = find_or_create_session(txn, sid);
+  if (session.alerted) return std::nullopt;  // terminated by an earlier alert
+
+  if (!session.session_id && sid) session.session_id = sid;
+  session.hosts.insert(txn.server_host);
+  const std::string ref_host = referrer_host_of(txn);
+  if (!ref_host.empty()) session.hosts.insert(ref_host);
+  session.last_activity = std::max(session.last_activity, now);
+
+  // --- Redirect-run tracking for clue inference --------------------------
+  bool is_redirect_hop = false;
+  PayloadType payload = PayloadType::kNone;
+  if (txn.response) {
+    payload = dm::http::classify_payload(
+        txn.response->content_type().value_or(""), txn.request.uri);
+    if (txn.response->is_redirect()) {
+      is_redirect_hop = true;
+    } else {
+      const auto mined = dm::http::mine_redirects(txn, options_.builder.miner);
+      is_redirect_hop = !mined.empty();
+    }
+  }
+
+  session.builder.add(txn);
+  if (!session.clue_fired) session.hosts_before_clue.insert(txn.server_host);
+
+  std::optional<Alert> alert;
+  const bool risky_download =
+      dm::http::is_download_type(payload) && txn.response &&
+      txn.response->status_code == 200;
+
+  if (is_redirect_hop) {
+    ++session.current_redirect_run;
+    session.longest_redirect_run =
+        std::max(session.longest_redirect_run, session.current_redirect_run);
+    // Chain members and their targets are implicated hosts.
+    session.suspicious_hosts.insert(txn.server_host);
+    if (txn.response) {
+      for (const auto& evidence :
+           dm::http::mine_redirects(txn, options_.builder.miner)) {
+        session.suspicious_hosts.insert(evidence.target_host);
+      }
+    }
+  } else {
+    // Clue check happens on the first non-redirect after a chain.
+    if (risky_download &&
+        session.longest_redirect_run >= options_.redirect_chain_threshold) {
+      session.suspicious_hosts.insert(txn.server_host);
+      if (!session.clue_fired) {
+        session.clue_fired = true;
+        session.clue_host = txn.server_host;
+        session.clue_payload = payload;
+        ++stats_.clues_fired;
+      }
+    }
+    session.current_redirect_run = 0;
+  }
+
+  if (session.clue_fired) {
+    // Post-clue expansion: requests referred from an implicated host join
+    // the potential-infection WCG, as do call-back candidates — POSTs to
+    // hosts never seen before the clue (§II-D's never-seen C&C endpoints).
+    if (!ref_host.empty() && session.suspicious_hosts.count(ref_host)) {
+      session.suspicious_hosts.insert(txn.server_host);
+    }
+    if (txn.request.method == "POST" &&
+        session.hosts_before_clue.count(txn.server_host) == 0) {
+      session.suspicious_hosts.insert(txn.server_host);
+    }
+  }
+
+  // --- Classification -----------------------------------------------------
+  // Once a clue has fired, every update re-extracts features and queries
+  // the classifier (§V-B "each update ... triggers feature extraction and
+  // invoking of the ERF classifier").
+  if (session.clue_fired) {
+    alert = classify_session(session, txn, payload);
+  }
+  expire_idle(now);
+  return alert;
+}
+
+Wcg OnlineDetector::potential_infection_wcg(const Session& session) const {
+  WcgBuilder scoped(options_.builder);
+  for (const auto& txn : session.builder.transactions()) {
+    bool related = session.suspicious_hosts.count(txn.server_host) > 0;
+    if (!related) {
+      if (const auto ref = txn.request.referrer()) {
+        const std::string host = dm::http::host_of_url(*ref);
+        related = !host.empty() && session.suspicious_hosts.count(host) > 0;
+      }
+    }
+    if (related) scoped.add(txn);
+  }
+  return scoped.build();
+}
+
+std::optional<Alert> OnlineDetector::classify_session(Session& session,
+                                                      const HttpTransaction& txn,
+                                                      PayloadType trigger) {
+  const Wcg wcg = potential_infection_wcg(session);
+  if (wcg.node_count() < 2) return std::nullopt;
+  ++stats_.classifier_queries;
+  const double score = detector_.score(wcg);
+  if (score < options_.decision_threshold) return std::nullopt;
+
+  Alert alert;
+  alert.ts_micros = txn.request.ts_micros;
+  alert.client = session.client;
+  alert.session_key = session.key;
+  alert.score = score;
+  // Attribute the alert to the clue download (the paper reports alerts as
+  // issued "right after a download of" the offending payload), not to
+  // whichever later update crossed the threshold.
+  alert.trigger_host = session.clue_host.empty() ? txn.server_host : session.clue_host;
+  alert.trigger_payload = session.clue_payload != dm::http::PayloadType::kNone
+                              ? session.clue_payload
+                              : trigger;
+  alert.wcg_order = wcg.node_count();
+  alert.wcg_size = wcg.edge_count();
+  session.alerted = true;  // paper: the corresponding session is terminated
+  ++stats_.alerts;
+  alerts_.push_back(alert);
+  return alert;
+}
+
+void OnlineDetector::expire_idle(std::uint64_t now_micros) {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const auto& session = it->second;
+    const double idle_s =
+        now_micros >= session.last_activity
+            ? static_cast<double>(now_micros - session.last_activity) / 1e6
+            : 0.0;
+    if (session.alerted || idle_s > options_.session_idle_timeout_s) {
+      ++stats_.sessions_expired;
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dm::core

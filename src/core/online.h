@@ -1,0 +1,127 @@
+// Stage 2: on-the-wire detection (§V-B).
+//
+// The engine sits on a live HTTP transaction stream (network edge or web
+// proxy).  For each transaction it:
+//   1. weeds out trusted-vendor traffic,
+//   2. assigns the transaction to a session — by session ID when one is
+//     present, otherwise by the referrer/timestamp clustering heuristic,
+//   3. runs infection-clue inference: a redirect chain of length >= l
+//      followed by a download of a risky payload type,
+//   4. on a clue, "goes back in time": builds the potential-infection WCG
+//      from the session's transactions, extracts features, and queries the
+//      ERF classifier,
+//   5. alerts and terminates the session if infectious; otherwise keeps
+//      watching — every further transaction updates the WCG and re-queries
+//      the classifier until the session ends or stops growing.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/wcg_builder.h"
+#include "http/session.h"
+
+namespace dm::core {
+
+struct OnlineOptions {
+  BuilderOptions builder;
+  /// Redirect-chain threshold l for the infection clue (the paper's
+  /// forensic case study used 3).
+  std::uint32_t redirect_chain_threshold = 3;
+  /// Transactions within this many seconds of a session's last activity can
+  /// join it via the referrer/timestamp heuristic.
+  double session_join_gap_s = 30.0;
+  /// Sessions idle longer than this are considered terminated ("the WCG
+  /// stops growing").
+  double session_idle_timeout_s = 120.0;
+  /// Decision threshold on the clue-scoped potential-infection WCG.  Set
+  /// below the offline 0.5 because classification here is already gated by
+  /// the infection clue (redirect chain + risky download), so the prior of
+  /// the WCG under test is far from the corpus prior; the clue gate, not
+  /// the threshold, carries the false-positive control (§V-B).
+  double decision_threshold = 0.4;
+  FeatureExtractorOptions features;
+};
+
+struct Alert {
+  std::uint64_t ts_micros = 0;
+  std::string client;
+  std::string session_key;
+  double score = 0.0;
+  std::string trigger_host;  // host serving the clue download
+  dm::http::PayloadType trigger_payload = dm::http::PayloadType::kNone;
+  std::size_t wcg_order = 0;
+  std::size_t wcg_size = 0;
+};
+
+/// Counters for reporting (Table VI's per-host breakdown uses these).
+struct OnlineStats {
+  std::size_t transactions_seen = 0;
+  std::size_t transactions_weeded = 0;
+  std::size_t clues_fired = 0;
+  std::size_t classifier_queries = 0;
+  std::size_t alerts = 0;
+  std::size_t sessions_opened = 0;
+  std::size_t sessions_expired = 0;
+};
+
+class OnlineDetector {
+ public:
+  OnlineDetector(Detector detector, OnlineOptions options = {});
+
+  /// Feeds one transaction (stream must be in time order); returns an alert
+  /// if this update tipped a session over the decision threshold.
+  std::optional<Alert> observe(dm::http::HttpTransaction transaction);
+
+  /// Expires idle sessions relative to `now_micros`; call periodically
+  /// (the replayer calls it between transactions).
+  void expire_idle(std::uint64_t now_micros);
+
+  const OnlineStats& stats() const noexcept { return stats_; }
+  const std::vector<Alert>& alerts() const noexcept { return alerts_; }
+  std::size_t active_sessions() const noexcept { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::string key;
+    std::string client;
+    WcgBuilder builder;
+    std::set<std::string> hosts;            // hosts seen in this session
+    std::optional<std::string> session_id;  // sticky once discovered
+    std::uint64_t last_activity = 0;
+    std::uint32_t current_redirect_run = 0;  // consecutive redirect hops
+    std::uint32_t longest_redirect_run = 0;
+    bool clue_fired = false;
+    bool alerted = false;
+    /// Hosts implicated by the clue: redirect-chain members, mined redirect
+    /// targets, the triggering download host, and post-clue call-back
+    /// candidates.  The potential-infection WCG (§V-B "goes back in time")
+    /// is built from the session transactions touching these hosts, so a
+    /// malicious flow is not diluted by co-resident benign traffic.
+    std::set<std::string> suspicious_hosts;
+    std::set<std::string> hosts_before_clue;
+    std::string clue_host;  // host serving the clue download
+    dm::http::PayloadType clue_payload = dm::http::PayloadType::kNone;
+  };
+
+  /// Builds the potential-infection WCG for a clue-bearing session.
+  Wcg potential_infection_wcg(const Session& session) const;
+
+  Session& find_or_create_session(const dm::http::HttpTransaction& txn,
+                                  const std::optional<std::string>& sid);
+  std::optional<Alert> classify_session(Session& session,
+                                        const dm::http::HttpTransaction& txn,
+                                        dm::http::PayloadType trigger);
+
+  Detector detector_;
+  OnlineOptions options_;
+  std::map<std::string, Session> sessions_;  // key -> state
+  OnlineStats stats_;
+  std::vector<Alert> alerts_;
+  std::uint64_t session_counter_ = 0;
+};
+
+}  // namespace dm::core

@@ -1,0 +1,35 @@
+#include "core/trainer.h"
+
+namespace dm::core {
+
+dm::ml::Dataset dataset_from_wcgs(std::span<const Wcg> infections,
+                                  std::span<const Wcg> benign,
+                                  const FeatureExtractorOptions& options) {
+  const auto& names = feature_names();
+  dm::ml::Dataset data(std::vector<std::string>(names.begin(), names.end()));
+  for (const Wcg& wcg : infections) {
+    data.add_row(extract_features(wcg, options), dm::ml::kInfection);
+  }
+  for (const Wcg& wcg : benign) {
+    data.add_row(extract_features(wcg, options), dm::ml::kBenign);
+  }
+  return data;
+}
+
+dm::ml::ForestOptions paper_forest_options(std::size_t num_features,
+                                           std::uint64_t seed) {
+  dm::ml::ForestOptions options;
+  options.num_trees = 20;  // paper's best Nt
+  options.features_per_split = dm::ml::default_features_per_split(num_features);
+  options.combination = dm::ml::Combination::kProbabilityAveraging;
+  options.seed = seed;
+  return options;
+}
+
+dm::ml::RandomForest train_dynaminer(const dm::ml::Dataset& data,
+                                     std::uint64_t seed) {
+  return dm::ml::RandomForest::train(
+      data, paper_forest_options(data.num_features(), seed));
+}
+
+}  // namespace dm::core

@@ -1,0 +1,27 @@
+// Stage-1 training glue: WCG collections -> feature Dataset -> the paper's
+// ERF configuration (Nt = 20 trees, Nf = log2(37)+1 features per split,
+// probability averaging).
+#pragma once
+
+#include <span>
+
+#include "core/features.h"
+#include "ml/random_forest.h"
+
+namespace dm::core {
+
+/// Extracts features from labeled WCG collections into one Dataset
+/// (label 1 = infection, 0 = benign).
+dm::ml::Dataset dataset_from_wcgs(std::span<const Wcg> infections,
+                                  std::span<const Wcg> benign,
+                                  const FeatureExtractorOptions& options = {});
+
+/// The paper's ERF configuration for a given feature count.
+dm::ml::ForestOptions paper_forest_options(std::size_t num_features = kNumFeatures,
+                                           std::uint64_t seed = 42);
+
+/// Trains the ERF on a prepared dataset with the paper's configuration.
+dm::ml::RandomForest train_dynaminer(const dm::ml::Dataset& data,
+                                     std::uint64_t seed = 42);
+
+}  // namespace dm::core

@@ -1,0 +1,55 @@
+#include "core/wcg.h"
+
+namespace dm::core {
+
+std::string_view node_type_name(NodeType type) noexcept {
+  switch (type) {
+    case NodeType::kVictim: return "victim";
+    case NodeType::kRemote: return "remote";
+    case NodeType::kMalicious: return "malicious";
+    case NodeType::kIntermediary: return "intermediary";
+    case NodeType::kOrigin: return "origin";
+  }
+  return "?";
+}
+
+std::string_view edge_kind_name(EdgeKind kind) noexcept {
+  switch (kind) {
+    case EdgeKind::kRequest: return "req";
+    case EdgeKind::kResponse: return "res";
+    case EdgeKind::kRedirect: return "redirect";
+  }
+  return "?";
+}
+
+dm::graph::NodeId Wcg::add_host(const std::string& host) {
+  if (const auto it = host_index_.find(host); it != host_index_.end()) {
+    return it->second;
+  }
+  const auto id = graph_.add_node();
+  WcgNode node;
+  node.host = host;
+  nodes_.push_back(std::move(node));
+  host_index_.emplace(host, id);
+  return id;
+}
+
+dm::graph::EdgeId Wcg::add_edge(dm::graph::NodeId src, dm::graph::NodeId dst,
+                                WcgEdge attributes) {
+  const auto id = graph_.add_edge(src, dst);
+  edges_.push_back(std::move(attributes));
+  return id;
+}
+
+dm::graph::NodeId Wcg::find_host(const std::string& host) const noexcept {
+  const auto it = host_index_.find(host);
+  return it == host_index_.end() ? dm::graph::kInvalidNode : it->second;
+}
+
+std::size_t Wcg::total_unique_uris() const noexcept {
+  std::size_t total = 0;
+  for (const auto& node : nodes_) total += node.uris.size();
+  return total;
+}
+
+}  // namespace dm::core

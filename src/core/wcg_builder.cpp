@@ -1,0 +1,353 @@
+#include "core/wcg_builder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace dm::core {
+namespace {
+
+using dm::http::HttpTransaction;
+using dm::http::PayloadType;
+using dm::util::registrable_domain;
+using dm::util::top_level_domain;
+
+/// Host component of a (possibly absolute-URL) referrer value, lower-cased.
+std::string referrer_host(std::string_view referrer) {
+  const std::string host = dm::http::host_of_url(referrer);
+  if (!host.empty()) return host;
+  // Bare hostname referrers occur in the wild; accept them when they look
+  // like a hostname.
+  const auto trimmed = dm::util::trim(referrer);
+  if (!trimmed.empty() && trimmed.find('/') == std::string_view::npos) {
+    return dm::util::to_lower(trimmed);
+  }
+  return {};
+}
+
+struct DownloadTimeline {
+  std::uint64_t first_exploit_ts = 0;  // 0 = none
+  std::uint64_t last_exploit_ts = 0;
+  std::set<std::string> exploit_hosts;  // hosts that served exploit payloads
+};
+
+DownloadTimeline scan_downloads(const std::vector<HttpTransaction>& txns) {
+  DownloadTimeline timeline;
+  for (const auto& txn : txns) {
+    if (!txn.response) continue;
+    const auto type = dm::http::classify_payload(
+        txn.response->content_type().value_or(""), txn.request.uri);
+    if (dm::http::is_exploit_type(type)) {
+      const std::uint64_t ts = txn.response->ts_micros;
+      if (timeline.first_exploit_ts == 0 || ts < timeline.first_exploit_ts) {
+        timeline.first_exploit_ts = ts;
+      }
+      timeline.last_exploit_ts = std::max(timeline.last_exploit_ts, ts);
+      timeline.exploit_hosts.insert(txn.server_host);
+    }
+  }
+  return timeline;
+}
+
+/// Stage assignment per §III-C: GET with no prior exploit download and a
+/// 30x answer -> pre-download; POST to a non-exploit host answered 200/40x
+/// after the first download -> post-download; everything else -> download.
+Stage stage_of(const HttpTransaction& txn, const DownloadTimeline& timeline) {
+  const std::uint64_t ts = txn.request.ts_micros;
+  const int code = txn.response ? txn.response->status_code : 0;
+  const bool before_first_download =
+      timeline.first_exploit_ts == 0 || ts < timeline.first_exploit_ts;
+
+  if (txn.request.method == "GET" && before_first_download &&
+      code >= 300 && code < 400) {
+    return Stage::kPreDownload;
+  }
+  if (txn.request.method == "POST" &&
+      timeline.exploit_hosts.find(txn.server_host) == timeline.exploit_hosts.end() &&
+      timeline.first_exploit_ts != 0 && ts > timeline.last_exploit_ts &&
+      (code == 200 || (code >= 400 && code < 500))) {
+    return Stage::kPostDownload;
+  }
+  return Stage::kDownload;
+}
+
+/// Longest simple path (in edges) through the redirect-edge host graph.
+/// Redirect subgraphs are tiny chains/trees, so a depth-capped DFS is fine.
+std::uint32_t longest_chain(const std::map<std::string, std::set<std::string>>& redirect_adj) {
+  std::uint32_t best = 0;
+  constexpr std::uint32_t kDepthCap = 64;
+
+  struct Dfs {
+    const std::map<std::string, std::set<std::string>>& adj;
+    std::set<std::string> on_path;
+    std::uint32_t best = 0;
+
+    void run(const std::string& host, std::uint32_t depth) {
+      best = std::max(best, depth);
+      if (depth >= kDepthCap) return;
+      const auto it = adj.find(host);
+      if (it == adj.end()) return;
+      for (const auto& next : it->second) {
+        if (on_path.insert(next).second) {
+          run(next, depth + 1);
+          on_path.erase(next);
+        }
+      }
+    }
+  };
+
+  Dfs dfs{redirect_adj, {}, 0};
+  for (const auto& [host, targets] : redirect_adj) {
+    dfs.on_path = {host};
+    dfs.run(host, 0);
+    best = std::max(best, dfs.best);
+  }
+  return best;
+}
+
+}  // namespace
+
+WcgBuilder::WcgBuilder(BuilderOptions options) : options_(std::move(options)) {}
+
+bool WcgBuilder::add(HttpTransaction transaction) {
+  if (transaction.server_host.empty()) return false;
+  if (options_.trusted.is_trusted(transaction.server_host)) return false;
+  transactions_.push_back(std::move(transaction));
+  return true;
+}
+
+Wcg WcgBuilder::build() const {
+  Wcg wcg;
+  if (transactions_.empty()) return wcg;
+
+  const DownloadTimeline timeline = scan_downloads(transactions_);
+  auto& ann = wcg.annotations();
+
+  // ---- Origin node -------------------------------------------------------
+  // The enticement source is the referrer of the earliest transaction whose
+  // referrer host is outside the conversation (§III-B "origin node").
+  std::set<std::string> conversation_hosts;
+  for (const auto& txn : transactions_) conversation_hosts.insert(txn.server_host);
+
+  std::string origin_name = "empty";
+  for (const auto& txn : transactions_) {
+    if (const auto ref = txn.request.referrer()) {
+      const std::string host = referrer_host(*ref);
+      if (!host.empty() &&
+          conversation_hosts.find(host) == conversation_hosts.end()) {
+        origin_name = host;
+        break;
+      }
+    }
+  }
+  ann.origin_known = origin_name != "empty";
+  const auto origin_id = wcg.add_host(origin_name);
+  wcg.node(origin_id).type = NodeType::kOrigin;
+  wcg.set_origin(origin_id);
+
+  // ---- Victim node -------------------------------------------------------
+  const auto victim_id = wcg.add_host(transactions_.front().client_host);
+  wcg.node(victim_id).type = NodeType::kVictim;
+  wcg.node(victim_id).ip = transactions_.front().client_host;
+  wcg.set_victim(victim_id);
+
+  // Origin enticed the victim into the conversation.
+  if (ann.origin_known) {
+    WcgEdge entice;
+    entice.kind = EdgeKind::kRedirect;
+    entice.stage = Stage::kPreDownload;
+    entice.ts_micros = transactions_.front().request.ts_micros;
+    wcg.add_edge(origin_id, victim_id, entice);
+  }
+
+  // ---- Transaction edges -------------------------------------------------
+  // Redirect bookkeeping: adjacency between hosts, timestamps in order, and
+  // hosts involved (for TLD diversity / cross-domain counting).
+  std::map<std::string, std::set<std::string>> redirect_adj;
+  std::vector<std::uint64_t> redirect_ts;
+  std::set<std::string> redirect_hosts;
+  std::uint32_t redirect_edges = 0;
+  std::uint32_t cross_domain = 0;
+
+  auto add_redirect_edge = [&](const std::string& from_host,
+                               const std::string& to_host, std::uint64_t ts) {
+    if (from_host.empty() || to_host.empty() || from_host == to_host) return;
+    const auto from_id = wcg.add_host(from_host);
+    const auto to_id = wcg.add_host(to_host);
+    WcgEdge edge;
+    edge.kind = EdgeKind::kRedirect;
+    edge.ts_micros = ts;
+    edge.stage = (timeline.first_exploit_ts == 0 || ts < timeline.first_exploit_ts)
+                     ? Stage::kPreDownload
+                     : Stage::kDownload;
+    wcg.add_edge(from_id, to_id, edge);
+    redirect_adj[from_host].insert(to_host);
+    redirect_ts.push_back(ts);
+    redirect_hosts.insert(from_host);
+    redirect_hosts.insert(to_host);
+    ++redirect_edges;
+    if (registrable_domain(from_host) != registrable_domain(to_host)) {
+      ++cross_domain;
+    }
+  };
+
+  // Track the most recent response per host for the referrer-delay rule.
+  std::map<std::string, std::uint64_t> last_response_ts;
+
+  std::uint64_t first_ts = transactions_.front().request.ts_micros;
+  std::uint64_t last_ts = first_ts;
+  std::vector<std::uint64_t> txn_times;
+
+  for (const auto& txn : transactions_) {
+    const auto server_id = wcg.add_host(txn.server_host);
+    WcgNode& server = wcg.node(server_id);
+    if (server.ip.empty()) server.ip = txn.server_ip;
+    server.uris.insert(txn.request.uri);
+
+    const Stage stage = stage_of(txn, timeline);
+    const std::uint64_t req_ts = txn.request.ts_micros;
+    txn_times.push_back(req_ts);
+    first_ts = std::min(first_ts, req_ts);
+    last_ts = std::max(last_ts, req_ts);
+
+    // Request edge: victim -> server.
+    WcgEdge req;
+    req.kind = EdgeKind::kRequest;
+    req.stage = stage;
+    req.ts_micros = req_ts;
+    req.method = txn.request.method;
+    req.uri_length = static_cast<std::uint32_t>(txn.request.uri.size());
+    req.has_referrer = txn.request.referrer().has_value();
+    wcg.add_edge(victim_id, server_id, req);
+
+    // Header tallies.
+    if (txn.request.method == "GET") ++ann.get_count;
+    else if (txn.request.method == "POST") ++ann.post_count;
+    else ++ann.other_method_count;
+    if (req.has_referrer) ++ann.referrer_count;
+    else ++ann.no_referrer_count;
+    if (const auto dnt = txn.request.headers.get("DNT");
+        dnt && *dnt == "1") {
+      ann.do_not_track = true;
+    }
+    if (const auto xf = txn.request.headers.get("X-Flash-Version")) {
+      ann.x_flash_version_set = true;
+      ann.x_flash_version = std::string(*xf);
+    }
+
+    // Response edge: server -> victim.
+    if (txn.response) {
+      const auto& res = *txn.response;
+      const std::uint64_t res_ts = res.ts_micros ? res.ts_micros : req_ts;
+      last_ts = std::max(last_ts, res_ts);
+      WcgEdge resp;
+      resp.kind = EdgeKind::kResponse;
+      resp.stage = stage;
+      resp.ts_micros = res_ts;
+      resp.response_code = res.status_code;
+      resp.payload_type = dm::http::classify_payload(
+          res.content_type().value_or(""), txn.request.uri);
+      resp.payload_size = res.body.size();
+      wcg.add_edge(server_id, victim_id, resp);
+
+      const int cls = res.status_code / 100;
+      if (cls >= 1 && cls <= 5) ++ann.response_class_counts[cls - 1];
+      if (resp.payload_type != PayloadType::kNone && !res.body.empty()) {
+        ++ann.payload_count;
+        ann.total_payload_bytes += resp.payload_size;
+        ++ann.payload_type_counts[resp.payload_type];
+        ++server.payloads_served[resp.payload_type];
+      }
+      last_response_ts[txn.server_host] = res_ts;
+
+      // Explicit redirect evidence: Location header / meta / iframe / JS,
+      // including the de-obfuscated layers.
+      for (const auto& evidence : dm::http::mine_redirects(txn, options_.miner)) {
+        if (options_.trusted.is_trusted(evidence.target_host)) continue;
+        add_redirect_edge(txn.server_host, evidence.target_host, res_ts);
+      }
+    }
+
+    // Referer-chain redirect: the referrer names another conversation host
+    // and this request followed that host's response almost immediately.
+    if (const auto ref = txn.request.referrer();
+        ref && options_.referrer_timing_redirects) {
+      const std::string ref_host = referrer_host(*ref);
+      if (!ref_host.empty() && ref_host != txn.server_host &&
+          conversation_hosts.find(ref_host) != conversation_hosts.end()) {
+        const auto it = last_response_ts.find(ref_host);
+        if (it != last_response_ts.end() && req_ts >= it->second) {
+          const double delay_s =
+              static_cast<double>(req_ts - it->second) / 1e6;
+          if (delay_s <= options_.referrer_redirect_max_delay_s &&
+              !wcg.graph().has_edge(wcg.find_host(ref_host), server_id)) {
+            add_redirect_edge(ref_host, txn.server_host, req_ts);
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Node typing -------------------------------------------------------
+  for (dm::graph::NodeId id = 0; id < wcg.node_count(); ++id) {
+    WcgNode& node = wcg.node(id);
+    if (node.type == NodeType::kVictim || node.type == NodeType::kOrigin) continue;
+    if (timeline.exploit_hosts.find(node.host) != timeline.exploit_hosts.end()) {
+      node.type = NodeType::kMalicious;
+    } else if (node.uris.empty() &&
+               redirect_hosts.find(node.host) != redirect_hosts.end()) {
+      node.type = NodeType::kIntermediary;  // only chains, never queried
+    }
+  }
+
+  // ---- Graph-level annotations --------------------------------------------
+  ann.transaction_count = static_cast<std::uint32_t>(transactions_.size());
+  ann.total_redirects = redirect_edges;
+  ann.longest_redirect_chain = longest_chain(redirect_adj);
+  ann.cross_domain_redirects = cross_domain;
+
+  std::set<std::string> tlds;
+  for (const auto& host : redirect_hosts) {
+    const auto tld = top_level_domain(host);
+    if (!tld.empty()) tlds.insert(std::string(tld));
+  }
+  ann.tld_diversity = static_cast<std::uint32_t>(tlds.size());
+
+  if (redirect_ts.size() >= 2) {
+    std::sort(redirect_ts.begin(), redirect_ts.end());
+    double total = 0.0;
+    for (std::size_t i = 1; i < redirect_ts.size(); ++i) {
+      total += static_cast<double>(redirect_ts[i] - redirect_ts[i - 1]) / 1e6;
+    }
+    ann.avg_redirect_delay_s = total / static_cast<double>(redirect_ts.size() - 1);
+  }
+
+  ann.duration_s = static_cast<double>(last_ts - first_ts) / 1e6;
+  if (txn_times.size() >= 2) {
+    std::sort(txn_times.begin(), txn_times.end());
+    double total = 0.0;
+    for (std::size_t i = 1; i < txn_times.size(); ++i) {
+      total += static_cast<double>(txn_times[i] - txn_times[i - 1]) / 1e6;
+    }
+    ann.avg_inter_transaction_s = total / static_cast<double>(txn_times.size() - 1);
+  }
+
+  ann.has_download_stage = timeline.first_exploit_ts != 0;
+  for (const auto& edge : wcg.edges()) {
+    if (edge.stage == Stage::kPostDownload) {
+      ann.has_post_download_stage = true;
+      break;
+    }
+  }
+  return wcg;
+}
+
+Wcg build_wcg(std::vector<dm::http::HttpTransaction> transactions,
+              BuilderOptions options) {
+  WcgBuilder builder(std::move(options));
+  for (auto& txn : transactions) builder.add(std::move(txn));
+  return builder.build();
+}
+
+}  // namespace dm::core

@@ -1,0 +1,68 @@
+// WCG construction from a time-ordered HTTP transaction stream (§III-B).
+//
+// The builder:
+//  * weeds out transactions to trusted software vendors (§V-B noise rule),
+//  * adds the synthetic origin node from the first transaction's referrer
+//    ("empty" when the referrer was stripped),
+//  * creates request/response edges between the victim and each host,
+//  * infers redirect edges from Location headers, Referer chaining under a
+//    short-delay rule (automatic redirects are fast; human clicks are slow),
+//    and the obfuscated-JS/meta/iframe miner (§III-D),
+//  * assigns each edge a conversation stage — pre-download / download /
+//    post-download — using the paper's §III-C heuristics, and
+//  * fills the graph-level annotations that the 37 features consume.
+#pragma once
+
+#include <vector>
+
+#include "core/wcg.h"
+#include "core/whitelist.h"
+#include "http/message.h"
+#include "http/redirect_miner.h"
+
+namespace dm::core {
+
+struct BuilderOptions {
+  /// Trusted-vendor weed-out list; use TrustedVendors::none() to disable.
+  TrustedVendors trusted = TrustedVendors::default_list();
+  /// Optional heuristic: treat a Referer-chain transition faster than the
+  /// delay below as an automatic redirect even without explicit evidence.
+  /// Off by default — sub-resource fetches (page -> CDN) also follow their
+  /// referrer within milliseconds, so the bare timing rule manufactures
+  /// redirect structure in benign graphs; explicit evidence (Location,
+  /// meta-refresh, iframe, mined JavaScript) is the reliable signal.
+  bool referrer_timing_redirects = false;
+  double referrer_redirect_max_delay_s = 2.0;
+  dm::http::RedirectMinerOptions miner;
+};
+
+/// Accumulates transactions (time order expected) and materializes the
+/// annotated WCG.  `build()` may be called repeatedly as the conversation
+/// grows — the on-the-wire detector does exactly that (§V-B "each update of
+/// a WCG then triggers feature extraction").
+class WcgBuilder {
+ public:
+  explicit WcgBuilder(BuilderOptions options = {});
+
+  /// Appends one transaction; returns false if it was weeded out
+  /// (trusted vendor) or malformed.
+  bool add(dm::http::HttpTransaction transaction);
+
+  std::size_t transaction_count() const noexcept { return transactions_.size(); }
+  const std::vector<dm::http::HttpTransaction>& transactions() const noexcept {
+    return transactions_;
+  }
+
+  /// Builds the full annotated WCG from everything added so far.
+  Wcg build() const;
+
+ private:
+  BuilderOptions options_;
+  std::vector<dm::http::HttpTransaction> transactions_;
+};
+
+/// One-shot convenience.
+Wcg build_wcg(std::vector<dm::http::HttpTransaction> transactions,
+              BuilderOptions options = {});
+
+}  // namespace dm::core

@@ -1,0 +1,39 @@
+#include "core/whitelist.h"
+
+#include "util/strings.h"
+
+namespace dm::core {
+
+TrustedVendors TrustedVendors::default_list() {
+  TrustedVendors list;
+  for (const char* domain : {
+           "windowsupdate.com", "update.microsoft.com", "microsoft.com",
+           "apple.com", "swcdn.apple.com", "adobe.com", "mozilla.org",
+           "google.com", "gvt1.com", "chrome.com", "canonical.com",
+           "ubuntu.com", "debian.org", "fedoraproject.org", "centos.org",
+           "npmjs.org", "pypi.org", "rubygems.org", "maven.org",
+           "github.com", "githubusercontent.com", "sourceforge.net",
+           "oracle.com", "java.com", "steampowered.com", "steamcontent.com",
+       }) {
+    list.add(domain);
+  }
+  return list;
+}
+
+void TrustedVendors::add(std::string registrable_domain) {
+  domains_.insert(dm::util::to_lower(registrable_domain));
+}
+
+bool TrustedVendors::is_trusted(std::string_view host) const noexcept {
+  const std::string lower = dm::util::to_lower(host);
+  std::string_view view = lower;
+  // Check the host itself and every parent suffix at a label boundary.
+  while (true) {
+    if (domains_.find(view) != domains_.end()) return true;
+    const auto dot = view.find('.');
+    if (dot == std::string_view::npos) return false;
+    view = view.substr(dot + 1);
+  }
+}
+
+}  // namespace dm::core

@@ -1,0 +1,34 @@
+// Trusted-vendor weed-out (paper §V-B): "to reduce noise from benign HTTP
+// traffic, we weed out HTTP transactions that originate from known vendors
+// ... we exclude traffic that involve downloads from online application
+// stores / software repositories."
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace dm::core {
+
+/// Registrable-domain whitelist of trusted software-distribution sources.
+class TrustedVendors {
+ public:
+  /// Builds the default list: major OS/application update services,
+  /// application stores, and package repositories.
+  static TrustedVendors default_list();
+
+  /// Empty list — used by the ablation bench (weed-out disabled).
+  static TrustedVendors none() { return TrustedVendors{}; }
+
+  void add(std::string registrable_domain);
+
+  /// True if `host` equals or is a subdomain of any trusted domain.
+  bool is_trusted(std::string_view host) const noexcept;
+
+  std::size_t size() const noexcept { return domains_.size(); }
+
+ private:
+  std::set<std::string, std::less<>> domains_;
+};
+
+}  // namespace dm::core

@@ -1,0 +1,227 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dm::graph {
+namespace {
+
+/// Unit-capacity flow network for vertex connectivity.  Each original node v
+/// becomes v_in (2v) and v_out (2v+1) joined by a capacity-1 arc; each
+/// undirected edge {u, v} becomes u_out->v_in and v_out->u_in with large
+/// capacity (edges are never the bottleneck for NODE connectivity).
+class UnitFlowNetwork {
+ public:
+  UnitFlowNetwork(const Adjacency& adj, NodeId s, NodeId t) : s_(s), t_(t) {
+    const std::size_t n = adj.size();
+    head_.assign(2 * n, {});
+    for (NodeId v = 0; v < n; ++v) {
+      // Source and sink are not node-capacity constrained.
+      const int cap = (v == s || v == t) ? kInf : 1;
+      add_arc(node_in(v), node_out(v), cap);
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId w : adj[v]) {
+        if (v < w) {
+          add_arc(node_out(v), node_in(w), kInf);
+          add_arc(node_out(w), node_in(v), kInf);
+        }
+      }
+    }
+  }
+
+  /// Edmonds-Karp max-flow from s_out to t_in, capped at `limit` augmenting
+  /// paths (connectivity is bounded by min-degree so a cap keeps this fast).
+  std::uint32_t max_flow(std::uint32_t limit) {
+    std::uint32_t flow = 0;
+    while (flow < limit && augment()) ++flow;
+    return flow;
+  }
+
+ private:
+  static constexpr int kInf = 1 << 29;
+
+  struct Arc {
+    std::uint32_t to;
+    int cap;
+    std::size_t rev;  // index of reverse arc in head_[to]
+  };
+
+  static std::uint32_t node_in(NodeId v) noexcept { return 2 * v; }
+  static std::uint32_t node_out(NodeId v) noexcept { return 2 * v + 1; }
+
+  void add_arc(std::uint32_t from, std::uint32_t to, int cap) {
+    head_[from].push_back({to, cap, head_[to].size()});
+    head_[to].push_back({from, 0, head_[from].size() - 1});
+  }
+
+  bool augment() {
+    const std::uint32_t source = node_out(s_);
+    const std::uint32_t sink = node_in(t_);
+    std::vector<std::pair<std::uint32_t, std::size_t>> parent(
+        head_.size(), {~0u, 0});  // (node, arc index in that node's list)
+    std::queue<std::uint32_t> q;
+    parent[source] = {source, 0};
+    q.push(source);
+    while (!q.empty() && parent[sink].first == ~0u) {
+      const std::uint32_t v = q.front();
+      q.pop();
+      for (std::size_t i = 0; i < head_[v].size(); ++i) {
+        const Arc& a = head_[v][i];
+        if (a.cap > 0 && parent[a.to].first == ~0u) {
+          parent[a.to] = {v, i};
+          q.push(a.to);
+        }
+      }
+    }
+    if (parent[sink].first == ~0u) return false;
+    // All arcs on the path have cap >= 1; push one unit.
+    std::uint32_t v = sink;
+    while (v != source) {
+      const auto [u, i] = parent[v];
+      Arc& a = head_[u][i];
+      a.cap -= 1;
+      head_[a.to][a.rev].cap += 1;
+      v = u;
+    }
+    return true;
+  }
+
+  NodeId s_;
+  NodeId t_;
+  std::vector<std::vector<Arc>> head_;
+};
+
+}  // namespace
+
+std::uint32_t local_node_connectivity(const Adjacency& adj, NodeId s, NodeId t) {
+  if (s == t || adj.size() < 2) return 0;
+  // Adjacent nodes: connectivity counts the direct edge as one disjoint path
+  // plus the connectivity of the graph without that edge; the standard
+  // shortcut is 1 + connectivity in G - {s,t edge}.  We implement it by
+  // removing the edge from a copy.
+  const bool adjacent = std::binary_search(adj[s].begin(), adj[s].end(), t);
+  if (!adjacent) {
+    UnitFlowNetwork net(adj, s, t);
+    const auto bound = static_cast<std::uint32_t>(
+        std::min(adj[s].size(), adj[t].size()));
+    return net.max_flow(bound);
+  }
+  Adjacency reduced = adj;
+  auto erase_from = [](std::vector<NodeId>& v, NodeId x) {
+    v.erase(std::remove(v.begin(), v.end(), x), v.end());
+  };
+  erase_from(reduced[s], t);
+  erase_from(reduced[t], s);
+  UnitFlowNetwork net(reduced, s, t);
+  const auto bound = static_cast<std::uint32_t>(
+      std::min(reduced[s].size(), reduced[t].size()));
+  return 1 + net.max_flow(bound);
+}
+
+double average_node_connectivity(const Adjacency& adj, dm::util::Rng& rng,
+                                 std::size_t max_pairs) {
+  const std::size_t n = adj.size();
+  if (n < 2) return 0.0;
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  double sum = 0.0;
+  std::size_t counted = 0;
+  if (total_pairs <= max_pairs) {
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = s + 1; t < n; ++t) {
+        sum += local_node_connectivity(adj, s, t);
+        ++counted;
+      }
+    }
+  } else {
+    while (counted < max_pairs) {
+      const auto s = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      const auto t = static_cast<NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (s == t) continue;
+      sum += local_node_connectivity(adj, s, t);
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+std::vector<double> clustering_coefficients(const Adjacency& adj) {
+  const std::size_t n = adj.size();
+  std::vector<double> cc(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& nbrs = adj[v];
+    const std::size_t k = nbrs.size();
+    if (k < 2) continue;
+    std::size_t links = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        if (std::binary_search(adj[nbrs[i]].begin(), adj[nbrs[i]].end(), nbrs[j])) {
+          ++links;
+        }
+      }
+    }
+    cc[v] = 2.0 * static_cast<double>(links) /
+            (static_cast<double>(k) * static_cast<double>(k - 1));
+  }
+  return cc;
+}
+
+double average_clustering(const Adjacency& adj) {
+  if (adj.empty()) return 0.0;
+  const auto cc = clustering_coefficients(adj);
+  double sum = 0.0;
+  for (double x : cc) sum += x;
+  return sum / static_cast<double>(cc.size());
+}
+
+std::vector<double> average_neighbor_degrees(const Adjacency& adj) {
+  const std::size_t n = adj.size();
+  std::vector<double> and_(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (adj[v].empty()) continue;
+    double sum = 0.0;
+    for (NodeId w : adj[v]) sum += static_cast<double>(adj[w].size());
+    and_[v] = sum / static_cast<double>(adj[v].size());
+  }
+  return and_;
+}
+
+std::map<std::size_t, double> average_degree_connectivity(const Adjacency& adj) {
+  const auto and_ = average_neighbor_degrees(adj);
+  std::map<std::size_t, std::pair<double, std::size_t>> acc;  // degree -> (sum, count)
+  for (NodeId v = 0; v < adj.size(); ++v) {
+    const std::size_t k = adj[v].size();
+    if (k == 0) continue;
+    auto& [sum, count] = acc[k];
+    sum += and_[v];
+    ++count;
+  }
+  std::map<std::size_t, double> out;
+  for (const auto& [k, sc] : acc) out[k] = sc.first / static_cast<double>(sc.second);
+  return out;
+}
+
+double average_k_nearest_neighbors(const Adjacency& adj, std::uint32_t k) {
+  if (adj.empty()) return 0.0;
+  double sum = 0.0;
+  for (NodeId v = 0; v < adj.size(); ++v) {
+    sum += static_cast<double>(nodes_within(adj, v, k));
+  }
+  return sum / static_cast<double>(adj.size());
+}
+
+double reciprocity(const Digraph& g) {
+  // Count over unique directed edges (parallel edges collapsed).
+  const auto adj = g.directed_adjacency();
+  std::size_t total = 0;
+  std::size_t mutual = 0;
+  for (NodeId v = 0; v < adj.size(); ++v) {
+    for (NodeId w : adj[v]) {
+      ++total;
+      if (std::binary_search(adj[w].begin(), adj[w].end(), v)) ++mutual;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(mutual) / static_cast<double>(total);
+}
+
+}  // namespace dm::graph

@@ -1,0 +1,93 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dm::graph {
+
+Digraph::Digraph(std::size_t n) : out_(n), in_(n) {}
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+EdgeId Digraph::add_edge(NodeId src, NodeId dst) {
+  if (src >= out_.size() || dst >= out_.size()) {
+    throw std::out_of_range("Digraph::add_edge: endpoint does not exist");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({src, dst});
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+bool Digraph::has_edge(NodeId src, NodeId dst) const {
+  for (EdgeId e : out_.at(src)) {
+    if (edges_[e].dst == dst) return true;
+  }
+  return false;
+}
+
+namespace {
+std::vector<NodeId> sorted_unique(std::vector<NodeId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+}  // namespace
+
+std::vector<NodeId> Digraph::out_neighbors(NodeId v) const {
+  std::vector<NodeId> nbrs;
+  nbrs.reserve(out_.at(v).size());
+  for (EdgeId e : out_[v]) {
+    if (edges_[e].dst != v) nbrs.push_back(edges_[e].dst);
+  }
+  return sorted_unique(std::move(nbrs));
+}
+
+std::vector<NodeId> Digraph::in_neighbors(NodeId v) const {
+  std::vector<NodeId> nbrs;
+  nbrs.reserve(in_.at(v).size());
+  for (EdgeId e : in_[v]) {
+    if (edges_[e].src != v) nbrs.push_back(edges_[e].src);
+  }
+  return sorted_unique(std::move(nbrs));
+}
+
+std::vector<NodeId> Digraph::neighbors(NodeId v) const {
+  std::vector<NodeId> nbrs;
+  nbrs.reserve(out_.at(v).size() + in_.at(v).size());
+  for (EdgeId e : out_[v]) {
+    if (edges_[e].dst != v) nbrs.push_back(edges_[e].dst);
+  }
+  for (EdgeId e : in_[v]) {
+    if (edges_[e].src != v) nbrs.push_back(edges_[e].src);
+  }
+  return sorted_unique(std::move(nbrs));
+}
+
+std::vector<std::vector<NodeId>> Digraph::undirected_adjacency() const {
+  std::vector<std::vector<NodeId>> adj(node_count());
+  for (const Edge& e : edges_) {
+    if (e.src == e.dst) continue;
+    adj[e.src].push_back(e.dst);
+    adj[e.dst].push_back(e.src);
+  }
+  for (auto& nbrs : adj) nbrs = sorted_unique(std::move(nbrs));
+  return adj;
+}
+
+std::vector<std::vector<NodeId>> Digraph::directed_adjacency() const {
+  std::vector<std::vector<NodeId>> adj(node_count());
+  for (const Edge& e : edges_) {
+    if (e.src == e.dst) continue;
+    adj[e.src].push_back(e.dst);
+  }
+  for (auto& nbrs : adj) nbrs = sorted_unique(std::move(nbrs));
+  return adj;
+}
+
+}  // namespace dm::graph

@@ -1,0 +1,53 @@
+// One-shot aggregate of every graph-level measure the WCG feature extractor
+// (features f7-f25) and the §II-C empirical study need.  Computing them
+// together shares the adjacency construction and BFS sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace dm::graph {
+
+struct GraphMetrics {
+  // Basic structure.
+  std::size_t order = 0;          // f7: nodes
+  std::size_t size = 0;           // f8: edges (multigraph count)
+  double avg_degree = 0.0;        // f9 averaged over nodes
+  double density = 0.0;           // f10: m_simple / (n (n-1)) directed
+  std::size_t volume = 0;         // f11: sum of multigraph degrees = 2m
+  std::uint32_t diameter = 0;     // f12
+  double avg_in_degree = 0.0;     // f13
+  double avg_out_degree = 0.0;    // f14
+  double reciprocity = 0.0;       // f15
+
+  // Centrality averages.
+  double avg_degree_centrality = 0.0;       // f16
+  double avg_closeness_centrality = 0.0;    // f17
+  double avg_betweenness_centrality = 0.0;  // f18
+  double avg_load_centrality = 0.0;         // f19
+  double avg_node_connectivity = 0.0;       // f20
+
+  // Neighborhood / clustering.
+  double avg_clustering_coefficient = 0.0;  // f21
+  double avg_neighbor_degree = 0.0;         // f22
+  double avg_degree_connectivity = 0.0;     // f23 (mean over degree classes)
+  double avg_k_nearest_neighbors = 0.0;     // f24 (k = 2 hops)
+  double avg_pagerank = 0.0;                // f25
+};
+
+struct MetricsOptions {
+  /// Pair budget for average node connectivity sampling (see
+  /// connectivity.h); exact below this, sampled above.
+  std::size_t connectivity_max_pairs = 2000;
+  /// Hop radius for f24.
+  std::uint32_t knn_hops = 2;
+  /// Seed for connectivity sampling so feature vectors are deterministic.
+  std::uint64_t sample_seed = 0x5eedc0ffee;
+};
+
+/// Computes every metric in one pass over shared adjacency structures.
+GraphMetrics compute_metrics(const Digraph& g, const MetricsOptions& options = {});
+
+}  // namespace dm::graph

@@ -1,0 +1,37 @@
+#include "graph/pagerank.h"
+
+#include <cmath>
+
+namespace dm::graph {
+
+std::vector<double> pagerank(const Adjacency& adj, const PageRankOptions& options) {
+  const std::size_t n = adj.size();
+  if (n == 0) return {};
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (adj[v].empty()) dangling_mass += rank[v];
+      next[v] = 0.0;
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (adj[v].empty()) continue;
+      const double share = rank[v] / static_cast<double>(adj[v].size());
+      for (NodeId w : adj[v]) next[w] += share;
+    }
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double value = (1.0 - options.damping) * uniform +
+                           options.damping * (next[v] + dangling_mass * uniform);
+      delta += std::abs(value - rank[v]);
+      rank[v] = value;
+    }
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace dm::graph

@@ -1,0 +1,22 @@
+// PageRank by power iteration (feature f25).  Dangling nodes distribute
+// their mass uniformly, matching the standard formulation.
+#pragma once
+
+#include <vector>
+
+#include "graph/shortest_paths.h"
+
+namespace dm::graph {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tolerance = 1e-9;  // L1 change per iteration to declare convergence
+  std::size_t max_iterations = 200;
+};
+
+/// PageRank over the directed simple view.  Returns a probability vector
+/// (sums to 1 for non-empty graphs).
+std::vector<double> pagerank(const Adjacency& directed_adj,
+                             const PageRankOptions& options = {});
+
+}  // namespace dm::graph

@@ -1,0 +1,76 @@
+#include "graph/shortest_paths.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dm::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Adjacency& adj, NodeId source) {
+  std::vector<std::uint32_t> dist(adj.size(), kUnreachable);
+  if (source >= adj.size()) return dist;
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId w : adj[v]) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t eccentricity(const Adjacency& adj, NodeId source) {
+  const auto dist = bfs_distances(adj, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Adjacency& adj) {
+  std::uint32_t diam = 0;
+  for (NodeId v = 0; v < adj.size(); ++v) {
+    diam = std::max(diam, eccentricity(adj, v));
+  }
+  return diam;
+}
+
+Components connected_components(const Adjacency& adj) {
+  Components result;
+  result.component_of.assign(adj.size(), kUnreachable);
+  for (NodeId start = 0; start < adj.size(); ++start) {
+    if (result.component_of[start] != kUnreachable) continue;
+    const std::uint32_t id = result.count++;
+    std::queue<NodeId> frontier;
+    result.component_of[start] = id;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      for (NodeId w : adj[v]) {
+        if (result.component_of[w] == kUnreachable) {
+          result.component_of[w] = id;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t nodes_within(const Adjacency& adj, NodeId source, std::uint32_t k) {
+  const auto dist = bfs_distances(adj, source);
+  std::size_t count = 0;
+  for (NodeId v = 0; v < adj.size(); ++v) {
+    if (v != source && dist[v] != kUnreachable && dist[v] <= k) ++count;
+  }
+  return count;
+}
+
+}  // namespace dm::graph

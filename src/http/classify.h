@@ -1,0 +1,57 @@
+// Payload-type classification from Content-Type headers and URI extensions.
+// Mirrors the paper's node-level "payload summary" annotation (§III-C):
+// known exploit types (*.jar, *.exe, *.pdf, *.xap, *.swf), commonly exchanged
+// content (images, HTML, JavaScript, archives, text), plus the 45-extension
+// ransomware/crypto-locker list the paper compiled from industry reports.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace dm::http {
+
+enum class PayloadType {
+  kNone,        // no body / unknown
+  kHtml,
+  kJavaScript,
+  kCss,
+  kImage,
+  kJson,
+  kText,
+  kPdf,         // exploit-prone
+  kExe,         // executable (exe, dll, msi, dmg, bin)
+  kJar,
+  kSwf,         // Flash
+  kSilverlight, // xap
+  kCrypt,       // ransomware file extensions
+  kArchive,     // zip, rar, gz, 7z
+  kOffice,      // doc(x), xls(x), ppt(x)
+  kVideo,
+  kOther,
+};
+
+/// Human-readable name ("exe", "swf", ...).
+std::string_view payload_type_name(PayloadType type) noexcept;
+
+/// Known exploit payload types per the paper: jar, exe, pdf, xap, swf,
+/// plus crypto-locker extensions.
+bool is_exploit_type(PayloadType type) noexcept;
+
+/// Downloadable artifact types that trigger the on-the-wire infection clue
+/// (risky downloads): exploit types plus archives (compressed payload
+/// delivery was a false-negative source the paper discusses in §VI-B).
+bool is_download_type(PayloadType type) noexcept;
+
+/// Classifies by Content-Type value (may be empty) with the URI extension
+/// as tie-breaker — extension wins when the content type is generic
+/// (application/octet-stream), matching how analysts label traffic.
+PayloadType classify_payload(std::string_view content_type,
+                             std::string_view uri) noexcept;
+
+/// Classification from a bare file extension (no dot), lower-case.
+PayloadType classify_extension(std::string_view extension) noexcept;
+
+/// True if `extension` (no dot) is one of the 45 ransomware extensions.
+bool is_ransomware_extension(std::string_view extension) noexcept;
+
+}  // namespace dm::http

@@ -1,0 +1,43 @@
+#include "http/message.h"
+
+#include "util/strings.h"
+
+namespace dm::http {
+
+void Headers::add(std::string name, std::string value) {
+  headers_.push_back({std::move(name), std::move(value)});
+}
+
+std::optional<std::string_view> Headers::get(std::string_view name) const noexcept {
+  for (const auto& h : headers_) {
+    if (dm::util::iequals(h.name, name)) return std::string_view(h.value);
+  }
+  return std::nullopt;
+}
+
+std::string HttpRequest::host() const {
+  const auto h = headers.get("Host");
+  if (!h) return {};
+  // Strip an explicit port.
+  const auto colon = h->find(':');
+  return dm::util::to_lower(colon == std::string_view::npos ? *h
+                                                            : h->substr(0, colon));
+}
+
+std::optional<std::string_view> HttpRequest::referrer() const noexcept {
+  return headers.get("Referer");
+}
+
+std::optional<std::string_view> HttpRequest::user_agent() const noexcept {
+  return headers.get("User-Agent");
+}
+
+std::optional<std::string_view> HttpResponse::content_type() const noexcept {
+  return headers.get("Content-Type");
+}
+
+std::optional<std::string_view> HttpResponse::location() const noexcept {
+  return headers.get("Location");
+}
+
+}  // namespace dm::http

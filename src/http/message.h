@@ -1,0 +1,76 @@
+// HTTP/1.x message model: requests, responses, and the paired transaction
+// unit that the WCG builder consumes.  Header lookup is case-insensitive
+// per RFC 7230.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dm::http {
+
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+/// Common header-list behavior shared by requests and responses.
+class Headers {
+ public:
+  void add(std::string name, std::string value);
+
+  /// First header with the given name (case-insensitive); nullopt if absent.
+  std::optional<std::string_view> get(std::string_view name) const noexcept;
+
+  bool has(std::string_view name) const noexcept { return get(name).has_value(); }
+  std::size_t size() const noexcept { return headers_.size(); }
+  const std::vector<Header>& all() const noexcept { return headers_; }
+
+ private:
+  std::vector<Header> headers_;
+};
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string uri;      // request-target as sent (origin form)
+  std::string version;  // "HTTP/1.1"
+  Headers headers;
+  std::string body;
+  std::uint64_t ts_micros = 0;  // arrival time of the request line
+
+  /// Host header value (lower-cased), or empty.
+  std::string host() const;
+  std::optional<std::string_view> referrer() const noexcept;
+  std::optional<std::string_view> user_agent() const noexcept;
+};
+
+struct HttpResponse {
+  int status_code = 0;
+  std::string reason;
+  std::string version;
+  Headers headers;
+  std::string body;
+  std::uint64_t ts_micros = 0;
+
+  std::optional<std::string_view> content_type() const noexcept;
+  std::optional<std::string_view> location() const noexcept;
+  bool is_redirect() const noexcept {
+    return status_code >= 300 && status_code < 400;
+  }
+};
+
+/// One request/response pair between a client and a server, the atomic unit
+/// of a web conversation (paper §III: "HTTP request-response transactions").
+struct HttpTransaction {
+  std::string client_host;  // IP literal of the victim-side endpoint
+  std::string server_host;  // Host header if present, else server IP literal
+  std::string server_ip;
+  std::uint16_t server_port = 0;
+  HttpRequest request;
+  /// Response may be absent if the capture ended mid-transaction.
+  std::optional<HttpResponse> response;
+};
+
+}  // namespace dm::http

@@ -1,0 +1,220 @@
+#include "http/parser.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace dm::http {
+namespace {
+
+using dm::util::parse_long;
+using dm::util::trim;
+
+/// Cursor over a reassembled stream with timestamp lookups.
+struct Cursor {
+  const dm::net::DirectionStream& stream;
+  std::size_t pos = 0;
+
+  bool at_end() const noexcept { return pos >= stream.data.size(); }
+  std::size_t remaining() const noexcept { return stream.data.size() - pos; }
+  std::string_view rest() const noexcept {
+    return std::string_view(stream.data).substr(pos);
+  }
+  std::uint64_t timestamp() const noexcept { return stream.timestamp_at(pos); }
+
+  /// Reads up to CRLF (or LF); nullopt when no full line is available.
+  std::optional<std::string_view> read_line() {
+    const auto view = rest();
+    const auto nl = view.find('\n');
+    if (nl == std::string_view::npos) return std::nullopt;
+    std::string_view line = view.substr(0, nl);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos += nl + 1;
+    return line;
+  }
+
+  std::optional<std::string> read_bytes(std::size_t n) {
+    if (remaining() < n) return std::nullopt;
+    std::string out(stream.data, pos, n);
+    pos += n;
+    return out;
+  }
+};
+
+bool parse_header_block(Cursor& cursor, Headers& headers) {
+  while (true) {
+    const auto line = cursor.read_line();
+    if (!line) return false;  // incomplete block
+    if (line->empty()) return true;
+    const auto colon = line->find(':');
+    if (colon == std::string_view::npos) continue;  // tolerate garbage lines
+    headers.add(std::string(trim(line->substr(0, colon))),
+                std::string(trim(line->substr(colon + 1))));
+  }
+}
+
+/// Reads a chunked body; returns nullopt if the stream ends mid-body.
+std::optional<std::string> read_chunked_body(Cursor& cursor) {
+  std::string body;
+  while (true) {
+    const auto size_line = cursor.read_line();
+    if (!size_line) return std::nullopt;
+    // Chunk extensions after ';' are ignored.
+    const auto semi = size_line->find(';');
+    const auto hex = trim(semi == std::string_view::npos ? *size_line
+                                                         : size_line->substr(0, semi));
+    std::size_t chunk_size = 0;
+    for (char c : hex) {
+      int v;
+      if (c >= '0' && c <= '9') v = c - '0';
+      else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+      else return std::nullopt;
+      chunk_size = chunk_size * 16 + static_cast<std::size_t>(v);
+    }
+    if (chunk_size == 0) {
+      // Trailer section: read lines until the empty terminator.
+      while (true) {
+        const auto t = cursor.read_line();
+        if (!t) return std::nullopt;
+        if (t->empty()) return body;
+      }
+    }
+    auto chunk = cursor.read_bytes(chunk_size);
+    if (!chunk) return std::nullopt;
+    body += *chunk;
+    const auto crlf = cursor.read_line();
+    if (!crlf) return std::nullopt;
+  }
+}
+
+bool is_known_method(std::string_view m) {
+  static constexpr std::string_view kMethods[] = {
+      "GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "PATCH", "TRACE", "CONNECT"};
+  return std::find(std::begin(kMethods), std::end(kMethods), m) != std::end(kMethods);
+}
+
+}  // namespace
+
+std::vector<HttpRequest> parse_requests(const dm::net::DirectionStream& stream) {
+  std::vector<HttpRequest> requests;
+  Cursor cursor{stream};
+  while (!cursor.at_end()) {
+    const std::size_t start = cursor.pos;
+    const std::uint64_t ts = cursor.timestamp();
+    const auto line = cursor.read_line();
+    if (!line) break;
+    if (line->empty()) continue;  // stray CRLF between pipelined requests
+
+    const auto parts = dm::util::split_trimmed(*line, ' ');
+    if (parts.size() < 3 || !is_known_method(parts[0])) {
+      dm::util::log_debug("http: bad request line, stopping parse");
+      cursor.pos = start;
+      break;
+    }
+    HttpRequest req;
+    req.method = std::string(parts[0]);
+    req.uri = std::string(parts[1]);
+    req.version = std::string(parts[2]);
+    req.ts_micros = ts;
+    if (!parse_header_block(cursor, req.headers)) break;
+
+    if (const auto te = req.headers.get("Transfer-Encoding");
+        te && dm::util::ifind(*te, "chunked") != std::string_view::npos) {
+      auto body = read_chunked_body(cursor);
+      if (!body) break;
+      req.body = std::move(*body);
+    } else if (const auto cl = req.headers.get("Content-Length")) {
+      const long n = parse_long(*cl, -1);
+      if (n < 0) break;
+      auto body = cursor.read_bytes(static_cast<std::size_t>(n));
+      if (!body) break;
+      req.body = std::move(*body);
+    }
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+std::vector<HttpResponse> parse_responses(const dm::net::DirectionStream& stream,
+                                          bool connection_closed) {
+  std::vector<HttpResponse> responses;
+  Cursor cursor{stream};
+  while (!cursor.at_end()) {
+    const std::size_t start = cursor.pos;
+    const std::uint64_t ts = cursor.timestamp();
+    const auto line = cursor.read_line();
+    if (!line) break;
+    if (line->empty()) continue;
+
+    if (!dm::util::istarts_with(*line, "HTTP/")) {
+      cursor.pos = start;
+      break;
+    }
+    const auto parts = dm::util::split_trimmed(*line, ' ');
+    if (parts.size() < 2) break;
+    HttpResponse res;
+    res.version = std::string(parts[0]);
+    const long code = parse_long(parts[1], -1);
+    if (code < 100 || code > 599) break;
+    res.status_code = static_cast<int>(code);
+    if (parts.size() >= 3) {
+      // Reason phrase may contain spaces: rejoin everything after the code.
+      const auto code_pos = line->find(parts[1]);
+      res.reason = std::string(trim(line->substr(code_pos + parts[1].size())));
+    }
+    res.ts_micros = ts;
+    if (!parse_header_block(cursor, res.headers)) break;
+
+    // 1xx/204/304 have no body.
+    const bool bodyless = res.status_code < 200 || res.status_code == 204 ||
+                          res.status_code == 304;
+    if (!bodyless) {
+      if (const auto te = res.headers.get("Transfer-Encoding");
+          te && dm::util::ifind(*te, "chunked") != std::string_view::npos) {
+        auto body = read_chunked_body(cursor);
+        if (!body) break;
+        res.body = std::move(*body);
+      } else if (const auto cl = res.headers.get("Content-Length")) {
+        const long n = parse_long(*cl, -1);
+        if (n < 0) break;
+        auto body = cursor.read_bytes(static_cast<std::size_t>(n));
+        if (!body) break;
+        res.body = std::move(*body);
+      } else if (connection_closed) {
+        // Close-delimited body: everything to end of stream.
+        res.body = std::string(cursor.rest());
+        cursor.pos = stream.data.size();
+      } else {
+        // No length framing and the connection is still open: the body is
+        // not yet complete, so stop without emitting this response.
+        break;
+      }
+    }
+    responses.push_back(std::move(res));
+  }
+  return responses;
+}
+
+std::vector<HttpTransaction> transactions_from_flow(const dm::net::TcpFlow& flow) {
+  auto requests = parse_requests(flow.client_to_server);
+  auto responses = parse_responses(flow.server_to_client, flow.closed);
+
+  std::vector<HttpTransaction> transactions;
+  transactions.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    HttpTransaction txn;
+    txn.client_host = flow.client_ip.to_string();
+    txn.server_ip = flow.server_ip.to_string();
+    txn.server_port = flow.server_port;
+    txn.request = std::move(requests[i]);
+    const std::string host = txn.request.host();
+    txn.server_host = host.empty() ? txn.server_ip : host;
+    if (i < responses.size()) txn.response = std::move(responses[i]);
+    transactions.push_back(std::move(txn));
+  }
+  return transactions;
+}
+
+}  // namespace dm::http

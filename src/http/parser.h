@@ -1,0 +1,29 @@
+// HTTP/1.x stream parser: turns the two reassembled byte streams of a TCP
+// flow into a sequence of paired HttpTransactions.  Supports
+// Content-Length-delimited and chunked bodies, plus close-delimited
+// responses (body runs to end of stream on a closed flow).
+//
+// Pairing follows HTTP/1.1 pipelining rules: the k-th response on a
+// connection answers the k-th request.
+#pragma once
+
+#include <vector>
+
+#include "http/message.h"
+#include "net/tcp_reassembly.h"
+
+namespace dm::http {
+
+/// Parses all requests from a client->server stream.  Malformed data stops
+/// parsing at the malformed point (already-parsed messages are returned).
+std::vector<HttpRequest> parse_requests(const dm::net::DirectionStream& stream);
+
+/// Parses all responses from a server->client stream.  `connection_closed`
+/// allows a final close-delimited body to be accepted.
+std::vector<HttpResponse> parse_responses(const dm::net::DirectionStream& stream,
+                                          bool connection_closed);
+
+/// Full flow -> paired transactions, with endpoint metadata filled in.
+std::vector<HttpTransaction> transactions_from_flow(const dm::net::TcpFlow& flow);
+
+}  // namespace dm::http

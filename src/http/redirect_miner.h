@@ -1,0 +1,58 @@
+// Redirect evidence mining (paper §III-D "Notes on Heuristics").
+//
+// Pre-download redirections are inferred primarily from Referer and Location
+// headers, but exploit kits bury redirects in HTML and obfuscated
+// JavaScript.  This miner recovers them from:
+//   * Location headers on 30x responses,
+//   * <meta http-equiv=refresh> tags,
+//   * <iframe src=...> injections (the classic EK landing-page hop),
+//   * JavaScript location assignments (window.location, location.href, ...),
+//   * the same assignments hidden behind \xHH / \uHHHH string escapes,
+//     unescape('%68%74%74%70...') percent-encoding, and atob('...') base64 —
+//     the common packer idioms the paper "reverse engineers".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+
+namespace dm::http {
+
+enum class RedirectKind {
+  kLocationHeader,
+  kMetaRefresh,
+  kIframe,
+  kJavaScript,           // plain location assignment
+  kObfuscatedJavaScript, // recovered only after de-obfuscation
+};
+
+std::string_view redirect_kind_name(RedirectKind kind) noexcept;
+
+struct RedirectEvidence {
+  std::string target_url;   // absolute URL as recovered
+  std::string target_host;  // lower-cased host component
+  RedirectKind kind;
+};
+
+struct RedirectMinerOptions {
+  /// When false, only Location headers and visible HTML/JS are mined —
+  /// the de-obfuscation pass is skipped (design-choice ablation).
+  bool deobfuscate = true;
+  /// Bodies larger than this are not mined (video/binary payloads).
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+/// Mines all redirect evidence from one transaction's response.
+std::vector<RedirectEvidence> mine_redirects(const HttpTransaction& txn,
+                                             const RedirectMinerOptions& options = {});
+
+/// Decodes the obfuscation layers found in `text`: \xHH and \uHHHH string
+/// escapes, unescape('%..') percent-encoding, atob('..') base64.  Returns
+/// the concatenation of every decoded fragment (empty if none).
+std::string decode_obfuscated_layers(std::string_view text);
+
+/// Extracts the host from an absolute http(s) URL; empty when not absolute.
+std::string host_of_url(std::string_view url);
+
+}  // namespace dm::http

@@ -1,0 +1,60 @@
+#include "http/session.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace dm::http {
+namespace {
+
+constexpr std::array<std::string_view, 8> kSessionKeys = {
+    "phpsessid", "jsessionid", "asp.net_sessionid", "sid",
+    "sessionid", "session_id", "session", "sess",
+};
+
+bool is_session_key(std::string_view key) {
+  for (auto k : kSessionKeys) {
+    if (dm::util::iequals(key, k)) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> from_pairs(std::string_view text, char pair_sep) {
+  for (auto pair : dm::util::split_trimmed(text, pair_sep)) {
+    const auto eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    const auto key = dm::util::trim(pair.substr(0, eq));
+    const auto value = dm::util::trim(pair.substr(eq + 1));
+    if (is_session_key(key) && !value.empty()) return std::string(value);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> session_id_from_cookie(std::string_view cookie_value) {
+  return from_pairs(cookie_value, ';');
+}
+
+std::optional<std::string> session_id_from_uri(std::string_view uri) {
+  const auto q = uri.find('?');
+  if (q == std::string_view::npos) return std::nullopt;
+  auto query = uri.substr(q + 1);
+  const auto frag = query.find('#');
+  if (frag != std::string_view::npos) query = query.substr(0, frag);
+  return from_pairs(query, '&');
+}
+
+std::optional<std::string> extract_session_id(const HttpTransaction& txn) {
+  if (const auto cookie = txn.request.headers.get("Cookie")) {
+    if (auto sid = session_id_from_cookie(*cookie)) return sid;
+  }
+  if (txn.response) {
+    if (const auto set_cookie = txn.response->headers.get("Set-Cookie")) {
+      if (auto sid = session_id_from_cookie(*set_cookie)) return sid;
+    }
+  }
+  return session_id_from_uri(txn.request.uri);
+}
+
+}  // namespace dm::http

@@ -1,0 +1,29 @@
+// Session identification, per the paper's on-the-wire detection (§V-B):
+// "the session ID [18] of the download and the redirection chains ... are
+// used to guide the grouping of HTTP transactions".  We extract session ids
+// from cookies and URI query parameters, following the W3C session-id note
+// the paper cites.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "http/message.h"
+
+namespace dm::http {
+
+/// Extracts a session identifier from a transaction, checking (in order):
+///  1. Cookie header pairs with well-known session key names
+///     (PHPSESSID, JSESSIONID, ASP.NET_SessionId, sid, sessionid, ...)
+///  2. Set-Cookie on the response (a session being established)
+///  3. URI query parameters with the same key names
+/// Returns nullopt when none found.
+std::optional<std::string> extract_session_id(const HttpTransaction& txn);
+
+/// Session-id extraction from a raw Cookie header value.
+std::optional<std::string> session_id_from_cookie(std::string_view cookie_value);
+
+/// Session-id extraction from a URI's query string.
+std::optional<std::string> session_id_from_uri(std::string_view uri);
+
+}  // namespace dm::http

@@ -1,0 +1,36 @@
+#include "http/transaction_stream.h"
+
+#include <algorithm>
+
+#include "http/parser.h"
+#include "net/packet.h"
+#include "net/tcp_reassembly.h"
+
+namespace dm::http {
+
+std::vector<HttpTransaction> transactions_from_pcap(const dm::net::PcapFile& capture) {
+  dm::net::TcpReassembler reassembler;
+  for (const auto& pkt : capture.packets) {
+    if (const auto parsed = dm::net::parse_ethernet_ipv4_tcp(pkt.data)) {
+      reassembler.ingest(*parsed, pkt.ts_micros);
+    }
+  }
+
+  std::vector<HttpTransaction> all;
+  for (const dm::net::TcpFlow* flow : reassembler.flows()) {
+    auto txns = transactions_from_flow(*flow);
+    all.insert(all.end(), std::make_move_iterator(txns.begin()),
+               std::make_move_iterator(txns.end()));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const HttpTransaction& a, const HttpTransaction& b) {
+                     return a.request.ts_micros < b.request.ts_micros;
+                   });
+  return all;
+}
+
+std::vector<HttpTransaction> transactions_from_pcap_file(const std::string& path) {
+  return transactions_from_pcap(dm::net::read_pcap_file(path));
+}
+
+}  // namespace dm::http

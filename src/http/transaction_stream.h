@@ -1,0 +1,20 @@
+// End-to-end extraction: pcap bytes -> TCP reassembly -> HTTP parsing ->
+// time-ordered transaction stream.  This is the entry point of the paper's
+// Stage 1 pipeline ("Given a stream of HTTP transactions...").
+#pragma once
+
+#include <vector>
+
+#include "http/message.h"
+#include "net/pcap.h"
+
+namespace dm::http {
+
+/// Reconstructs every HTTP transaction in a capture, ordered by request
+/// timestamp.  Non-TCP/non-HTTP traffic is skipped silently.
+std::vector<HttpTransaction> transactions_from_pcap(const dm::net::PcapFile& capture);
+
+/// Convenience file-path overload.
+std::vector<HttpTransaction> transactions_from_pcap_file(const std::string& path);
+
+}  // namespace dm::http

@@ -1,0 +1,113 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dm::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {}
+
+void Dataset::add_row(std::vector<double> features, int label) {
+  if (features.size() != feature_names_.size()) {
+    throw std::invalid_argument("Dataset::add_row: feature width mismatch");
+  }
+  values_.insert(values_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+std::span<const double> Dataset::row(std::size_t i) const {
+  if (i >= labels_.size()) throw std::out_of_range("Dataset::row");
+  return {values_.data() + i * num_features(), num_features()};
+}
+
+double Dataset::value(std::size_t i, std::size_t f) const {
+  if (i >= labels_.size() || f >= num_features()) {
+    throw std::out_of_range("Dataset::value");
+  }
+  return values_[i * num_features() + f];
+}
+
+std::size_t Dataset::count_label(int label) const noexcept {
+  return static_cast<std::size_t>(
+      std::count(labels_.begin(), labels_.end(), label));
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(feature_names_);
+  for (std::size_t i : indices) {
+    const auto r = row(i);
+    out.add_row(std::vector<double>(r.begin(), r.end()), labels_.at(i));
+  }
+  return out;
+}
+
+Dataset Dataset::select_features(std::span<const std::size_t> feature_indices) const {
+  std::vector<std::string> names;
+  names.reserve(feature_indices.size());
+  for (std::size_t f : feature_indices) names.push_back(feature_names_.at(f));
+  Dataset out(std::move(names));
+  for (std::size_t i = 0; i < size(); ++i) {
+    std::vector<double> r;
+    r.reserve(feature_indices.size());
+    for (std::size_t f : feature_indices) r.push_back(value(i, f));
+    out.add_row(std::move(r), labels_[i]);
+  }
+  return out;
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.feature_names_ != feature_names_) {
+    throw std::invalid_argument("Dataset::append: feature names mismatch");
+  }
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+}
+
+std::vector<std::vector<std::size_t>> stratified_folds(const Dataset& data,
+                                                       std::size_t k,
+                                                       dm::util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("stratified_folds: k must be >= 2");
+  std::vector<std::size_t> positives;
+  std::vector<std::size_t> negatives;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (data.label(i) == kInfection ? positives : negatives).push_back(i);
+  }
+  rng.shuffle(positives);
+  rng.shuffle(negatives);
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (std::size_t i = 0; i < positives.size(); ++i) {
+    folds[i % k].push_back(positives[i]);
+  }
+  for (std::size_t i = 0; i < negatives.size(); ++i) {
+    folds[i % k].push_back(negatives[i]);
+  }
+  return folds;
+}
+
+TrainTestSplit stratified_split(const Dataset& data, double test_fraction,
+                                dm::util::Rng& rng) {
+  if (!(test_fraction > 0.0 && test_fraction < 1.0)) {
+    throw std::invalid_argument("stratified_split: bad test_fraction");
+  }
+  TrainTestSplit split;
+  std::vector<std::size_t> positives;
+  std::vector<std::size_t> negatives;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (data.label(i) == kInfection ? positives : negatives).push_back(i);
+  }
+  rng.shuffle(positives);
+  rng.shuffle(negatives);
+  auto take = [&](std::vector<std::size_t>& pool) {
+    const auto n_test = static_cast<std::size_t>(
+        static_cast<double>(pool.size()) * test_fraction);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      (i < n_test ? split.test : split.train).push_back(pool[i]);
+    }
+  };
+  take(positives);
+  take(negatives);
+  return split;
+}
+
+}  // namespace dm::ml

@@ -1,0 +1,73 @@
+// Labeled feature-matrix container for the binary WCG classification task
+// (label 1 = infection, 0 = benign), plus split utilities used by training
+// and the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dm::ml {
+
+inline constexpr int kBenign = 0;
+inline constexpr int kInfection = 1;
+
+/// Row-major dense dataset.  All rows have the same width as
+/// `feature_names`.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  /// Appends a labeled row; throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<double> features, int label);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  std::size_t num_features() const noexcept { return feature_names_.size(); }
+  bool empty() const noexcept { return labels_.empty(); }
+
+  std::span<const double> row(std::size_t i) const;
+  int label(std::size_t i) const { return labels_.at(i); }
+  double value(std::size_t i, std::size_t f) const;
+
+  const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+  const std::vector<int>& labels() const noexcept { return labels_; }
+
+  std::size_t count_label(int label) const noexcept;
+
+  /// New dataset containing the rows at `indices` (in order).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// New dataset keeping only the feature columns at `feature_indices`;
+  /// used by the Table III feature-group ablation.
+  Dataset select_features(std::span<const std::size_t> feature_indices) const;
+
+  /// Appends every row of `other` (feature names must match).
+  void append(const Dataset& other);
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> values_;  // row-major
+  std::vector<int> labels_;
+};
+
+/// Stratified k-fold index partition: every fold preserves the overall
+/// class ratio to within one sample per class.
+std::vector<std::vector<std::size_t>> stratified_folds(const Dataset& data,
+                                                       std::size_t k,
+                                                       dm::util::Rng& rng);
+
+/// Stratified train/test split; `test_fraction` in (0, 1).
+struct TrainTestSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+TrainTestSplit stratified_split(const Dataset& data, double test_fraction,
+                                dm::util::Rng& rng);
+
+}  // namespace dm::ml

@@ -1,0 +1,124 @@
+#include "ml/feature_ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/stats.h"
+
+namespace dm::ml {
+namespace {
+
+double entropy_of(std::size_t positives, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  double h = 0.0;
+  if (p > 0.0) h -= p * std::log2(p);
+  if (p < 1.0) h -= (1.0 - p) * std::log2(1.0 - p);
+  return h;
+}
+
+double split_information(std::size_t left, std::size_t right) {
+  const std::size_t total = left + right;
+  if (total == 0 || left == 0 || right == 0) return 0.0;
+  const double pl = static_cast<double>(left) / static_cast<double>(total);
+  const double pr = static_cast<double>(right) / static_cast<double>(total);
+  return -(pl * std::log2(pl) + pr * std::log2(pr));
+}
+
+double gain_ratio_rows(const Dataset& data, std::size_t feature,
+                       std::span<const std::size_t> rows) {
+  const std::size_t count = rows.size();
+  if (count < 2) return 0.0;
+
+  std::vector<std::pair<double, int>> column;
+  column.reserve(count);
+  std::size_t total_pos = 0;
+  for (std::size_t row : rows) {
+    column.emplace_back(data.value(row, feature), data.label(row));
+    total_pos += static_cast<std::size_t>(data.label(row) == kInfection);
+  }
+  std::sort(column.begin(), column.end());
+  const double parent = entropy_of(total_pos, count);
+  if (parent == 0.0) return 0.0;
+
+  double best_gain = 0.0;
+  std::size_t best_left = 0;
+  std::size_t left_pos = 0;
+  for (std::size_t i = 0; i + 1 < count; ++i) {
+    left_pos += static_cast<std::size_t>(column[i].second == kInfection);
+    if (column[i].first == column[i + 1].first) continue;
+    const std::size_t left_n = i + 1;
+    const std::size_t right_n = count - left_n;
+    const std::size_t right_pos = total_pos - left_pos;
+    const double child =
+        (static_cast<double>(left_n) * entropy_of(left_pos, left_n) +
+         static_cast<double>(right_n) * entropy_of(right_pos, right_n)) /
+        static_cast<double>(count);
+    const double gain = parent - child;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_left = left_n;
+    }
+  }
+  if (best_gain <= 0.0) return 0.0;
+  const double si = split_information(best_left, count - best_left);
+  return si <= 0.0 ? 0.0 : best_gain / si;
+}
+
+}  // namespace
+
+double gain_ratio(const Dataset& data, std::size_t feature) {
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  return gain_ratio_rows(data, feature, rows);
+}
+
+std::vector<FeatureRank> rank_features(const Dataset& data, std::size_t k,
+                                       dm::util::Rng& rng) {
+  const std::size_t nf = data.num_features();
+  const auto folds = stratified_folds(data, k, rng);
+
+  // per-feature gain ratios and ranks across folds
+  std::vector<std::vector<double>> gains(nf);
+  std::vector<std::vector<double>> ranks(nf);
+
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    // Training rows for this fold = everything except fold's indices.
+    std::vector<std::size_t> rows;
+    for (std::size_t other = 0; other < k; ++other) {
+      if (other == fold) continue;
+      rows.insert(rows.end(), folds[other].begin(), folds[other].end());
+    }
+    std::vector<std::pair<double, std::size_t>> scored;  // (-gain, feature)
+    scored.reserve(nf);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const double g = gain_ratio_rows(data, f, rows);
+      gains[f].push_back(g);
+      scored.emplace_back(-g, f);
+    }
+    std::sort(scored.begin(), scored.end());
+    for (std::size_t position = 0; position < scored.size(); ++position) {
+      ranks[scored[position].second].push_back(static_cast<double>(position + 1));
+    }
+  }
+
+  std::vector<FeatureRank> out;
+  out.reserve(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    FeatureRank fr;
+    fr.name = data.feature_names()[f];
+    fr.feature_index = f;
+    fr.gain_ratio_mean = dm::util::mean(gains[f]);
+    fr.gain_ratio_stdev = dm::util::stddev(gains[f]);
+    fr.rank_mean = dm::util::mean(ranks[f]);
+    fr.rank_stdev = dm::util::stddev(ranks[f]);
+    out.push_back(std::move(fr));
+  }
+  std::sort(out.begin(), out.end(), [](const FeatureRank& a, const FeatureRank& b) {
+    return a.rank_mean < b.rank_mean;
+  });
+  return out;
+}
+
+}  // namespace dm::ml

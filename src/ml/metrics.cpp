@@ -1,0 +1,110 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "ml/dataset.h"
+
+namespace dm::ml {
+
+double Confusion::tpr() const noexcept {
+  const auto pos = true_positives + false_negatives;
+  return pos == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(pos);
+}
+
+double Confusion::fpr() const noexcept {
+  const auto neg = false_positives + true_negatives;
+  return neg == 0 ? 0.0 : static_cast<double>(false_positives) / static_cast<double>(neg);
+}
+
+double Confusion::precision() const noexcept {
+  const auto flagged = true_positives + false_positives;
+  return flagged == 0 ? 0.0
+                      : static_cast<double>(true_positives) / static_cast<double>(flagged);
+}
+
+double Confusion::accuracy() const noexcept {
+  const auto n = total();
+  return n == 0 ? 0.0
+                : static_cast<double>(true_positives + true_negatives) /
+                      static_cast<double>(n);
+}
+
+double Confusion::f_score() const noexcept {
+  const double p = precision();
+  const double r = tpr();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+Confusion confusion_from(std::span<const int> labels,
+                         std::span<const int> predictions) {
+  if (labels.size() != predictions.size()) {
+    throw std::invalid_argument("confusion_from: size mismatch");
+  }
+  Confusion c;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const bool actual = labels[i] == kInfection;
+    const bool predicted = predictions[i] == kInfection;
+    if (actual && predicted) ++c.true_positives;
+    else if (actual && !predicted) ++c.false_negatives;
+    else if (!actual && predicted) ++c.false_positives;
+    else ++c.true_negatives;
+  }
+  return c;
+}
+
+std::vector<RocPoint> roc_curve(std::span<const int> labels,
+                                std::span<const double> scores) {
+  if (labels.size() != scores.size()) {
+    throw std::invalid_argument("roc_curve: size mismatch");
+  }
+  std::size_t total_pos = 0;
+  std::size_t total_neg = 0;
+  std::vector<std::pair<double, int>> ranked;
+  ranked.reserve(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ranked.emplace_back(scores[i], labels[i]);
+    (labels[i] == kInfection ? total_pos : total_neg) += 1;
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t i = 0;
+  while (i < ranked.size()) {
+    // Consume all samples tied at this score before emitting a point.
+    const double score = ranked[i].first;
+    while (i < ranked.size() && ranked[i].first == score) {
+      (ranked[i].second == kInfection ? tp : fp) += 1;
+      ++i;
+    }
+    curve.push_back({
+        score,
+        total_neg == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(total_neg),
+        total_pos == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(total_pos),
+    });
+  }
+  return curve;
+}
+
+double roc_auc(std::span<const int> labels, std::span<const double> scores) {
+  const auto curve = roc_curve(labels, scores);
+  bool has_pos = false;
+  bool has_neg = false;
+  for (int label : labels) {
+    (label == kInfection ? has_pos : has_neg) = true;
+  }
+  if (!has_pos || !has_neg) return 0.5;
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].fpr - curve[i - 1].fpr;
+    auc += dx * (curve[i].tpr + curve[i - 1].tpr) / 2.0;
+  }
+  return auc;
+}
+
+}  // namespace dm::ml

@@ -1,0 +1,46 @@
+// Binary-classification evaluation metrics: confusion counts, the
+// TPR/FPR/F-score triple the paper reports (Tables III & V), and ROC curves
+// with trapezoidal AUC (Figure 10, "ROC Area" column).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dm::ml {
+
+struct Confusion {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t true_negatives = 0;
+  std::size_t false_negatives = 0;
+
+  std::size_t total() const noexcept {
+    return true_positives + false_positives + true_negatives + false_negatives;
+  }
+  double tpr() const noexcept;        // recall / sensitivity
+  double fpr() const noexcept;        // fall-out
+  double precision() const noexcept;
+  double accuracy() const noexcept;
+  double f_score() const noexcept;    // F1
+};
+
+/// Builds a confusion matrix from parallel label/prediction arrays.
+Confusion confusion_from(std::span<const int> labels,
+                         std::span<const int> predictions);
+
+/// One operating point of a ROC curve.
+struct RocPoint {
+  double threshold = 0.0;
+  double fpr = 0.0;
+  double tpr = 0.0;
+};
+
+/// Full ROC curve from scores: one point per distinct score, plus the (0,0)
+/// and (1,1) anchors, ordered by increasing FPR.
+std::vector<RocPoint> roc_curve(std::span<const int> labels,
+                                std::span<const double> scores);
+
+/// Area under the ROC curve (trapezoid rule).  0.5 when one class is absent.
+double roc_auc(std::span<const int> labels, std::span<const double> scores);
+
+}  // namespace dm::ml

@@ -1,0 +1,58 @@
+#include "ml/random_forest.h"
+
+#include <stdexcept>
+
+namespace dm::ml {
+
+std::size_t default_features_per_split(std::size_t num_features) noexcept {
+  if (num_features == 0) return 0;
+  return static_cast<std::size_t>(std::log2(static_cast<double>(num_features))) + 1;
+}
+
+RandomForest RandomForest::train(const Dataset& data, const ForestOptions& options) {
+  if (data.empty()) throw std::invalid_argument("RandomForest::train: empty dataset");
+  RandomForest forest;
+  forest.options_ = options;
+
+  TreeOptions tree_options = options.tree;
+  tree_options.features_per_split =
+      options.features_per_split > 0
+          ? options.features_per_split
+          : default_features_per_split(data.num_features());
+
+  dm::util::Rng rng(options.seed);
+  const auto sample_size = static_cast<std::size_t>(
+      static_cast<double>(data.size()) * options.bootstrap_fraction);
+
+  forest.trees_.reserve(options.num_trees);
+  for (std::size_t t = 0; t < options.num_trees; ++t) {
+    dm::util::Rng tree_rng = rng.fork();
+    std::vector<std::size_t> bootstrap(std::max<std::size_t>(1, sample_size));
+    for (auto& idx : bootstrap) {
+      idx = static_cast<std::size_t>(
+          tree_rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+    }
+    forest.trees_.push_back(
+        DecisionTree::train(data, bootstrap, tree_options, tree_rng));
+  }
+  return forest;
+}
+
+double RandomForest::predict_proba(std::span<const double> features) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& tree : trees_) {
+    if (options_.combination == Combination::kProbabilityAveraging) {
+      sum += tree.predict_proba(features);
+    } else {
+      sum += tree.predict(features) == kInfection ? 1.0 : 0.0;
+    }
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+int RandomForest::predict(std::span<const double> features, double threshold) const {
+  return predict_proba(features) >= threshold ? kInfection : kBenign;
+}
+
+}  // namespace dm::ml

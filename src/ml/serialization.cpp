@@ -1,0 +1,156 @@
+#include "ml/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dm::ml {
+namespace {
+
+constexpr std::string_view kMagic = "dynaminer-forest";
+constexpr std::string_view kVersion = "v1";
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("forest serialization: " + what);
+}
+
+std::string next_token(std::istream& in, const char* context) {
+  std::string token;
+  if (!(in >> token)) fail(std::string("unexpected end of input reading ") + context);
+  return token;
+}
+
+void expect_token(std::istream& in, std::string_view expected) {
+  const std::string token = next_token(in, std::string(expected).c_str());
+  if (token != expected) {
+    fail("expected '" + std::string(expected) + "', got '" + token + "'");
+  }
+}
+
+long read_long(std::istream& in, const char* context) {
+  const std::string token = next_token(in, context);
+  try {
+    std::size_t consumed = 0;
+    const long value = std::stol(token, &consumed);
+    if (consumed != token.size()) fail(std::string("bad integer for ") + context);
+    return value;
+  } catch (const std::exception&) {
+    fail(std::string("bad integer for ") + context);
+  }
+}
+
+/// Round-trip-exact double formatting (hex-float).
+std::string format_double(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", value);
+  return buf;
+}
+
+double read_double(std::istream& in, const char* context) {
+  const std::string token = next_token(in, context);
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    fail(std::string("bad double for ") + context);
+  }
+  return value;
+}
+
+}  // namespace
+
+// ---- DecisionTree ----------------------------------------------------------
+
+void DecisionTree::serialize(std::ostream& out) const {
+  out << "tree " << nodes_.size() << ' ' << depth_ << '\n';
+  for (const Node& node : nodes_) {
+    out << "node " << node.left << ' ' << node.right << ' ' << node.feature
+        << ' ' << format_double(node.threshold) << ' '
+        << format_double(node.positive_probability) << '\n';
+  }
+}
+
+DecisionTree DecisionTree::deserialize(std::istream& in) {
+  expect_token(in, "tree");
+  const long count = read_long(in, "node count");
+  const long depth = read_long(in, "depth");
+  if (count < 0 || depth < 0) fail("negative tree geometry");
+
+  DecisionTree tree;
+  tree.depth_ = static_cast<std::size_t>(depth);
+  tree.nodes_.reserve(static_cast<std::size_t>(count));
+  for (long i = 0; i < count; ++i) {
+    expect_token(in, "node");
+    Node node;
+    node.left = static_cast<std::int32_t>(read_long(in, "left"));
+    node.right = static_cast<std::int32_t>(read_long(in, "right"));
+    node.feature = static_cast<std::uint32_t>(read_long(in, "feature"));
+    node.threshold = read_double(in, "threshold");
+    node.positive_probability = read_double(in, "probability");
+    // Structural validation: children must point inside the node table.
+    if (node.left >= count || node.right >= count) fail("child out of range");
+    if ((node.left < 0) != (node.right < 0)) fail("half-leaf node");
+    tree.nodes_.push_back(node);
+  }
+  return tree;
+}
+
+// ---- RandomForest ----------------------------------------------------------
+
+void RandomForest::serialize(std::ostream& out) const {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "trees " << trees_.size() << " combination "
+      << (options_.combination == Combination::kProbabilityAveraging ? "avg"
+                                                                     : "vote")
+      << '\n';
+  for (const DecisionTree& tree : trees_) tree.serialize(out);
+}
+
+RandomForest RandomForest::deserialize(std::istream& in) {
+  expect_token(in, kMagic);
+  expect_token(in, kVersion);
+  expect_token(in, "trees");
+  const long count = read_long(in, "tree count");
+  if (count < 0 || count > 100000) fail("implausible tree count");
+  expect_token(in, "combination");
+  const std::string combination = next_token(in, "combination");
+
+  RandomForest forest;
+  if (combination == "avg") {
+    forest.options_.combination = Combination::kProbabilityAveraging;
+  } else if (combination == "vote") {
+    forest.options_.combination = Combination::kMajorityVote;
+  } else {
+    fail("unknown combination '" + combination + "'");
+  }
+  forest.options_.num_trees = static_cast<std::size_t>(count);
+  forest.trees_.reserve(static_cast<std::size_t>(count));
+  for (long i = 0; i < count; ++i) {
+    forest.trees_.push_back(DecisionTree::deserialize(in));
+  }
+  return forest;
+}
+
+// ---- free functions ---------------------------------------------------------
+
+void save_forest(const RandomForest& forest, std::ostream& out) {
+  forest.serialize(out);
+  if (!out) fail("write failure");
+}
+
+RandomForest load_forest(std::istream& in) { return RandomForest::deserialize(in); }
+
+void save_forest_file(const RandomForest& forest, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) fail("cannot open for write: " + path);
+  save_forest(forest, out);
+}
+
+RandomForest load_forest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open for read: " + path);
+  return load_forest(in);
+}
+
+}  // namespace dm::ml

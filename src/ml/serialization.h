@@ -1,0 +1,35 @@
+// Model persistence: the paper's deployment splits training (Stage 1,
+// offline) from detection (Stage 2, on the wire), which implies a trained
+// classifier artifact that moves between the two.  This module serializes
+// decision trees and forests to a small, versioned, line-oriented text
+// format that is stable across platforms (doubles are round-tripped via
+// hex-float formatting).
+//
+// Format sketch:
+//   dynaminer-forest v1
+//   trees <N> combination <avg|vote> threshold-features <Nf>
+//   tree <node-count> <depth>
+//   node <left> <right> <feature> <threshold-hexfloat> <prob-hexfloat>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/random_forest.h"
+
+namespace dm::ml {
+
+/// Writes the forest (all trees + the options needed to score) to `out`.
+/// Throws std::runtime_error on stream failure.
+void save_forest(const RandomForest& forest, std::ostream& out);
+
+/// Reads a forest previously written by save_forest.
+/// Throws std::runtime_error on malformed input or version mismatch.
+RandomForest load_forest(std::istream& in);
+
+/// File-path conveniences.
+void save_forest_file(const RandomForest& forest, const std::string& path);
+RandomForest load_forest_file(const std::string& path);
+
+}  // namespace dm::ml

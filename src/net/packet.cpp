@@ -1,0 +1,105 @@
+#include "net/packet.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace dm::net {
+namespace {
+
+std::uint16_t read_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] << 8 | p[1]);
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) << 24 | static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | p[3];
+}
+
+constexpr std::size_t kEthernetHeaderSize = 14;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) noexcept {
+  std::array<std::uint8_t, 4> octets{};
+  std::size_t octet = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (octet < 4) {
+    unsigned value = 0;
+    const auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255) return std::nullopt;
+    octets[octet++] = static_cast<std::uint8_t>(value);
+    p = next;
+    if (octet < 4) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return from_octets(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint32_t initial) noexcept {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += read_u16(data.data() + i);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::optional<ParsedPacket> parse_ethernet_ipv4_tcp(
+    std::span<const std::uint8_t> frame) noexcept {
+  if (frame.size() < kEthernetHeaderSize) return std::nullopt;
+  const std::uint16_t ether_type = read_u16(frame.data() + 12);
+  if (ether_type != kEtherTypeIpv4) return std::nullopt;
+
+  const auto ip = frame.subspan(kEthernetHeaderSize);
+  if (ip.size() < 20) return std::nullopt;
+  const std::uint8_t version = ip[0] >> 4;
+  if (version != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+  if (ihl < 20 || ip.size() < ihl) return std::nullopt;
+  const std::uint16_t total_length = read_u16(ip.data() + 2);
+  if (total_length < ihl || ip.size() < total_length) return std::nullopt;
+  const std::uint16_t frag = read_u16(ip.data() + 6);
+  if ((frag & 0x1fff) != 0) return std::nullopt;  // non-first fragment
+  const std::uint8_t protocol = ip[9];
+  if (protocol != 6) return std::nullopt;  // TCP only
+
+  const auto tcp = ip.subspan(ihl, total_length - ihl);
+  if (tcp.size() < 20) return std::nullopt;
+  const std::size_t data_offset = static_cast<std::size_t>(tcp[12] >> 4) * 4;
+  if (data_offset < 20 || tcp.size() < data_offset) return std::nullopt;
+
+  ParsedPacket pkt;
+  pkt.src_ip.value = read_u32(ip.data() + 12);
+  pkt.dst_ip.value = read_u32(ip.data() + 16);
+  pkt.src_port = read_u16(tcp.data());
+  pkt.dst_port = read_u16(tcp.data() + 2);
+  pkt.seq = read_u32(tcp.data() + 4);
+  pkt.ack = read_u32(tcp.data() + 8);
+  const std::uint8_t flag_bits = tcp[13];
+  pkt.flags.fin = flag_bits & 0x01;
+  pkt.flags.syn = flag_bits & 0x02;
+  pkt.flags.rst = flag_bits & 0x04;
+  pkt.flags.psh = flag_bits & 0x08;
+  pkt.flags.ack = flag_bits & 0x10;
+  pkt.payload = tcp.subspan(data_offset);
+  return pkt;
+}
+
+}  // namespace dm::net

@@ -1,0 +1,62 @@
+// Ethernet II / IPv4 / TCP header parsing over raw frame bytes.
+// Zero-copy: the parsed views point into the caller's buffer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace dm::net {
+
+/// IPv4 address as host-order 32-bit value plus dotted-quad helpers.
+struct Ipv4Address {
+  std::uint32_t value = 0;
+
+  static Ipv4Address from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                 std::uint8_t d) noexcept {
+    return {static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+            static_cast<std::uint32_t>(c) << 8 | d};
+  }
+  /// Parses "a.b.c.d"; nullopt on malformed text.
+  static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+};
+
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+};
+
+/// Fully parsed TCP/IPv4 packet; `payload` views into the original frame.
+struct ParsedPacket {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Parses an Ethernet II frame carrying IPv4/TCP.  Returns nullopt for
+/// anything else (ARP, IPv6, UDP, truncated headers, IP fragments beyond
+/// the first are rejected too — the synthetic traffic never fragments, and
+/// real analyzers treat fragments as a separate reassembly problem).
+std::optional<ParsedPacket> parse_ethernet_ipv4_tcp(
+    std::span<const std::uint8_t> frame) noexcept;
+
+/// Internet checksum (RFC 1071) over a byte range, used by both the builder
+/// and the validating parser.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint32_t initial = 0) noexcept;
+
+}  // namespace dm::net

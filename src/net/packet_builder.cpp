@@ -1,0 +1,186 @@
+#include "net/packet_builder.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dm::net {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void write_u16_at(std::vector<std::uint8_t>& buf, std::size_t at, std::uint16_t v) {
+  buf[at] = static_cast<std::uint8_t>(v >> 8);
+  buf[at + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+/// Deterministic locally-administered MAC from an IP.
+void put_mac(std::vector<std::uint8_t>& out, Ipv4Address ip) {
+  out.push_back(0x02);
+  out.push_back(0x00);
+  out.push_back(static_cast<std::uint8_t>(ip.value >> 24));
+  out.push_back(static_cast<std::uint8_t>(ip.value >> 16));
+  out.push_back(static_cast<std::uint8_t>(ip.value >> 8));
+  out.push_back(static_cast<std::uint8_t>(ip.value));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_frame(const FrameSpec& spec) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(14 + 20 + 20 + spec.payload.size());
+
+  // Ethernet II header.
+  put_mac(frame, spec.dst_ip);
+  put_mac(frame, spec.src_ip);
+  put_u16(frame, 0x0800);
+
+  // IPv4 header (20 bytes, no options).
+  const std::size_t ip_start = frame.size();
+  const auto total_length =
+      static_cast<std::uint16_t>(20 + 20 + spec.payload.size());
+  frame.push_back(0x45);  // version 4, IHL 5
+  frame.push_back(0x00);  // DSCP/ECN
+  put_u16(frame, total_length);
+  put_u16(frame, 0x1234);  // identification (arbitrary constant)
+  put_u16(frame, 0x4000);  // flags: DF
+  frame.push_back(64);     // TTL
+  frame.push_back(6);      // protocol TCP
+  put_u16(frame, 0);       // checksum placeholder
+  put_u32(frame, spec.src_ip.value);
+  put_u32(frame, spec.dst_ip.value);
+  const std::uint16_t ip_checksum = internet_checksum(
+      std::span<const std::uint8_t>(frame.data() + ip_start, 20));
+  write_u16_at(frame, ip_start + 10, ip_checksum);
+
+  // TCP header (20 bytes, no options).
+  const std::size_t tcp_start = frame.size();
+  put_u16(frame, spec.src_port);
+  put_u16(frame, spec.dst_port);
+  put_u32(frame, spec.seq);
+  put_u32(frame, spec.ack);
+  frame.push_back(0x50);  // data offset 5
+  std::uint8_t flag_bits = 0;
+  if (spec.flags.fin) flag_bits |= 0x01;
+  if (spec.flags.syn) flag_bits |= 0x02;
+  if (spec.flags.rst) flag_bits |= 0x04;
+  if (spec.flags.psh) flag_bits |= 0x08;
+  if (spec.flags.ack) flag_bits |= 0x10;
+  frame.push_back(flag_bits);
+  put_u16(frame, 65535);  // window
+  put_u16(frame, 0);      // checksum placeholder
+  put_u16(frame, 0);      // urgent pointer
+  frame.insert(frame.end(), spec.payload.begin(), spec.payload.end());
+
+  // TCP checksum over pseudo-header + segment.
+  std::vector<std::uint8_t> pseudo;
+  const auto tcp_length = static_cast<std::uint16_t>(frame.size() - tcp_start);
+  put_u32(pseudo, spec.src_ip.value);
+  put_u32(pseudo, spec.dst_ip.value);
+  pseudo.push_back(0);
+  pseudo.push_back(6);
+  put_u16(pseudo, tcp_length);
+  pseudo.insert(pseudo.end(), frame.begin() + static_cast<std::ptrdiff_t>(tcp_start),
+                frame.end());
+  const std::uint16_t tcp_checksum = internet_checksum(pseudo);
+  write_u16_at(frame, tcp_start + 16, tcp_checksum);
+  return frame;
+}
+
+TcpConversationBuilder::TcpConversationBuilder(Ipv4Address client_ip,
+                                               std::uint16_t client_port,
+                                               Ipv4Address server_ip,
+                                               std::uint16_t server_port,
+                                               std::uint32_t client_isn,
+                                               std::uint32_t server_isn)
+    : client_ip_(client_ip),
+      server_ip_(server_ip),
+      client_port_(client_port),
+      server_port_(server_port),
+      client_seq_(client_isn),
+      server_seq_(server_isn) {}
+
+void TcpConversationBuilder::emit(std::uint64_t ts_micros, const FrameSpec& spec) {
+  packets_.push_back({ts_micros, build_frame(spec)});
+}
+
+void TcpConversationBuilder::handshake(std::uint64_t ts_micros,
+                                       std::uint64_t rtt_micros) {
+  FrameSpec syn{client_ip_, server_ip_, client_port_, server_port_,
+                client_seq_, 0, {.syn = true}, {}};
+  emit(ts_micros, syn);
+  ++client_seq_;
+
+  FrameSpec syn_ack{server_ip_, client_ip_, server_port_, client_port_,
+                    server_seq_, client_seq_, {.syn = true, .ack = true}, {}};
+  emit(ts_micros + rtt_micros / 2, syn_ack);
+  ++server_seq_;
+
+  FrameSpec ack{client_ip_, server_ip_, client_port_, server_port_,
+                client_seq_, server_seq_, {.ack = true}, {}};
+  emit(ts_micros + rtt_micros, ack);
+  established_ = true;
+}
+
+void TcpConversationBuilder::send_data(std::uint64_t ts_micros,
+                                       std::string_view data, bool from_client) {
+  std::size_t offset = 0;
+  std::uint64_t ts = ts_micros;
+  while (offset < data.size()) {
+    const std::size_t chunk = std::min(kMss, data.size() - offset);
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data() + offset);
+    FrameSpec spec;
+    if (from_client) {
+      spec = {client_ip_, server_ip_, client_port_, server_port_,
+              client_seq_, server_seq_,
+              {.ack = true, .psh = offset + chunk == data.size()},
+              std::span<const std::uint8_t>(bytes, chunk)};
+      client_seq_ += static_cast<std::uint32_t>(chunk);
+    } else {
+      spec = {server_ip_, client_ip_, server_port_, client_port_,
+              server_seq_, client_seq_,
+              {.ack = true, .psh = offset + chunk == data.size()},
+              std::span<const std::uint8_t>(bytes, chunk)};
+      server_seq_ += static_cast<std::uint32_t>(chunk);
+    }
+    emit(ts, spec);
+    offset += chunk;
+    ts += 50;  // successive segments 50us apart
+  }
+}
+
+void TcpConversationBuilder::client_send(std::uint64_t ts_micros,
+                                         std::string_view data) {
+  send_data(ts_micros, data, true);
+}
+
+void TcpConversationBuilder::server_send(std::uint64_t ts_micros,
+                                         std::string_view data) {
+  send_data(ts_micros, data, false);
+}
+
+void TcpConversationBuilder::teardown(std::uint64_t ts_micros) {
+  FrameSpec fin{client_ip_, server_ip_, client_port_, server_port_,
+                client_seq_, server_seq_, {.ack = true, .fin = true}, {}};
+  emit(ts_micros, fin);
+  ++client_seq_;
+  FrameSpec fin_ack{server_ip_, client_ip_, server_port_, client_port_,
+                    server_seq_, client_seq_, {.ack = true, .fin = true}, {}};
+  emit(ts_micros + 250, fin_ack);
+  ++server_seq_;
+  FrameSpec last{client_ip_, server_ip_, client_port_, server_port_,
+                 client_seq_, server_seq_, {.ack = true}, {}};
+  emit(ts_micros + 500, last);
+  established_ = false;
+}
+
+}  // namespace dm::net

@@ -1,0 +1,78 @@
+// Frame construction: builds valid Ethernet II / IPv4 / TCP frames with
+// correct length fields and internet checksums.  Used by the synthetic
+// trace generator to emit genuine wire bytes, and by tests to feed the
+// parser/reassembler known inputs.
+//
+// TcpConversationBuilder scripts an entire TCP conversation — handshake,
+// interleaved payload exchange with correct sequence/ack progression, and
+// teardown — producing timestamped frames ready for a pcap file.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/pcap.h"
+
+namespace dm::net {
+
+struct FrameSpec {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Builds one Ethernet/IPv4/TCP frame (checksums computed, MACs synthetic
+/// but stable per IP).
+std::vector<std::uint8_t> build_frame(const FrameSpec& spec);
+
+/// Scripts a full TCP conversation between a client and a server.
+/// Call `handshake()` once, then any number of `client_send` / `server_send`
+/// with timestamps, then `teardown()`.  Frames accumulate in order.
+class TcpConversationBuilder {
+ public:
+  TcpConversationBuilder(Ipv4Address client_ip, std::uint16_t client_port,
+                         Ipv4Address server_ip, std::uint16_t server_port,
+                         std::uint32_t client_isn = 1000,
+                         std::uint32_t server_isn = 5000);
+
+  /// SYN / SYN-ACK / ACK at the given start time; handshake packets are
+  /// spaced `rtt_micros` apart.
+  void handshake(std::uint64_t ts_micros, std::uint64_t rtt_micros = 500);
+
+  /// Data from client to server, chunked into MSS-sized segments.
+  void client_send(std::uint64_t ts_micros, std::string_view data);
+  /// Data from server to client.
+  void server_send(std::uint64_t ts_micros, std::string_view data);
+
+  /// FIN exchange.
+  void teardown(std::uint64_t ts_micros);
+
+  /// All frames so far, timestamped, in emission order.
+  const std::vector<PcapPacket>& packets() const noexcept { return packets_; }
+  std::vector<PcapPacket> take_packets() noexcept { return std::move(packets_); }
+
+  static constexpr std::size_t kMss = 1400;
+
+ private:
+  void send_data(std::uint64_t ts_micros, std::string_view data, bool from_client);
+  void emit(std::uint64_t ts_micros, const FrameSpec& spec);
+
+  Ipv4Address client_ip_;
+  Ipv4Address server_ip_;
+  std::uint16_t client_port_;
+  std::uint16_t server_port_;
+  std::uint32_t client_seq_;
+  std::uint32_t server_seq_;
+  bool established_ = false;
+  std::vector<PcapPacket> packets_;
+};
+
+}  // namespace dm::net

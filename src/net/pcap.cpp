@@ -1,0 +1,130 @@
+#include "net/pcap.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace dm::net {
+namespace {
+
+constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+constexpr std::uint32_t kMagicMicrosSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNanosSwapped = 0x4d3cb2a1;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+std::uint32_t swap32(std::uint32_t v) {
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) |
+         (v >> 24);
+}
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  bool remaining(std::size_t n) const noexcept { return pos_ + n <= size_; }
+
+  std::uint32_t u32(bool swapped) {
+    std::uint32_t v;
+    std::memcpy(&v, data_ + pos_, 4);
+    pos_ += 4;
+    return swapped ? swap32(v) : v;
+  }
+
+  void skip(std::size_t n) { pos_ += n; }
+
+  const std::uint8_t* cursor() const noexcept { return data_ + pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> write_pcap(const PcapFile& file) {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + file.packets.size() * 64);
+  put_u32(out, kMagicMicros);
+  put_u16(out, 2);   // version major
+  put_u16(out, 4);   // version minor
+  put_u32(out, 0);   // thiszone
+  put_u32(out, 0);   // sigfigs
+  put_u32(out, 65535);  // snaplen
+  put_u32(out, file.link_type);
+  for (const auto& pkt : file.packets) {
+    put_u32(out, static_cast<std::uint32_t>(pkt.ts_micros / 1000000));
+    put_u32(out, static_cast<std::uint32_t>(pkt.ts_micros % 1000000));
+    put_u32(out, static_cast<std::uint32_t>(pkt.data.size()));  // incl_len
+    put_u32(out, static_cast<std::uint32_t>(pkt.data.size()));  // orig_len
+    out.insert(out.end(), pkt.data.begin(), pkt.data.end());
+  }
+  return out;
+}
+
+PcapFile read_pcap(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 24) throw std::runtime_error("pcap: truncated global header");
+  Reader r(bytes.data(), bytes.size());
+
+  const std::uint32_t raw_magic = r.u32(false);
+  bool swapped = false;
+  bool nanos = false;
+  switch (raw_magic) {
+    case kMagicMicros: break;
+    case kMagicNanos: nanos = true; break;
+    case kMagicMicrosSwapped: swapped = true; break;
+    case kMagicNanosSwapped: swapped = true; nanos = true; break;
+    default: throw std::runtime_error("pcap: bad magic");
+  }
+  // Header layout after magic: version(4) thiszone(4) sigfigs(4) snaplen(4)
+  // network(4) — 24 bytes total.
+  r.skip(4 + 4 + 4 + 4);  // version, thiszone, sigfigs, snaplen
+  PcapFile file;
+  file.link_type = r.u32(swapped);
+
+  while (r.remaining(16)) {
+    const std::uint32_t ts_sec = r.u32(swapped);
+    const std::uint32_t ts_frac = r.u32(swapped);
+    const std::uint32_t incl_len = r.u32(swapped);
+    r.skip(4);  // orig_len
+    if (!r.remaining(incl_len)) break;  // truncated final record: drop
+    PcapPacket pkt;
+    const std::uint64_t frac_micros = nanos ? ts_frac / 1000 : ts_frac;
+    pkt.ts_micros = static_cast<std::uint64_t>(ts_sec) * 1000000 + frac_micros;
+    pkt.data.assign(r.cursor(), r.cursor() + incl_len);
+    r.skip(incl_len);
+    file.packets.push_back(std::move(pkt));
+  }
+  return file;
+}
+
+void write_pcap_file(const std::string& path, const PcapFile& file) {
+  const auto bytes = write_pcap(file);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("pcap: cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("pcap: write failed: " + path);
+}
+
+PcapFile read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pcap: cannot open for read: " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return read_pcap(bytes);
+}
+
+}  // namespace dm::net

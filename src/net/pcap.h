@@ -1,0 +1,42 @@
+// Classic libpcap capture-file format, implemented from scratch (no libpcap
+// dependency).  Supports reading both the microsecond (0xa1b2c3d4) and
+// nanosecond (0xa1b23c4d) magics in either byte order, and writing the
+// microsecond little-endian variant.  Link type is Ethernet (DLT_EN10MB).
+//
+// This is the on-disk interface between the synthetic trace generator
+// (which WRITES infection/benign episodes as real pcap files) and the
+// offline analytics stage (which READS them back through full TCP/HTTP
+// reconstruction), mirroring the paper's PCAP-driven Stage 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dm::net {
+
+/// One captured frame: timestamp plus raw link-layer bytes.
+struct PcapPacket {
+  std::uint64_t ts_micros = 0;  // absolute time in microseconds
+  std::vector<std::uint8_t> data;
+};
+
+/// A parsed capture file.
+struct PcapFile {
+  std::uint32_t link_type = 1;  // DLT_EN10MB
+  std::vector<PcapPacket> packets;
+};
+
+/// Serializes packets into pcap bytes (little-endian, usec resolution).
+std::vector<std::uint8_t> write_pcap(const PcapFile& file);
+
+/// Parses pcap bytes.  Throws std::runtime_error on malformed input
+/// (bad magic, truncated header); tolerates a truncated final record by
+/// dropping it.
+PcapFile read_pcap(const std::vector<std::uint8_t>& bytes);
+
+/// File-system convenience wrappers.  Throw std::runtime_error on I/O error.
+void write_pcap_file(const std::string& path, const PcapFile& file);
+PcapFile read_pcap_file(const std::string& path);
+
+}  // namespace dm::net

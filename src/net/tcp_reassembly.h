@@ -1,0 +1,104 @@
+// TCP stream reassembly: turns a timestamped sequence of parsed TCP/IPv4
+// packets into per-flow, per-direction ordered byte streams.  Handles
+// out-of-order arrival, retransmission (duplicate/overlapping segments are
+// trimmed), and sequence-number wraparound.  Each delivered byte range keeps
+// its arrival timestamp so the HTTP layer can time individual transactions —
+// the WCG's temporal features (f36, f37) depend on this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace dm::net {
+
+/// Canonical 4-tuple key.  The lower (ip, port) pair is stored first so both
+/// directions of a connection map to the same key.
+struct FlowKey {
+  Ipv4Address ip_a;
+  std::uint16_t port_a = 0;
+  Ipv4Address ip_b;
+  std::uint16_t port_b = 0;
+
+  static FlowKey canonical(Ipv4Address src_ip, std::uint16_t src_port,
+                           Ipv4Address dst_ip, std::uint16_t dst_port) noexcept;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept;
+};
+
+/// A contiguous run of delivered bytes with its arrival time.
+struct StreamChunk {
+  std::size_t offset = 0;  // into DirectionStream::data
+  std::size_t length = 0;
+  std::uint64_t ts_micros = 0;
+};
+
+/// In-order reassembled bytes for one direction of a flow.
+struct DirectionStream {
+  std::string data;
+  std::vector<StreamChunk> chunks;
+
+  /// Timestamp of the chunk containing byte `offset`; 0 if out of range.
+  std::uint64_t timestamp_at(std::size_t offset) const noexcept;
+};
+
+/// One reassembled TCP connection.
+struct TcpFlow {
+  Ipv4Address client_ip;   // initiator (SYN sender, or first packet seen)
+  std::uint16_t client_port = 0;
+  Ipv4Address server_ip;
+  std::uint16_t server_port = 0;
+  DirectionStream client_to_server;
+  DirectionStream server_to_client;
+  std::uint64_t first_ts_micros = 0;
+  std::uint64_t last_ts_micros = 0;
+  bool saw_syn = false;
+  bool closed = false;  // FIN or RST observed from either side
+};
+
+/// Streaming reassembler.  Feed packets in capture order via `ingest`; read
+/// out completed state via `flows()` at any point.
+class TcpReassembler {
+ public:
+  void ingest(const ParsedPacket& pkt, std::uint64_t ts_micros);
+
+  /// All flows seen so far, in order of first packet.
+  std::vector<const TcpFlow*> flows() const;
+
+  std::size_t flow_count() const noexcept { return flow_order_.size(); }
+
+ private:
+  struct DirectionState {
+    bool initialized = false;
+    std::uint32_t next_seq = 0;  // next expected sequence number
+    // Out-of-order segments keyed by absolute sequence number.
+    std::map<std::uint32_t, std::pair<std::string, std::uint64_t>> pending;
+  };
+
+  struct FlowState {
+    TcpFlow flow;
+    DirectionState client_dir;  // client -> server
+    DirectionState server_dir;  // server -> client
+  };
+
+  static bool seq_before(std::uint32_t a, std::uint32_t b) noexcept {
+    return static_cast<std::int32_t>(a - b) < 0;
+  }
+
+  void deliver(DirectionState& dir, DirectionStream& stream,
+               std::uint32_t seq, std::string_view payload, std::uint64_t ts);
+  void flush_pending(DirectionState& dir, DirectionStream& stream);
+
+  std::unordered_map<FlowKey, FlowState, FlowKeyHash> flows_;
+  std::vector<FlowKey> flow_order_;
+};
+
+}  // namespace dm::net

@@ -1,0 +1,194 @@
+#include "synth/content.h"
+
+#include <array>
+
+namespace dm::synth {
+namespace {
+
+using dm::http::PayloadType;
+
+std::string hex_escape(std::string_view text) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(text.size() * 4);
+  for (unsigned char c : text) {
+    out += "\\x";
+    out += kHex[c >> 4];
+    out += kHex[c & 0xf];
+  }
+  return out;
+}
+
+std::string percent_escape(std::string_view text) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size() * 3);
+  for (unsigned char c : text) {
+    out += '%';
+    out += kHex[c >> 4];
+    out += kHex[c & 0xf];
+  }
+  return out;
+}
+
+std::string base64_encode(std::string_view data) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 2 < data.size()) {
+    const unsigned v = (static_cast<unsigned char>(data[i]) << 16) |
+                       (static_cast<unsigned char>(data[i + 1]) << 8) |
+                       static_cast<unsigned char>(data[i + 2]);
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += kAlphabet[(v >> 6) & 63];
+    out += kAlphabet[v & 63];
+    i += 3;
+  }
+  if (i + 1 == data.size()) {
+    const unsigned v = static_cast<unsigned char>(data[i]) << 16;
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += "==";
+  } else if (i + 2 == data.size()) {
+    const unsigned v = (static_cast<unsigned char>(data[i]) << 16) |
+                       (static_cast<unsigned char>(data[i + 1]) << 8);
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += kAlphabet[(v >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::string filler(std::size_t size, dm::util::Rng& rng) {
+  std::string out;
+  out.reserve(size);
+  while (out.size() < size) {
+    out += static_cast<char>(rng.uniform_int(32, 126));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string html_page(const std::string& title, int link_count,
+                      dm::util::Rng& rng) {
+  std::string body = "<!DOCTYPE html><html><head><title>" + title +
+                     "</title></head><body><h1>" + title + "</h1>";
+  for (int i = 0; i < link_count; ++i) {
+    body += "<p><a href=\"/page" + std::to_string(rng.uniform_int(1, 99)) +
+            ".html\">item " + std::to_string(i) + "</a></p>";
+  }
+  body += "<div class=\"footer\">generated page</div></body></html>";
+  return body;
+}
+
+std::string redirect_content_type(RedirectTechnique technique) {
+  switch (technique) {
+    case RedirectTechnique::kPlainJavaScript:
+    case RedirectTechnique::kHexEscapedJs:
+    case RedirectTechnique::kUnescapeJs:
+    case RedirectTechnique::kBase64Js:
+      return "application/javascript";
+    default:
+      return "text/html";
+  }
+}
+
+std::string redirect_body(RedirectTechnique technique,
+                          const std::string& target_url, dm::util::Rng& rng) {
+  const std::string assignment = "window.location=\"" + target_url + "\";";
+  switch (technique) {
+    case RedirectTechnique::kLocationHeader:
+      return "<html><body>Moved <a href=\"" + target_url +
+             "\">here</a></body></html>";
+    case RedirectTechnique::kMetaRefresh:
+      return "<html><head><meta http-equiv=\"refresh\" content=\"0;url=" +
+             target_url + "\"></head><body>loading...</body></html>";
+    case RedirectTechnique::kIframe:
+      return "<html><body><div style=\"position:absolute;left:-" +
+             std::to_string(rng.uniform_int(1000, 9999)) +
+             "px\"><iframe src=\"" + target_url +
+             "\" width=\"1\" height=\"1\"></iframe></div></body></html>";
+    case RedirectTechnique::kPlainJavaScript:
+      return "var t=" + std::to_string(rng.uniform_int(1, 50)) + ";" + assignment;
+    case RedirectTechnique::kHexEscapedJs:
+      return "var p=\"" + hex_escape(assignment) + "\";eval(p);";
+    case RedirectTechnique::kUnescapeJs:
+      return "document.write(unescape('" + percent_escape(assignment) + "'));";
+    case RedirectTechnique::kBase64Js:
+      return "eval(atob('" + base64_encode(assignment) + "'));";
+  }
+  return assignment;
+}
+
+std::string content_type_for(PayloadType type) {
+  switch (type) {
+    case PayloadType::kHtml: return "text/html";
+    case PayloadType::kJavaScript: return "application/javascript";
+    case PayloadType::kCss: return "text/css";
+    case PayloadType::kImage: return "image/png";
+    case PayloadType::kJson: return "application/json";
+    case PayloadType::kText: return "text/plain";
+    case PayloadType::kPdf: return "application/pdf";
+    case PayloadType::kExe: return "application/octet-stream";
+    case PayloadType::kJar: return "application/java-archive";
+    case PayloadType::kSwf: return "application/x-shockwave-flash";
+    case PayloadType::kSilverlight: return "application/x-silverlight-app";
+    case PayloadType::kCrypt: return "application/octet-stream";
+    case PayloadType::kArchive: return "application/zip";
+    case PayloadType::kOffice: return "application/msword";
+    case PayloadType::kVideo: return "video/mp4";
+    default: return "application/octet-stream";
+  }
+}
+
+std::string extension_for(PayloadType type, dm::util::Rng& rng) {
+  switch (type) {
+    case PayloadType::kHtml: return "html";
+    case PayloadType::kJavaScript: return "js";
+    case PayloadType::kCss: return "css";
+    case PayloadType::kImage: return "png";
+    case PayloadType::kJson: return "json";
+    case PayloadType::kText: return "txt";
+    case PayloadType::kPdf: return "pdf";
+    case PayloadType::kExe: return "exe";
+    case PayloadType::kJar: return "jar";
+    case PayloadType::kSwf: return "swf";
+    case PayloadType::kSilverlight: return "xap";
+    case PayloadType::kCrypt: {
+      static constexpr std::array<std::string_view, 6> kExts = {
+          "crypt", "locky", "cerber", "zepto", "xtbl", "vault"};
+      return std::string(kExts[static_cast<std::size_t>(
+          rng.uniform_int(0, kExts.size() - 1))]);
+    }
+    case PayloadType::kArchive: return "zip";
+    case PayloadType::kOffice: return "doc";
+    case PayloadType::kVideo: return "mp4";
+    default: return "bin";
+  }
+}
+
+std::string payload_blob(PayloadType type, std::size_t size,
+                         const std::string& unique_tag, bool malicious,
+                         dm::util::Rng& rng) {
+  std::string blob;
+  switch (type) {
+    case PayloadType::kExe: blob = "MZ"; break;
+    case PayloadType::kPdf: blob = "%PDF-1.5\n"; break;
+    case PayloadType::kJar:
+    case PayloadType::kArchive: blob = "PK\x03\x04"; break;
+    case PayloadType::kSwf: blob = "CWS"; break;
+    case PayloadType::kImage: blob = "\x89PNG\r\n"; break;
+    default: break;
+  }
+  blob += "[tag:" + unique_tag + "]";
+  if (malicious) blob += "[x-ground-truth:malicious]";
+  if (blob.size() < size) blob += filler(size - blob.size(), rng);
+  return blob;
+}
+
+}  // namespace dm::synth

@@ -1,0 +1,52 @@
+// Response-body builders for generated traffic: plain HTML, redirect
+// carriers (meta refresh, iframe, plain and obfuscated JavaScript — the
+// encodings §III-D says exploit kits hide redirects behind), and payload
+// blobs of a given type and size.
+#pragma once
+
+#include <string>
+
+#include "http/classify.h"
+#include "util/rng.h"
+
+namespace dm::synth {
+
+/// How a redirect hop is expressed on the wire.
+enum class RedirectTechnique {
+  kLocationHeader,   // 302 + Location
+  kMetaRefresh,      // <meta http-equiv=refresh>
+  kIframe,           // <iframe src=...>
+  kPlainJavaScript,  // window.location = "..."
+  kHexEscapedJs,     // "\x77\x69..." escaped assignment
+  kUnescapeJs,       // document.write(unescape('%77%69...'))
+  kBase64Js,         // eval(atob('...'))
+};
+
+/// A simple benign HTML page with links/assets (no redirects).
+std::string html_page(const std::string& title, int link_count,
+                      dm::util::Rng& rng);
+
+/// HTML that redirects to `target_url` via the given technique.  For
+/// kLocationHeader the body is a stub (the header carries the redirect).
+std::string redirect_body(RedirectTechnique technique,
+                          const std::string& target_url, dm::util::Rng& rng);
+
+/// Content-Type header value appropriate for a redirect body.
+std::string redirect_content_type(RedirectTechnique technique);
+
+/// A payload blob of roughly `size` bytes with magic-looking leading bytes
+/// per type.  `unique_tag` makes each payload's digest distinct;
+/// `malicious` embeds a marker only the ground-truth oracle reads (content
+/// is never inspected by DynaMiner — the system is payload-agnostic).
+std::string payload_blob(dm::http::PayloadType type, std::size_t size,
+                         const std::string& unique_tag, bool malicious,
+                         dm::util::Rng& rng);
+
+/// Content-Type value for a payload type.
+std::string content_type_for(dm::http::PayloadType type);
+
+/// URI filename extension for a payload type ("exe", "swf", ...).  For
+/// kCrypt a random ransomware extension is chosen.
+std::string extension_for(dm::http::PayloadType type, dm::util::Rng& rng);
+
+}  // namespace dm::synth

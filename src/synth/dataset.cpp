@@ -1,0 +1,52 @@
+#include "synth/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dm::synth {
+
+GroundTruth generate_ground_truth(std::uint64_t seed, double scale) {
+  GroundTruth gt;
+  TraceGenerator gen(seed);
+
+  for (const auto& family : exploit_kit_families()) {
+    const auto count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(static_cast<double>(family.trace_count) * scale)));
+    for (std::size_t i = 0; i < count; ++i) {
+      gt.infections.push_back(gen.infection(family));
+    }
+  }
+
+  const auto benign_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             static_cast<double>(benign_profile().trace_count) * scale)));
+  for (std::size_t i = 0; i < benign_count; ++i) {
+    gt.benign.push_back(gen.benign());
+  }
+  return gt;
+}
+
+GroundTruth generate_validation_set(std::uint64_t seed,
+                                    std::size_t infection_count,
+                                    std::size_t benign_count) {
+  GroundTruth set;
+  TraceGenerator gen(seed);
+
+  const auto& families = exploit_kit_families();
+  std::vector<double> weights;
+  weights.reserve(families.size());
+  for (const auto& family : families) {
+    weights.push_back(static_cast<double>(family.trace_count));
+  }
+  for (std::size_t i = 0; i < infection_count; ++i) {
+    const auto which = gen.rng().weighted_index(weights);
+    set.infections.push_back(gen.infection(families[which]));
+  }
+  for (std::size_t i = 0; i < benign_count; ++i) {
+    set.benign.push_back(gen.benign());
+  }
+  return set;
+}
+
+}  // namespace dm::synth

@@ -1,0 +1,62 @@
+#include "synth/families.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dm::synth {
+namespace {
+
+FamilyProfile make(std::string name, std::size_t traces, int hmin, int hmax,
+                   double havg, int rmin, int rmax, double ravg,
+                   std::array<double, 5> weights, double js_total) {
+  FamilyProfile p;
+  p.name = std::move(name);
+  p.trace_count = traces;
+  p.hosts_min = hmin;
+  p.hosts_max = hmax;
+  p.hosts_avg = havg;
+  p.redirects_min = rmin;
+  p.redirects_max = rmax;
+  p.redirects_avg = ravg;
+  p.payload_weights = weights;
+  double payload_total = 0.0;
+  for (double w : weights) payload_total += w;
+  p.exploit_downloads_avg =
+      std::clamp(payload_total / static_cast<double>(traces), 1.0, 6.0);
+  p.js_avg = std::clamp(js_total / static_cast<double>(traces), 2.0, 12.0);
+  return p;
+}
+
+}  // namespace
+
+const std::vector<FamilyProfile>& exploit_kit_families() {
+  // Columns: name, #pcaps, hosts{min,max,avg}, redirects{min,max,avg},
+  // payload weights {pdf, exe, jar, swf, crypt}, js count (Table I).
+  static const std::vector<FamilyProfile> kFamilies = {
+      make("Angler",      253, 2, 74, 6,  0, 18, 1, {0, 80, 133, 0, 64},   1163),
+      make("RIG",          62, 2, 17, 4,  0, 3,  1, {0, 35, 74, 13, 0},     240),
+      make("Nuclear",     132, 2, 213, 8, 0, 18, 1, {8, 730, 146, 13, 11},  935),
+      make("Magnitude",    43, 2, 231, 20, 0, 12, 2, {0, 862, 22, 0, 2},    330),
+      make("SweetOrange",  33, 2, 90, 8,  0, 6,  1, {0, 310, 22, 0, 0},     227),
+      make("FlashPack",    29, 2, 15, 5,  0, 8,  2, {0, 556, 35, 0, 0},     159),
+      make("Neutrino",     40, 2, 30, 6,  0, 14, 2, {0, 45, 31, 5, 6},      217),
+      make("Goon",         19, 2, 90, 9,  0, 30, 2, {0, 78, 15, 10, 0},      71),
+      make("Fiesta",       89, 2, 182, 7, 0, 3,  1, {21, 226, 72, 63, 0},   414),
+      make("OtherKits",    70, 2, 68, 4,  0, 5,  1, {1, 420, 13, 4, 0},     271),
+  };
+  return kFamilies;
+}
+
+const FamilyProfile& family_by_name(const std::string& name) {
+  for (const auto& family : exploit_kit_families()) {
+    if (family.name == name) return family;
+  }
+  throw std::out_of_range("unknown exploit-kit family: " + name);
+}
+
+const BenignProfile& benign_profile() {
+  static const BenignProfile kBenign{};
+  return kBenign;
+}
+
+}  // namespace dm::synth

@@ -1,0 +1,68 @@
+// Exploit-kit family profiles calibrated to the paper's Table I ground
+// truth: per-family trace counts, host-count and redirect-chain
+// distributions, and exploit-payload type mixes.  The generator samples
+// episodes from these profiles so that the synthetic dataset reproduces the
+// table's statistical shape.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace dm::synth {
+
+struct FamilyProfile {
+  std::string name;
+  std::size_t trace_count = 0;  // Table I "No. of PCAPs"
+
+  // Hosts involved in one episode.
+  int hosts_min = 2;
+  int hosts_max = 2;
+  double hosts_avg = 2.0;
+
+  // Redirect-chain length before the landing page.
+  int redirects_min = 0;
+  int redirects_max = 0;
+  double redirects_avg = 0.0;
+
+  // Exploit payload mix (relative weights from Table I's unique payload
+  // counts): pdf, exe, jar, swf, crypt.
+  std::array<double, 5> payload_weights{};
+
+  // Mean exploit downloads per episode (clamped family total / traces).
+  double exploit_downloads_avg = 1.0;
+
+  // Mean count of JavaScript fetches per episode (chatter).
+  double js_avg = 3.0;
+
+  /// Probability that the episode exhibits post-download C&C call-back
+  /// (paper: 708/770 overall ≈ 0.92).
+  double callback_prob = 0.92;
+};
+
+/// Order of entries in FamilyProfile::payload_weights.
+enum class ExploitPayload { kPdf = 0, kExe = 1, kJar = 2, kSwf = 3, kCrypt = 4 };
+
+/// The 9 named exploit-kit families plus "OtherKits" (Table I rows).
+const std::vector<FamilyProfile>& exploit_kit_families();
+
+/// Profile lookup by name; throws std::out_of_range when unknown.
+const FamilyProfile& family_by_name(const std::string& name);
+
+/// The benign row of Table I expressed in the same vocabulary.
+struct BenignProfile {
+  std::size_t trace_count = 980;
+  int hosts_min = 2;
+  int hosts_max = 34;
+  double hosts_avg = 3.0;
+  int redirects_max = 2;
+  // Per-trace probabilities of downloading each benign artifact, from the
+  // benign row's payload counts (60 pdf, 30 exe, 3 jar over 980 traces).
+  double pdf_prob = 60.0 / 980.0;
+  double exe_prob = 30.0 / 980.0;
+  double jar_prob = 3.0 / 980.0;
+};
+
+const BenignProfile& benign_profile();
+
+}  // namespace dm::synth

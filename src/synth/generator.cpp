@@ -1,0 +1,917 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ml/dataset.h"
+#include "synth/content.h"
+#include "util/hash.h"
+
+namespace dm::synth {
+namespace {
+
+using dm::http::HttpTransaction;
+using dm::http::PayloadType;
+
+constexpr std::string_view kWindowsUa =
+    "Mozilla/5.0 (Windows NT 6.1; Trident/7.0; rv:11.0) like Gecko";
+
+/// Mutable state threaded through one episode's construction.
+struct EpisodeBuilder {
+  EpisodeBuilder(dm::util::Rng& rng_in, HostNameGen& names_in,
+                 const GeneratorOptions& options_in,
+                 std::uint64_t& payload_counter_in)
+      : rng(rng_in),
+        names(names_in),
+        options(options_in),
+        payload_counter(payload_counter_in) {}
+
+  dm::util::Rng& rng;
+  HostNameGen& names;
+  const GeneratorOptions& options;
+  std::uint64_t& payload_counter;
+
+  Episode episode;
+  std::string client_ip;
+  std::uint64_t clock = 0;  // microseconds
+  std::uint16_t next_client_port = 40200;
+  std::string session_cookie;  // set once a Set-Cookie is issued
+  std::string user_agent = std::string(kWindowsUa);
+
+  void advance(double seconds) {
+    clock += static_cast<std::uint64_t>(std::max(0.0, seconds) * 1e6);
+  }
+
+  struct TxnSpec {
+    std::string host;
+    std::string uri = "/";
+    std::string method = "GET";
+    std::string referrer;       // absolute URL or empty
+    int status = 200;
+    std::string content_type = "text/html";
+    std::string body;
+    std::string location;       // Location header for 30x
+    bool x_flash = false;       // add X-Flash-Version request header
+    bool dnt = false;
+    bool set_session_cookie = false;
+    std::string request_body;   // for POST
+  };
+
+  HttpTransaction& emit(const TxnSpec& spec) {
+    HttpTransaction txn;
+    txn.client_host = client_ip;
+    txn.server_host = spec.host;
+    txn.server_ip = HostNameGen::ip_for(spec.host).to_string();
+    txn.server_port = 80;
+
+    auto& req = txn.request;
+    req.method = spec.method;
+    req.uri = spec.uri;
+    req.version = "HTTP/1.1";
+    req.ts_micros = clock;
+    req.headers.add("Host", spec.host);
+    req.headers.add("User-Agent", user_agent);
+    req.headers.add("Accept", "*/*");
+    if (!spec.referrer.empty()) req.headers.add("Referer", spec.referrer);
+    if (!session_cookie.empty()) {
+      req.headers.add("Cookie", "PHPSESSID=" + session_cookie);
+    }
+    if (spec.x_flash) req.headers.add("X-Flash-Version", "18.0.0.232");
+    if (spec.dnt) req.headers.add("DNT", "1");
+    if (!spec.request_body.empty()) {
+      req.headers.add("Content-Type", "application/x-www-form-urlencoded");
+      req.headers.add("Content-Length", std::to_string(spec.request_body.size()));
+      req.body = spec.request_body;
+    }
+
+    dm::http::HttpResponse res;
+    res.version = "HTTP/1.1";
+    res.status_code = spec.status;
+    res.reason = spec.status == 200   ? "OK"
+                 : spec.status == 302 ? "Found"
+                 : spec.status == 301 ? "Moved Permanently"
+                 : spec.status == 404 ? "Not Found"
+                 : spec.status == 403 ? "Forbidden"
+                 : spec.status == 500 ? "Internal Server Error"
+                                      : "Status";
+    const double latency_s =
+        0.02 + rng.exponential(20.0) +
+        static_cast<double>(spec.body.size()) / 2.0e6;  // ~2MB/s link
+    res.ts_micros = clock + static_cast<std::uint64_t>(latency_s * 1e6);
+    res.headers.add("Server", "nginx");
+    if (!spec.content_type.empty()) {
+      res.headers.add("Content-Type", spec.content_type);
+    }
+    res.headers.add("Content-Length", std::to_string(spec.body.size()));
+    if (!spec.location.empty()) res.headers.add("Location", spec.location);
+    if (spec.set_session_cookie && session_cookie.empty()) {
+      // Servers reuse an existing session rather than rotating it on every
+      // page load.
+      session_cookie = "s" + std::to_string(rng.next_u64() % 100000000);
+      res.headers.add("Set-Cookie", "PHPSESSID=" + session_cookie + "; path=/");
+    }
+    res.body = spec.body;
+    txn.response = std::move(res);
+
+    clock = txn.response->ts_micros;  // next event happens after this reply
+    episode.transactions.push_back(std::move(txn));
+    return episode.transactions.back();
+  }
+
+  /// Emits a payload download and records it for the AV-baseline oracle.
+  void download(const std::string& host, PayloadType type, bool malicious,
+                const std::string& referrer) {
+    const std::string ext = extension_for(type, rng);
+    const std::string uri =
+        "/files/" + std::to_string(rng.next_u64() % 100000) + "." + ext;
+    const auto size = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(options.max_payload_bytes),
+        500.0 + rng.lognormal(8.6, 1.0)));  // median ~5.4 KB, heavy tail
+    const std::string tag = "p" + std::to_string(payload_counter++);
+    std::string body = payload_blob(type, size, tag, malicious, rng);
+
+    TxnSpec spec;
+    spec.host = host;
+    spec.uri = uri;
+    spec.referrer = referrer;
+    spec.content_type = content_type_for(type);
+    spec.body = std::move(body);
+    spec.x_flash = malicious && type == PayloadType::kSwf && rng.chance(0.4);
+    const auto& txn = emit(spec);
+
+    PayloadRecord record;
+    record.digest = dm::util::digest_hex(txn.response->body);
+    record.type = type;
+    record.malicious = malicious;
+    record.host = host;
+    record.uri = uri;
+    record.ts_micros = txn.response->ts_micros;
+    record.size = txn.response->body.size();
+    episode.meta.payloads.push_back(std::move(record));
+  }
+
+  /// Emits asset chatter (js/css/images) for a page on `host`.
+  void assets(const std::string& host, const std::string& page_url, int count,
+              double burst_gap_s) {
+    for (int i = 0; i < count; ++i) {
+      advance(burst_gap_s * rng.uniform(0.5, 1.5));
+      const std::size_t kind = rng.weighted_index({3, 1, 3});
+      TxnSpec spec;
+      spec.host = rng.chance(0.88) ? host : names.cdn_for(host);
+      if (rng.chance(0.85)) spec.referrer = page_url;
+      if (kind == 0) {
+        spec.uri = "/js/lib" + std::to_string(rng.uniform_int(1, 40)) + ".js";
+        spec.content_type = "application/javascript";
+        spec.body = "function f" + std::to_string(rng.uniform_int(1, 999)) +
+                    "(){return " + std::to_string(rng.uniform_int(0, 9)) + ";}";
+      } else if (kind == 1) {
+        spec.uri = "/css/site.css";
+        spec.content_type = "text/css";
+        spec.body = "body{margin:0;padding:0}";
+      } else {
+        spec.uri = "/img/a" + std::to_string(rng.uniform_int(1, 200)) + ".png";
+        spec.content_type = "image/png";
+        spec.body = payload_blob(PayloadType::kImage,
+                                 static_cast<std::size_t>(rng.uniform(400, 9000)),
+                                 "img" + std::to_string(payload_counter++), false,
+                                 rng);
+      }
+      emit(spec);
+    }
+  }
+
+  std::uint32_t unique_hosts() const {
+    std::set<std::string> hosts;
+    for (const auto& txn : episode.transactions) hosts.insert(txn.server_host);
+    return static_cast<std::uint32_t>(hosts.size());
+  }
+};
+
+std::string url_of(const std::string& host, const std::string& uri) {
+  return "http://" + host + uri;
+}
+
+RedirectTechnique sample_redirect_technique(dm::util::Rng& rng) {
+  // Location headers dominate; the rest split among HTML/JS carriers,
+  // including the three obfuscated encodings.
+  switch (rng.weighted_index({55, 12, 8, 5, 7, 7, 6})) {
+    case 0: return RedirectTechnique::kLocationHeader;
+    case 1: return RedirectTechnique::kIframe;
+    case 2: return RedirectTechnique::kMetaRefresh;
+    case 3: return RedirectTechnique::kPlainJavaScript;
+    case 4: return RedirectTechnique::kHexEscapedJs;
+    case 5: return RedirectTechnique::kUnescapeJs;
+    default: return RedirectTechnique::kBase64Js;
+  }
+}
+
+}  // namespace
+
+std::string_view enticement_name(Enticement e) noexcept {
+  switch (e) {
+    case Enticement::kGoogle: return "Google";
+    case Enticement::kBing: return "Bing";
+    case Enticement::kCompromisedSite: return "CompromisedSite";
+    case Enticement::kEmptyReferrer: return "EmptyReferrer";
+    case Enticement::kRedactedReferrer: return "RedactedReferrer";
+    case Enticement::kSocial: return "Social";
+  }
+  return "?";
+}
+
+std::string_view benign_scenario_name(BenignScenario s) noexcept {
+  switch (s) {
+    case BenignScenario::kWebSearch: return "WebSearch";
+    case BenignScenario::kSocialNetworking: return "SocialNetworking";
+    case BenignScenario::kWebMail: return "WebMail";
+    case BenignScenario::kVideoStreaming: return "VideoStreaming";
+    case BenignScenario::kRandomBrowsing: return "RandomBrowsing";
+  }
+  return "?";
+}
+
+Enticement sample_enticement(dm::util::Rng& rng) {
+  // Figure 1 percentages.
+  switch (rng.weighted_index({37.0, 25.0, 12.84, 17.76, 7.51, 0.9})) {
+    case 0: return Enticement::kGoogle;
+    case 1: return Enticement::kBing;
+    case 2: return Enticement::kCompromisedSite;
+    case 3: return Enticement::kEmptyReferrer;
+    case 4: return Enticement::kRedactedReferrer;
+    default: return Enticement::kSocial;
+  }
+}
+
+TraceGenerator::TraceGenerator(std::uint64_t seed, GeneratorOptions options)
+    : rng_(seed), names_(dm::util::Rng(seed ^ 0xabcdef1234)), options_(options) {}
+
+Episode TraceGenerator::infection(const FamilyProfile& family) {
+  EpisodeBuilder b(rng_, names_, options_, payload_counter_);
+  b.clock = options_.base_ts_micros +
+            static_cast<std::uint64_t>(rng_.uniform(0, 3.0e13));
+  b.client_ip = "10.0." + std::to_string(rng_.uniform_int(0, 20)) + "." +
+                std::to_string(rng_.uniform_int(2, 250));
+
+  auto& meta = b.episode.meta;
+  meta.label = dm::ml::kInfection;
+  meta.family = family.name;
+  meta.enticement = sample_enticement(rng_);
+
+  // A minority of infections pace themselves (EK sleep timers, congested
+  // victims), so timing alone cannot separate the classes.
+  const double slow_factor = rng_.chance(0.08) ? rng_.uniform(2.0, 5.0) : 1.0;
+
+  // ---- Enticement / origin ------------------------------------------------
+  std::string entry_referrer;
+  switch (meta.enticement) {
+    case Enticement::kGoogle:
+      entry_referrer = "http://www.google.com/search?q=free+" +
+                       std::to_string(rng_.uniform_int(100, 999));
+      break;
+    case Enticement::kBing:
+      entry_referrer = "http://www.bing.com/search?q=watch+online";
+      break;
+    case Enticement::kSocial:
+      entry_referrer = rng_.chance(0.6) ? "http://www.facebook.com/"
+                                        : "http://twitter.com/";
+      break;
+    case Enticement::kRedactedReferrer:
+      entry_referrer = "-";  // redacted: present but carries no origin
+      break;
+    case Enticement::kCompromisedSite:
+    case Enticement::kEmptyReferrer:
+      entry_referrer.clear();
+      break;
+  }
+
+  // ---- Entry page ----------------------------------------------------------
+  // Compromised enticement (and a slice of the rest) route through a
+  // compromised CMS site; 56/94 of the paper's compromised entries matched
+  // WordPress installs.
+  std::string current_host;
+  std::string current_url;
+  const bool via_compromised =
+      meta.enticement == Enticement::kCompromisedSite || rng_.chance(0.10);
+  if (via_compromised) {
+    current_host = names_.compromised_site();
+    const bool wordpress = rng_.chance(0.6);
+    meta.compromised_wordpress = wordpress;
+    const std::string uri = wordpress
+                                ? "/wp-content/themes/twentysixteen/index.php?id=" +
+                                      std::to_string(rng_.uniform_int(1, 9999))
+                                : "/news/article" +
+                                      std::to_string(rng_.uniform_int(1, 500)) +
+                                      ".html";
+    EpisodeBuilder::TxnSpec spec;
+    spec.host = current_host;
+    spec.uri = uri;
+    spec.referrer = entry_referrer;
+    spec.body = html_page("Latest updates", 4, rng_);
+    // The compromise: an injected hidden redirect into the EK chain is
+    // emitted below as this page's "redirect hop 0".
+    b.emit(spec);
+    current_url = url_of(current_host, uri);
+    b.assets(current_host, current_url, static_cast<int>(rng_.uniform_int(1, 3)),
+             0.15);
+  }
+
+  // ---- Redirect chain ------------------------------------------------------
+  std::uint32_t chain_len = static_cast<std::uint32_t>(rng_.skewed_int(
+      family.redirects_min, family.redirects_max,
+      std::max(1.0, family.redirects_avg)));
+  // Only ~1.4% of the paper's infections (11/770) had no redirects at all.
+  if (chain_len == 0 && !rng_.chance(0.05)) chain_len = 1;
+  meta.redirect_chain_len = chain_len;
+
+  std::vector<std::string> chain_hosts;
+  for (std::uint32_t i = 0; i < chain_len; ++i) {
+    chain_hosts.push_back(names_.ek_domain());
+  }
+  // The landing page lives on its own host, after the chain: every chain
+  // hop therefore contributes one host-to-host redirect edge.
+  const std::string landing_host = names_.ek_domain();
+
+  // Walk the chain: hop i serves a redirect carrier pointing at hop i+1.
+  for (std::uint32_t i = 0; i < chain_len; ++i) {
+    const std::string& hop = chain_hosts[i];
+    const std::string next =
+        (i + 1 < chain_len)
+            ? url_of(chain_hosts[i + 1],
+                     "/gate" + std::to_string(rng_.uniform_int(1, 99)) + ".php")
+            : url_of(landing_host, "/landing.php?sid=" +
+                                       std::to_string(rng_.uniform_int(1, 1e6)));
+    const auto technique = sample_redirect_technique(rng_);
+    // Automatic hops are fast — the paper notes infections have short
+    // delays between consecutive redirects.
+    b.advance(slow_factor * rng_.uniform(0.05, 0.4));
+    EpisodeBuilder::TxnSpec spec;
+    spec.host = hop;
+    spec.uri = rng_.chance(0.5)
+                   ? "/in.cgi?" + std::to_string(rng_.uniform_int(1, 9999))
+                   : "/" + std::to_string(rng_.next_u64() % 100) + ".php";
+    spec.referrer = current_url.empty() ? entry_referrer : current_url;
+    if (technique == RedirectTechnique::kLocationHeader) {
+      spec.status = rng_.chance(0.8) ? 302 : 301;
+      spec.location = next;
+      spec.body = redirect_body(technique, next, rng_);
+    } else {
+      spec.status = 200;
+      spec.content_type = redirect_content_type(technique);
+      spec.body = redirect_body(technique, next, rng_);
+    }
+    b.emit(spec);
+    current_host = hop;
+    current_url = url_of(hop, spec.uri);
+  }
+
+  // ---- Landing page ---------------------------------------------------------
+  // The final chain hop already redirected INTO the landing host, but the
+  // actual landing request happens now (fingerprinting page, sets the EK
+  // session cookie).
+  if (chain_len == 0 || landing_host != current_host || true) {
+    b.advance(rng_.uniform(0.05, 0.3));
+    EpisodeBuilder::TxnSpec spec;
+    spec.host = landing_host;
+    spec.uri = "/landing.php?sid=" + std::to_string(rng_.uniform_int(1, 1000000));
+    spec.referrer = current_url.empty() ? entry_referrer : current_url;
+    spec.set_session_cookie = true;
+    spec.body = html_page("Loading", 1, rng_) +
+                redirect_body(RedirectTechnique::kHexEscapedJs,
+                              url_of(landing_host, "/exploit.js"), rng_);
+    b.emit(spec);
+    current_url = url_of(landing_host, spec.uri);
+  }
+
+  // Fingerprinting scripts from the landing host.
+  const int fingerprint_scripts = static_cast<int>(rng_.uniform_int(1, 3));
+  for (int i = 0; i < fingerprint_scripts; ++i) {
+    b.advance(rng_.uniform(0.05, 0.25));
+    EpisodeBuilder::TxnSpec spec;
+    spec.host = landing_host;
+    spec.uri = "/check" + std::to_string(i) + ".js";
+    spec.referrer = current_url;
+    spec.content_type = "application/javascript";
+    spec.x_flash = rng_.chance(0.1);
+    spec.body = "var plugins=navigator.plugins.length;";
+    b.emit(spec);
+  }
+
+  // ---- Exploit payload downloads -------------------------------------------
+  const std::string exploit_host =
+      rng_.chance(0.5) ? landing_host : names_.ek_domain();
+  const int downloads = std::max<int>(
+      1, static_cast<int>(rng_.skewed_int(1, 6,
+                                          family.exploit_downloads_avg)));
+  std::vector<double> weights(family.payload_weights.begin(),
+                              family.payload_weights.end());
+  for (int i = 0; i < downloads; ++i) {
+    b.advance(slow_factor * rng_.uniform(0.1, 0.8));
+    const auto which = rng_.weighted_index(weights);
+    static constexpr PayloadType kTypes[] = {
+        PayloadType::kPdf, PayloadType::kExe, PayloadType::kJar,
+        PayloadType::kSwf, PayloadType::kCrypt};
+    b.download(exploit_host, kTypes[which], /*malicious=*/true, current_url);
+  }
+
+  // ---- JS chatter and 40x noise ---------------------------------------------
+  const int js_fetches = static_cast<int>(
+      rng_.skewed_int(2, 16, family.js_avg));
+  b.assets(landing_host, current_url, js_fetches, 0.2);
+  // EK status polling: the landing page re-queries its server while the
+  // exploit runs, inflating GET/20x counts the way Fig 4 shows.
+  const int polls = static_cast<int>(rng_.uniform_int(2, 6));
+  for (int i = 0; i < polls; ++i) {
+    b.advance(rng_.uniform(0.3, 1.5));
+    EpisodeBuilder::TxnSpec poll;
+    poll.host = landing_host;
+    poll.uri = "/status?t=" + std::to_string(rng_.uniform_int(1, 1000000));
+    poll.referrer = current_url;
+    poll.content_type = "text/plain";
+    poll.body = "wait";
+    b.emit(poll);
+  }
+  const int failures = static_cast<int>(rng_.uniform_int(0, 2));
+  for (int i = 0; i < failures; ++i) {
+    b.advance(rng_.uniform(0.1, 0.5));
+    EpisodeBuilder::TxnSpec spec;
+    spec.host = rng_.chance(0.5) ? exploit_host : landing_host;
+    spec.uri = "/missing" + std::to_string(rng_.uniform_int(1, 99));
+    spec.status = rng_.chance(0.8) ? 404 : 403;
+    spec.referrer = current_url;
+    spec.body = "not found";
+    b.emit(spec);
+  }
+
+  // ---- Post-download call-backs ----------------------------------------------
+  meta.has_callback = rng_.chance(family.callback_prob);
+  if (meta.has_callback) {
+    const int cc_hosts = static_cast<int>(rng_.uniform_int(1, 3));
+    for (int i = 0; i < cc_hosts; ++i) {
+      const std::string cc = names_.fresh_ip_literal();
+      b.advance(slow_factor * rng_.uniform(0.5, 4.0));
+      const int posts = rng_.chance(0.3) ? 2 : 1;
+      for (int p = 0; p < posts; ++p) {
+        EpisodeBuilder::TxnSpec spec;
+        spec.host = cc;
+        spec.uri = "/gate.php";
+        spec.method = "POST";
+        spec.request_body =
+            "id=" + std::to_string(rng_.next_u64() % 1000000) + "&cmd=knock";
+        spec.status = rng_.chance(0.8) ? 200 : 404;
+        spec.content_type = "text/plain";
+        spec.body = spec.status == 200 ? "ok" : "not found";
+        b.emit(spec);
+        b.advance(slow_factor * rng_.uniform(0.2, 1.5));
+      }
+    }
+  }
+
+  // ---- Pad host count toward the family's Table I distribution ---------------
+  const auto host_target = static_cast<std::uint32_t>(rng_.skewed_int(
+      family.hosts_min, family.hosts_max, family.hosts_avg));
+  while (b.unique_hosts() + 1 < host_target) {  // +1: victim node
+    const std::string filler_host =
+        rng_.chance(0.6) ? names_.ek_domain() : names_.benign_site();
+    b.advance(rng_.uniform(0.05, 0.5));
+    EpisodeBuilder::TxnSpec spec;
+    spec.host = filler_host;
+    spec.uri = "/t" + std::to_string(rng_.uniform_int(1, 9999)) + ".gif";
+    spec.content_type = "image/gif";
+    spec.referrer = current_url;
+    spec.body = "GIF89a";
+    b.emit(spec);
+  }
+
+  meta.host_count = b.unique_hosts() + 1;
+  return std::move(b.episode);
+}
+
+Episode TraceGenerator::benign() {
+  switch (rng_.weighted_index({35, 10, 20, 15, 20})) {
+    case 0: return benign(BenignScenario::kWebSearch);
+    case 1: return benign(BenignScenario::kSocialNetworking);
+    case 2: return benign(BenignScenario::kWebMail);
+    case 3: return benign(BenignScenario::kVideoStreaming);
+    default: return benign(BenignScenario::kRandomBrowsing);
+  }
+}
+
+Episode TraceGenerator::benign(BenignScenario scenario) {
+  const BenignProfile& profile = benign_profile();
+  EpisodeBuilder b(rng_, names_, options_, payload_counter_);
+  b.clock = options_.base_ts_micros +
+            static_cast<std::uint64_t>(rng_.uniform(0, 3.0e13));
+  b.client_ip = "10.0." + std::to_string(rng_.uniform_int(0, 20)) + "." +
+                std::to_string(rng_.uniform_int(2, 250));
+
+  auto& meta = b.episode.meta;
+  meta.label = dm::ml::kBenign;
+  meta.family = "Benign";
+  meta.scenario = scenario;
+
+  const bool dnt = rng_.chance(0.25);
+
+  // A minority of benign sessions are machine-paced (prefetching browsers,
+  // background tabs), so raw timing alone cannot separate the classes —
+  // matching the paper's observation that the combination of features, not
+  // any single one, drives accuracy.
+  const double pace = rng_.chance(0.10) ? 0.4 : 1.0;
+  auto think = [&](double lo, double hi) { b.advance(pace * rng_.uniform(lo, hi)); };
+
+  // The capture may begin mid-browsing: the first request then carries a
+  // referrer naming a host outside the trace, so a known origin (f1) is not
+  // an infection-only signal.  Flash-enabled browsers also advertise
+  // X-Flash-Version (f2) on ordinary sites.
+  const std::string external_origin =
+      rng_.chance(0.5) ? "http://" + names_.benign_site() + "/" : std::string();
+  bool origin_pending = !external_origin.empty();
+  const bool flash_browser = rng_.chance(0.35);
+  // Ad-iframe embedding budget per episode: enough to keep benign topology
+  // from being a trivially clean star, few enough that redirect-evidence
+  // triangles stay an infection hallmark.
+  int ad_iframes_left = rng_.chance(0.35) ? static_cast<int>(rng_.uniform_int(1, 2)) : 0;
+
+  // Which (rare) benign artifacts does this episode download?
+  const bool dl_pdf = rng_.chance(profile.pdf_prob);
+  const bool dl_exe = rng_.chance(profile.exe_prob);
+  const bool dl_jar = rng_.chance(profile.jar_prob);
+
+  auto browse_site = [&](const std::string& site, const std::string& referrer) {
+    EpisodeBuilder::TxnSpec spec;
+    spec.host = site;
+    if (rng_.chance(0.4)) {
+      spec.uri = "/";
+    } else if (rng_.chance(0.5)) {
+      spec.uri = "/articles/" + std::to_string(rng_.uniform_int(1, 400));
+    } else {
+      // Long tracking-parameter URLs are everyday benign traffic.
+      spec.uri = "/p/" + std::to_string(rng_.uniform_int(1, 400)) +
+                 "?utm_source=news&utm_campaign=c" +
+                 std::to_string(rng_.next_u64() % 100000000) + "&ref=feed";
+    }
+    spec.referrer = referrer;
+    if (spec.referrer.empty() && origin_pending) {
+      spec.referrer = external_origin;
+      origin_pending = false;
+    }
+    spec.dnt = dnt;
+    spec.x_flash = flash_browser && rng_.chance(0.5);
+    spec.body = html_page(site, static_cast<int>(rng_.uniform_int(3, 10)), rng_);
+    if (ad_iframes_left > 0 && rng_.chance(0.5)) {
+      --ad_iframes_left;
+      // Ordinary ad embedding: a visible iframe to an ad network, which the
+      // redirect miner legitimately reports as redirect evidence.
+      spec.body += "<iframe src=\"http://" + names_.ad_host() +
+                   "/banner?slot=" + std::to_string(rng_.uniform_int(1, 99)) +
+                   "\" width=\"728\" height=\"90\"></iframe>";
+    }
+    spec.set_session_cookie = b.session_cookie.empty() && rng_.chance(0.5);
+    b.emit(spec);
+    const std::string page_url = url_of(site, spec.uri);
+    b.assets(site, page_url, static_cast<int>(rng_.uniform_int(2, 5)), 0.35);
+    // Analytics beacons: ordinary pages POST telemetry, so POST counts are
+    // not an infection give-away by themselves.
+    const int beacons = rng_.chance(0.7) ? (rng_.chance(0.3) ? 2 : 1) : 0;
+    for (int bi = 0; bi < beacons; ++bi) {
+      EpisodeBuilder::TxnSpec beacon;
+      beacon.host = rng_.chance(0.8) ? site : names_.ad_host();
+      beacon.uri = "/collect";
+      beacon.method = "POST";
+      beacon.request_body = "ev=pageview&u=" + spec.uri;
+      beacon.status = rng_.chance(0.8) ? 200 : 204;
+      beacon.content_type = "text/plain";
+      beacon.body = beacon.status == 200 ? "1" : "";
+      // Beacon libraries frequently omit the Referer header.
+      if (rng_.chance(0.5)) beacon.referrer = page_url;
+      beacon.dnt = dnt;
+      b.emit(beacon);
+    }
+    // Stale links / missing assets: benign browsing sees 40x too.
+    if (rng_.chance(0.4)) {
+      EpisodeBuilder::TxnSpec missing;
+      missing.host = site;
+      missing.uri = "/img/old" + std::to_string(rng_.uniform_int(1, 99)) + ".png";
+      missing.status = 404;
+      missing.referrer = page_url;
+      missing.body = "not found";
+      b.emit(missing);
+    }
+    return page_url;
+  };
+
+  // Occasional benign ad redirect (benign traces show at most ~2 redirects,
+  // average 0 — so at most one opportunity per episode, rarely taken).
+  bool ad_redirect_done = false;
+  auto maybe_ad_redirect = [&](const std::string& from_url) {
+    if (ad_redirect_done || !rng_.chance(0.15)) return;
+    ad_redirect_done = true;
+    const std::string ad = names_.ad_host();
+    const std::string target = names_.benign_site();
+    b.advance(rng_.uniform(0.5, 2.0));
+    EpisodeBuilder::TxnSpec spec;
+    spec.host = ad;
+    spec.uri = "/click?id=" + std::to_string(rng_.uniform_int(1, 99999));
+    spec.referrer = from_url;
+    spec.status = 302;
+    spec.location = url_of(target, "/promo");
+    spec.body = "";
+    spec.dnt = dnt;
+    b.emit(spec);
+    b.advance(rng_.uniform(0.1, 0.6));
+    browse_site(target, url_of(ad, spec.uri));
+  };
+
+  switch (scenario) {
+    case BenignScenario::kWebSearch: {
+      const std::string engine =
+          rng_.chance(0.6) ? "www.google.com" : "www.bing.com";
+      const int queries = static_cast<int>(rng_.uniform_int(1, 2));
+      std::string last_serp;
+      for (int q = 0; q < queries; ++q) {
+        EpisodeBuilder::TxnSpec spec;
+        spec.host = engine;
+        spec.uri = "/search?q=query" + std::to_string(rng_.uniform_int(1, 999));
+        if (origin_pending) {
+          spec.referrer = external_origin;
+          origin_pending = false;
+        }
+        spec.dnt = dnt;
+        spec.body = html_page("results", 10, rng_);
+        b.emit(spec);
+        last_serp = url_of(engine, spec.uri);
+        // User reads results, then clicks one or two.
+        const int clicks = rng_.chance(0.3) ? 2 : 1;
+        for (int c = 0; c < clicks; ++c) {
+          think(5.0, 25.0);
+          const auto page = browse_site(names_.benign_site(), last_serp);
+          maybe_ad_redirect(page);
+        }
+        think(2.0, 10.0);
+      }
+      break;
+    }
+    case BenignScenario::kSocialNetworking: {
+      const std::string social =
+          rng_.chance(0.6) ? "www.facebook.com" : "twitter.com";
+      EpisodeBuilder::TxnSpec spec;
+      spec.host = social;
+      spec.uri = "/feed";
+      if (origin_pending) {
+        spec.referrer = external_origin;
+        origin_pending = false;
+      }
+      spec.dnt = dnt;
+      spec.body = html_page("feed", 12, rng_);
+      spec.set_session_cookie = true;
+      b.emit(spec);
+      const std::string feed_url = url_of(social, spec.uri);
+      b.assets(social, feed_url, static_cast<int>(rng_.uniform_int(3, 8)), 0.1);
+      // Click links shared by friends.
+      const int shared = rng_.chance(0.3) ? 2 : 1;
+      for (int i = 0; i < shared; ++i) {
+        think(5.0, 30.0);
+        browse_site(names_.benign_site(), feed_url);
+      }
+      break;
+    }
+    case BenignScenario::kWebMail: {
+      const std::string mail =
+          rng_.chance(0.5) ? "mail.inboxly.com" : "webmail.yonder.net";
+      EpisodeBuilder::TxnSpec spec;
+      spec.host = mail;
+      spec.uri = "/inbox";
+      if (origin_pending) {
+        spec.referrer = external_origin;
+        origin_pending = false;
+      }
+      spec.dnt = dnt;
+      spec.set_session_cookie = true;
+      spec.body = html_page("inbox", 8, rng_);
+      b.emit(spec);
+      const std::string inbox_url = url_of(mail, spec.uri);
+      b.assets(mail, inbox_url, static_cast<int>(rng_.uniform_int(2, 5)), 0.1);
+      // Download attachments of various formats (§II-A).
+      think(4.0, 20.0);
+      if (dl_pdf || rng_.chance(0.4)) {
+        b.download(mail, PayloadType::kPdf, false, inbox_url);
+      }
+      if (rng_.chance(0.3)) {
+        b.download(mail, PayloadType::kOffice, false, inbox_url);
+      }
+      // Click a link embedded in an email.
+      if (rng_.chance(0.6)) {
+        think(5.0, 25.0);
+        browse_site(names_.benign_site(), inbox_url);
+      }
+      break;
+    }
+    case BenignScenario::kVideoStreaming: {
+      const std::string video = "www.youtube.com";
+      EpisodeBuilder::TxnSpec spec;
+      spec.host = video;
+      spec.uri = "/watch?v=v" + std::to_string(rng_.uniform_int(10000, 99999));
+      if (origin_pending) {
+        spec.referrer = external_origin;
+        origin_pending = false;
+      }
+      spec.dnt = dnt;
+      spec.body = html_page("player", 6, rng_);
+      b.emit(spec);
+      const std::string watch_url = url_of(video, spec.uri);
+      b.assets(video, watch_url, static_cast<int>(rng_.uniform_int(3, 6)), 0.1);
+      // Media segments from a CDN host, spread over the viewing time.
+      const std::string cdn = "r" + std::to_string(rng_.uniform_int(1, 8)) +
+                              ".vidcache-edge.net";
+      const int segments = static_cast<int>(rng_.uniform_int(4, 14));
+      for (int s = 0; s < segments; ++s) {
+        think(4.0, 12.0);
+        EpisodeBuilder::TxnSpec seg;
+        seg.host = cdn;
+        seg.uri = "/seg/" + std::to_string(s) + ".ts";
+        seg.referrer = watch_url;
+        seg.content_type = "video/mp2t";
+        seg.body = payload_blob(PayloadType::kVideo,
+                                static_cast<std::size_t>(rng_.uniform(8000, 40000)),
+                                "seg" + std::to_string(payload_counter_++), false,
+                                rng_);
+        b.emit(seg);
+      }
+      // Clicking an advertisement link (§II-A).
+      maybe_ad_redirect(watch_url);
+      break;
+    }
+    case BenignScenario::kRandomBrowsing: {
+      const int sites = rng_.chance(0.3) ? 2 : 1;
+      std::string last;
+      for (int i = 0; i < sites; ++i) {
+        last = browse_site(names_.benign_site(), last);
+        maybe_ad_redirect(last);
+        think(5.0, 40.0);
+      }
+      break;
+    }
+  }
+
+  // Heavy multi-tab sessions: the benign ground truth "keeps multiple tabs
+  // open" (§II-A) and reaches 34 hosts — these sessions look infection-sized
+  // on scale, header and temporal counts, but keep a benign topology.
+  if (rng_.chance(0.22)) {
+    const int extra_sites = static_cast<int>(rng_.uniform_int(4, 12));
+    // Tab-restore / prefetch bursts: the pages load back-to-back, so these
+    // sessions overlap infections on timing as well as on size.
+    const double burst = rng_.chance(0.5) ? 0.1 : 1.0;
+    std::string previous;
+    for (int i = 0; i < extra_sites; ++i) {
+      previous = browse_site(names_.benign_site(), previous);
+      b.advance(burst * pace * rng_.uniform(1.0, 8.0));
+    }
+  }
+
+  // Rare benign downloads from unofficial sources — the paper's main
+  // false-positive profile (§VI-B).
+  if (dl_exe) {
+    b.advance(rng_.uniform(3.0, 15.0));
+    b.download(rng_.chance(0.5) ? names_.benign_site() : "dl.fileplanetmirror.net",
+               PayloadType::kExe, false, "");
+  }
+  if (dl_jar) {
+    b.advance(rng_.uniform(3.0, 15.0));
+    b.download(names_.benign_site(), PayloadType::kJar, false, "");
+  }
+  if (dl_pdf && scenario != BenignScenario::kWebMail) {
+    b.advance(rng_.uniform(3.0, 15.0));
+    b.download(names_.benign_site(), PayloadType::kPdf, false, "");
+  }
+
+  meta.host_count = b.unique_hosts() + 1;
+  return std::move(b.episode);
+}
+
+Episode TraceGenerator::free_streaming_session(std::size_t interruptions,
+                                               std::size_t background_transactions) {
+  EpisodeBuilder b(rng_, names_, options_, payload_counter_);
+  b.clock = options_.base_ts_micros +
+            static_cast<std::uint64_t>(rng_.uniform(0, 3.0e13));
+  b.client_ip = "10.0.5.77";
+
+  auto& meta = b.episode.meta;
+  meta.label = dm::ml::kInfection;  // contains infectious flows
+  meta.family = "Streaming";
+  meta.scenario = BenignScenario::kVideoStreaming;
+
+  const std::string stream_host = "atdhe-live.net";
+  EpisodeBuilder::TxnSpec page;
+  page.host = stream_host;
+  page.uri = "/watch/final";
+  page.body = html_page("live stream", 10, rng_);
+  page.set_session_cookie = true;
+  b.emit(page);
+  const std::string page_url = url_of(stream_host, page.uri);
+  b.assets(stream_host, page_url, 5, 0.1);
+
+  const std::string cdn = "edge3.streamrelay-cdn.net";
+  const std::size_t per_phase =
+      std::max<std::size_t>(4, background_transactions /
+                                   std::max<std::size_t>(1, interruptions + 1));
+
+  auto stream_segments = [&](std::size_t n) {
+    for (std::size_t s = 0; s < n; ++s) {
+      b.advance(rng_.uniform(1.0, 4.0));
+      EpisodeBuilder::TxnSpec seg;
+      seg.host = cdn;
+      seg.uri = "/live/seg" + std::to_string(b.episode.transactions.size()) + ".ts";
+      seg.referrer = page_url;
+      seg.content_type = "video/mp2t";
+      seg.body = payload_blob(PayloadType::kVideo,
+                              static_cast<std::size_t>(rng_.uniform(6000, 20000)),
+                              "st" + std::to_string(payload_counter_++), false,
+                              rng_);
+      b.emit(seg);
+    }
+  };
+
+  stream_segments(per_phase);
+
+  for (std::size_t i = 0; i < interruptions; ++i) {
+    // Service interruption: page reload + "out-of-date player" pop-up that
+    // redirect-chains into a malware download (the §VI-C script).
+    b.advance(rng_.uniform(1.0, 3.0));
+    b.emit(page);
+
+    // Pre-plan the pop-up's redirect chain so each hop genuinely points at
+    // the next one, ending at the host that serves the "player fix".
+    std::string prev_url = page_url;
+    const int chain = 3 + static_cast<int>(rng_.uniform_int(0, 1));  // 3-4 hops
+    std::vector<std::string> hop_hosts;
+    for (int h = 0; h <= chain; ++h) hop_hosts.push_back(names_.ek_domain());
+    for (int h = 0; h < chain; ++h) {
+      b.advance(rng_.uniform(0.05, 0.3));
+      EpisodeBuilder::TxnSpec hop;
+      hop.host = hop_hosts[static_cast<std::size_t>(h)];
+      hop.uri = "/player-update?step=" + std::to_string(h);
+      hop.referrer = prev_url;
+      const auto technique = sample_redirect_technique(rng_);
+      const std::string next = url_of(
+          hop_hosts[static_cast<std::size_t>(h) + 1],
+          h + 1 < chain ? "/player-update?step=" + std::to_string(h + 1)
+                        : "/get-player");
+      if (technique == RedirectTechnique::kLocationHeader) {
+        hop.status = 302;
+        hop.location = next;
+      } else {
+        hop.content_type = redirect_content_type(technique);
+      }
+      hop.body = redirect_body(technique, next, rng_);
+      b.emit(hop);
+      prev_url = url_of(hop.host, hop.uri);
+    }
+    // The fake-player page fingerprints the victim before serving the
+    // payload, like a real EK landing page.
+    b.advance(rng_.uniform(0.1, 0.3));
+    const std::string& fix_host = hop_hosts.back();
+    const int checks = static_cast<int>(rng_.uniform_int(1, 3));
+    for (int c = 0; c < checks; ++c) {
+      EpisodeBuilder::TxnSpec check;
+      check.host = fix_host;
+      check.uri = "/player-check" + std::to_string(c) + ".js";
+      check.referrer = prev_url;
+      check.content_type = "application/javascript";
+      check.x_flash = rng_.chance(0.5);
+      check.body = "var v=navigator.plugins.length;";
+      b.emit(check);
+      b.advance(rng_.uniform(0.05, 0.2));
+    }
+    // The "player fix" download: flash exe / jar / pdf.
+    b.advance(rng_.uniform(0.2, 0.6));
+    static constexpr PayloadType kPopupPayloads[] = {
+        PayloadType::kExe, PayloadType::kExe, PayloadType::kJar,
+        PayloadType::kPdf};
+    b.download(fix_host, kPopupPayloads[i % 4], /*malicious=*/true, prev_url);
+
+    // The installed "player" phones home — post-download dynamics to a
+    // never-before-seen IP, like the paper's §II-D observation.
+    if (rng_.chance(0.85)) {
+      const std::string cc = names_.fresh_ip_literal();
+      const int knocks = static_cast<int>(rng_.uniform_int(1, 2));
+      for (int k = 0; k < knocks; ++k) {
+        b.advance(rng_.uniform(0.8, 3.0));
+        EpisodeBuilder::TxnSpec knock;
+        knock.host = cc;
+        knock.uri = "/gate.php";
+        knock.method = "POST";
+        knock.request_body = "id=" + std::to_string(rng_.next_u64() % 1000000);
+        knock.status = rng_.chance(0.8) ? 200 : 404;
+        knock.content_type = "text/plain";
+        knock.body = knock.status == 200 ? "ok" : "nf";
+        b.emit(knock);
+      }
+    }
+
+    stream_segments(per_phase);
+  }
+
+  meta.host_count = b.unique_hosts() + 1;
+  return std::move(b.episode);
+}
+
+}  // namespace dm::synth

@@ -1,0 +1,118 @@
+// Synthetic episode generator — the stand-in for the paper's ground-truth
+// PCAPs (see DESIGN.md "Substitutions").  Produces time-ordered HTTP
+// transaction streams whose statistics are calibrated to Table I:
+//
+//  * Infection episodes follow the pre-download / download / post-download
+//    script: enticement (Fig 1 distribution), a redirect chain through
+//    TDS/compromised hosts expressed via 30x, meta-refresh, iframe, plain
+//    and obfuscated JavaScript, exploit payload downloads typed by the
+//    family mix, then C&C call-backs to never-seen IP-literal hosts.
+//  * Benign episodes follow §II-A's collection scenarios: web search,
+//    social networking, webmail with attachments, video streaming, and
+//    random browsing — human-paced, with at most a couple of ad redirects.
+//
+// Episodes can be consumed directly as transaction streams (fast path) or
+// exported to genuine pcap bytes (synth/pcap_export.h) and re-ingested
+// through the full TCP/HTTP reconstruction stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "http/classify.h"
+#include "http/message.h"
+#include "synth/families.h"
+#include "synth/names.h"
+
+namespace dm::synth {
+
+/// Enticement categories of Figure 1.
+enum class Enticement {
+  kGoogle,
+  kBing,
+  kCompromisedSite,
+  kEmptyReferrer,
+  kRedactedReferrer,
+  kSocial,
+};
+
+std::string_view enticement_name(Enticement e) noexcept;
+
+/// Benign collection scenarios of §II-A.
+enum class BenignScenario {
+  kWebSearch,
+  kSocialNetworking,
+  kWebMail,
+  kVideoStreaming,
+  kRandomBrowsing,
+};
+
+std::string_view benign_scenario_name(BenignScenario s) noexcept;
+
+/// One downloaded artifact, for the simulated-VirusTotal ground truth.
+struct PayloadRecord {
+  std::string digest;      // content digest (util::digest_hex of the body)
+  dm::http::PayloadType type = dm::http::PayloadType::kNone;
+  bool malicious = false;
+  std::string host;        // serving host
+  std::string uri;
+  std::uint64_t ts_micros = 0;
+  std::size_t size = 0;
+};
+
+struct EpisodeMeta {
+  int label = 0;  // ml::kInfection or ml::kBenign
+  std::string family;        // family name or "Benign"
+  Enticement enticement = Enticement::kEmptyReferrer;
+  BenignScenario scenario = BenignScenario::kWebSearch;  // benign only
+  std::uint32_t redirect_chain_len = 0;
+  std::uint32_t host_count = 0;
+  bool has_callback = false;
+  bool compromised_wordpress = false;  // URI matches a WordPress install
+  std::vector<PayloadRecord> payloads;
+};
+
+struct Episode {
+  std::vector<dm::http::HttpTransaction> transactions;  // time ordered
+  EpisodeMeta meta;
+};
+
+struct GeneratorOptions {
+  /// Base capture time (microseconds since epoch).  Episodes start at a
+  /// random offset after this.
+  std::uint64_t base_ts_micros = 1451606400ULL * 1000000;  // 2016-01-01
+  /// Cap on payload body size, to keep pcap round-trips fast.
+  std::size_t max_payload_bytes = 64 * 1024;
+};
+
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(std::uint64_t seed, GeneratorOptions options = {});
+
+  /// One infection episode for the given exploit-kit family.
+  Episode infection(const FamilyProfile& family);
+
+  /// One benign episode; scenario sampled per §II-A when not forced.
+  Episode benign();
+  Episode benign(BenignScenario scenario);
+
+  /// Case-study 1 scenario (§VI-C): a free-live-streaming session with
+  /// periodic "player update" pop-ups that redirect into malware downloads.
+  /// `interruptions` controls how many malicious pop-up flows occur.
+  Episode free_streaming_session(std::size_t interruptions,
+                                 std::size_t background_transactions);
+
+  dm::util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  dm::util::Rng rng_;
+  HostNameGen names_;
+  GeneratorOptions options_;
+  std::uint64_t payload_counter_ = 0;
+};
+
+/// Samples an enticement per Figure 1's distribution (Google 37%, Bing 25%,
+/// empty 17.76%, compromised 12.84%, redacted 7.51%, social 0.9%).
+Enticement sample_enticement(dm::util::Rng& rng);
+
+}  // namespace dm::synth

@@ -1,0 +1,108 @@
+#include "synth/names.h"
+
+#include <array>
+
+#include "util/hash.h"
+
+namespace dm::synth {
+namespace {
+
+constexpr std::array<std::string_view, 8> kShadyTlds = {
+    "top", "xyz", "club", "info", "biz", "pw", "ru", "cc"};
+constexpr std::array<std::string_view, 5> kCommonTlds = {
+    "com", "net", "org", "io", "co"};
+constexpr std::array<std::string_view, 12> kBenignWords = {
+    "river", "maple", "summit", "harbor", "cedar",  "willow",
+    "canyon", "meadow", "aurora", "copper", "lantern", "juniper"};
+constexpr std::array<std::string_view, 12> kBenignSuffixes = {
+    "cafe", "books", "travel", "fitness", "garden", "photo",
+    "media", "design", "labs",  "market", "sports", "news"};
+constexpr std::array<std::string_view, 6> kAdNetworks = {
+    "adserve-metrics.com", "clickpath-net.com",  "bannerrotator.net",
+    "trafficpulse.biz",    "popundernet.info",   "syndicated-ads.net"};
+
+}  // namespace
+
+std::string HostNameGen::random_token(std::size_t min_len, std::size_t max_len) {
+  static constexpr std::string_view kConsonants = "bcdfghjklmnpqrstvwz";
+  static constexpr std::string_view kVowels = "aeiou";
+  const auto len = static_cast<std::size_t>(
+      rng_.uniform_int(static_cast<std::int64_t>(min_len),
+                       static_cast<std::int64_t>(max_len)));
+  std::string token;
+  for (std::size_t i = 0; i < len; ++i) {
+    const auto& pool = (i % 2 == 0) ? kConsonants : kVowels;
+    token += pool[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+  }
+  return token;
+}
+
+std::string HostNameGen::ek_domain() {
+  std::string domain = random_token(6, 12);
+  if (rng_.chance(0.3)) domain += std::to_string(rng_.uniform_int(10, 999));
+  domain += '.';
+  domain += kShadyTlds[rng_.weighted_index({4, 3, 2, 2, 1, 1, 2, 1})];
+  return domain;
+}
+
+std::string HostNameGen::compromised_site() {
+  std::string domain(kBenignWords[static_cast<std::size_t>(
+      rng_.uniform_int(0, kBenignWords.size() - 1))]);
+  domain += kBenignSuffixes[static_cast<std::size_t>(
+      rng_.uniform_int(0, kBenignSuffixes.size() - 1))];
+  domain += random_token(2, 4);
+  domain += '.';
+  domain += kCommonTlds[static_cast<std::size_t>(
+      rng_.uniform_int(0, kCommonTlds.size() - 1))];
+  return domain;
+}
+
+std::string HostNameGen::benign_site() {
+  std::string domain(kBenignWords[static_cast<std::size_t>(
+      rng_.uniform_int(0, kBenignWords.size() - 1))]);
+  domain += kBenignSuffixes[static_cast<std::size_t>(
+      rng_.uniform_int(0, kBenignSuffixes.size() - 1))];
+  domain += '.';
+  domain += kCommonTlds[static_cast<std::size_t>(
+      rng_.uniform_int(0, kCommonTlds.size() - 1))];
+  return domain;
+}
+
+std::string HostNameGen::cdn_for(const std::string& site) {
+  // Deterministic per site: real pages pull assets from one or two stable
+  // CDN hosts, not a fresh host per request (keeps benign WCG host counts
+  // at Table I's benign scale).
+  const std::uint64_t h = dm::util::fnv1a(site);
+  if (h % 2 == 0) return "static1." + site;
+  return "cdn" + std::to_string(h % 4 + 1) + ".edgecachenet.net";
+}
+
+std::string HostNameGen::ad_host() {
+  return std::string(kAdNetworks[static_cast<std::size_t>(
+      rng_.uniform_int(0, kAdNetworks.size() - 1))]);
+}
+
+std::string HostNameGen::fresh_ip_literal() {
+  // Routable-looking, avoids private ranges.
+  const auto a = rng_.uniform_int(11, 223);
+  const auto b = rng_.uniform_int(0, 255);
+  const auto c = rng_.uniform_int(0, 255);
+  const auto d = rng_.uniform_int(1, 254);
+  return std::to_string(a) + "." + std::to_string(b) + "." + std::to_string(c) +
+         "." + std::to_string(d);
+}
+
+dm::net::Ipv4Address HostNameGen::ip_for(const std::string& host) {
+  // IP-literal hosts resolve to themselves.
+  if (const auto literal = dm::net::Ipv4Address::parse(host)) return *literal;
+  const std::uint64_t h = dm::util::fnv1a(host);
+  // Spread over public-looking space, avoid 0/127/private first octets.
+  const auto a = static_cast<std::uint8_t>(11 + h % 200);
+  const auto b = static_cast<std::uint8_t>((h >> 8) & 0xff);
+  const auto c = static_cast<std::uint8_t>((h >> 16) & 0xff);
+  const auto d = static_cast<std::uint8_t>(1 + ((h >> 24) & 0xff) % 253);
+  return dm::net::Ipv4Address::from_octets(a, b, c, d);
+}
+
+}  // namespace dm::synth

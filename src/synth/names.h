@@ -1,0 +1,51 @@
+// Deterministic host-name and IP synthesis for generated traffic.
+//
+// Infection hosts follow exploit-kit naming habits (algorithmically
+// generated labels, throwaway TLDs); benign hosts look like ordinary sites
+// and CDNs.  IPs derive from a hash of the hostname so the same host always
+// resolves identically within a generator run.
+#pragma once
+
+#include <string>
+
+#include "net/packet.h"
+#include "util/rng.h"
+
+namespace dm::synth {
+
+class HostNameGen {
+ public:
+  explicit HostNameGen(dm::util::Rng rng) : rng_(rng) {}
+
+  /// EK-style domain: random consonant-vowel token + shady TLD
+  /// ("qazotrel.top").
+  std::string ek_domain();
+
+  /// Compromised-CMS site: plausible small-business name + common TLD;
+  /// URIs on it will carry WordPress-style paths.
+  std::string compromised_site();
+
+  /// Ordinary benign site ("riverbendcafe.com").
+  std::string benign_site();
+
+  /// CDN host for a site ("cdn3.riverbendcafe.com" or a shared CDN).
+  std::string cdn_for(const std::string& site);
+
+  /// Ad-network host.
+  std::string ad_host();
+
+  /// Bare IP-literal host (C&C callbacks use these — the paper observed
+  /// post-download requests go to never-seen-before IP addresses).
+  std::string fresh_ip_literal();
+
+  /// Deterministic IPv4 for a hostname (stable across runs).
+  static dm::net::Ipv4Address ip_for(const std::string& host);
+
+  dm::util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  std::string random_token(std::size_t min_len, std::size_t max_len);
+  dm::util::Rng rng_;
+};
+
+}  // namespace dm::synth

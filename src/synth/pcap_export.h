@@ -1,0 +1,21 @@
+// Renders a generated episode to genuine pcap bytes: each (client, server)
+// conversation becomes a scripted TCP connection (handshake, HTTP/1.1
+// keep-alive request/response exchange, teardown) built frame-by-frame with
+// correct checksums.  Reading the file back through net/ + http/ reproduces
+// the episode's transactions — the round-trip the unit tests and the
+// Table I bench verify.
+#pragma once
+
+#include "net/pcap.h"
+#include "synth/generator.h"
+
+namespace dm::synth {
+
+/// Wire-format rendering of one HTTP request / response.
+std::string render_request(const dm::http::HttpRequest& request);
+std::string render_response(const dm::http::HttpResponse& response);
+
+/// Full episode -> pcap capture (packets time-ordered).
+dm::net::PcapFile episode_to_pcap(const Episode& episode);
+
+}  // namespace dm::synth

@@ -1,0 +1,97 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace dm::util {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    const int n = std::snprintf(buf, sizeof buf, "%.10g", v);
+    fields.emplace_back(buf, static_cast<std::size_t>(n));
+  }
+  write_row(fields);
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace dm::util

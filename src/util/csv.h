@@ -1,0 +1,32 @@
+// Minimal CSV writer/reader used to persist feature matrices and benchmark
+// series.  Quoting follows RFC 4180: fields containing comma, quote or
+// newline are quoted, quotes doubled.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dm::util {
+
+/// Streams rows to an ostream, handling quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough precision to round-trip.
+  void write_row_numeric(const std::vector<double>& values);
+
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parses CSV text into rows of fields (RFC 4180 quoting).
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+}  // namespace dm::util

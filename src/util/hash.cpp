@@ -1,0 +1,36 @@
+#include "util/hash.h"
+
+namespace dm::util {
+namespace {
+constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view data) noexcept {
+  return fnv1a_append(kOffset, data);
+}
+
+std::uint64_t fnv1a_append(std::uint64_t h, std::string_view data) noexcept {
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::string digest_hex(std::string_view data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint64_t salt = 1; salt <= 5; ++salt) {
+    std::uint64_t h = fnv1a_append(kOffset ^ (salt * 0x9e3779b97f4a7c15ULL), data);
+    // 32 bits -> 8 hex chars per pass; 5 passes -> 40 chars (160 bits).
+    const auto word = static_cast<std::uint32_t>(h ^ (h >> 32));
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out += kHex[(word >> shift) & 0xf];
+    }
+  }
+  return out;
+}
+
+}  // namespace dm::util

@@ -1,0 +1,24 @@
+// Hashing utilities: FNV-1a for hash-map style keys and a 160-bit digest used
+// as a stand-in for payload content hashes when talking to the simulated
+// VirusTotal baseline.  Neither is cryptographic; the baseline only needs
+// collision-free-in-practice identifiers for synthetic payloads.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dm::util {
+
+/// 64-bit FNV-1a.
+std::uint64_t fnv1a(std::string_view data) noexcept;
+
+/// Mixes an existing hash with more data (for composite keys).
+std::uint64_t fnv1a_append(std::uint64_t h, std::string_view data) noexcept;
+
+/// A 160-bit digest rendered as 40 hex chars.  Built from five independently
+/// salted FNV-1a passes; stable across platforms and runs.
+std::string digest_hex(std::string_view data);
+
+}  // namespace dm::util

@@ -1,0 +1,112 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace dm::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+  // Avoid the all-zero state, which xoshiro cannot escape.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Debiased modulo via rejection sampling.
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  const double u1 = 1.0 - next_double();
+  const double u2 = next_double();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) noexcept {
+  const double u = 1.0 - next_double();
+  return -std::log(u) / lambda;
+}
+
+std::int64_t Rng::skewed_int(std::int64_t lo, std::int64_t hi, double mean) noexcept {
+  if (hi <= lo) return lo;
+  const double target = std::max(1e-9, mean - static_cast<double>(lo));
+  const double x = exponential(1.0 / target);
+  const auto v = lo + static_cast<std::int64_t>(x);
+  return std::clamp(v, lo, hi);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0 || weights.empty()) return 0;
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= std::max(0.0, weights[i]);
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::weighted_index(std::initializer_list<double> weights) noexcept {
+  return weighted_index(std::span<const double>(weights.begin(), weights.size()));
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
+
+}  // namespace dm::util

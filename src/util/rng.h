@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation for experiments.
+//
+// Every experiment in this repository takes an explicit seed so that tables
+// and figures are reproducible run-to-run.  The generator is xoshiro256++,
+// a small, fast, high-quality PRNG; it is NOT cryptographic and is not meant
+// to be.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace dm::util {
+
+/// xoshiro256++ PRNG with convenience sampling helpers.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions, though the built-in helpers below cover all
+/// uses in this repository.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from a single seed value using
+  /// splitmix64, as recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare; simple and stateless).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Log-normal: exp(normal(mu, sigma)). Used for payload sizes and delays,
+  /// which are heavy-tailed in real traffic.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with given rate lambda (> 0). Used for inter-arrival times.
+  double exponential(double lambda) noexcept;
+
+  /// Geometric-like integer in [lo, hi]: lo + floor of a truncated
+  /// exponential; concentrates near lo, occasionally reaches hi.  Used to
+  /// model "min 2, max 231, avg ~6" style host-count distributions from the
+  /// paper's Table I.
+  std::int64_t skewed_int(std::int64_t lo, std::int64_t hi, double mean) noexcept;
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// All weights must be >= 0 and at least one > 0; otherwise returns 0.
+  std::size_t weighted_index(std::span<const double> weights) noexcept;
+  std::size_t weighted_index(std::initializer_list<double> weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Returns a child generator seeded from this one; use to give each
+  /// sub-task an independent stream without coupling their consumption.
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dm::util

@@ -1,0 +1,75 @@
+// Small descriptive-statistics helpers shared by the analytics, the synthetic
+// trace generator calibration, and the benchmark report printers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dm::util {
+
+/// Mean of a sample; 0 for an empty sample.
+double mean(std::span<const double> xs) noexcept;
+
+/// Population variance; 0 for samples of size < 2.
+double variance(std::span<const double> xs) noexcept;
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Sample minimum / maximum; 0 for empty samples.
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. 0 for empty samples.
+double percentile(std::vector<double> xs, double p) noexcept;
+
+/// Median (50th percentile).
+double median(std::vector<double> xs) noexcept;
+
+/// Incremental mean/variance accumulator (Welford). Useful when streaming
+/// per-WCG measurements through the benchmark harness.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.  Used by the figure
+/// benchmarks to print distribution shapes (Figures 7-9).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t total() const noexcept { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_low(std::size_t i) const noexcept;
+  double bin_high(std::size_t i) const noexcept;
+  /// Fraction of samples in bucket i; 0 when empty.
+  double fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dm::util

@@ -1,0 +1,64 @@
+// String utilities used by the HTTP parser, redirect miner and report
+// printers.  All functions are allocation-conscious: views in, owned strings
+// out only where ownership is needed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dm::util {
+
+/// ASCII lower-case copy (HTTP header names / hostnames are case-insensitive).
+std::string to_lower(std::string_view s);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on a character, dropping empty fields and trimming each piece.
+std::vector<std::string_view> split_trimmed(std::string_view s, char sep);
+
+/// True if `s` starts with / ends with the given prefix/suffix,
+/// case-insensitively (ASCII).
+bool istarts_with(std::string_view s, std::string_view prefix) noexcept;
+bool iends_with(std::string_view s, std::string_view suffix) noexcept;
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Case-insensitive substring search; npos when absent.
+std::size_t ifind(std::string_view haystack, std::string_view needle) noexcept;
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Parses a non-negative decimal integer; returns fallback on any error.
+long parse_long(std::string_view s, long fallback = -1) noexcept;
+
+/// Percent-decodes a URI component (invalid escapes pass through verbatim).
+std::string url_decode(std::string_view s);
+
+/// Extracts the registrable-ish domain: last two labels of a hostname
+/// ("a.b.example.com" -> "example.com").  This repository does not ship a
+/// public-suffix list; two labels is the approximation the paper's
+/// cross-domain redirect counting needs.
+std::string_view registrable_domain(std::string_view host) noexcept;
+
+/// Extracts the top-level domain ("example.com" -> "com"); empty for IPs.
+std::string_view top_level_domain(std::string_view host) noexcept;
+
+/// True if the host string looks like a dotted-quad IPv4 literal.
+bool looks_like_ipv4(std::string_view host) noexcept;
+
+/// Lower-cased file extension of a URI path, without the dot ("a/b/x.EXE?q"
+/// -> "exe"); empty when none.
+std::string uri_extension(std::string_view uri);
+
+/// Strips query and fragment from a URI, returning just the path part.
+std::string_view uri_path(std::string_view uri) noexcept;
+
+/// Decodes standard base64; returns empty on malformed input.
+std::string base64_decode(std::string_view s);
+
+}  // namespace dm::util

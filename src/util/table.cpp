@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dm::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      out << cell;
+      if (c + 1 < header_.size()) {
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c], '-');
+    if (c + 1 < header_.size()) out << "  ";
+  }
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace dm::util

@@ -1,0 +1,34 @@
+// ASCII table printer used by the benchmark binaries to render the paper's
+// tables (Table I, III, IV, V, VI) in a readable fixed-width layout.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dm::util {
+
+/// Accumulates rows of string cells and prints them column-aligned with a
+/// header separator, e.g.
+///
+///   Family       PCAPs  Hosts(avg)
+///   -----------  -----  ----------
+///   Angler       253    6.1
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Numeric convenience; formats with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dm::util

@@ -1,0 +1,151 @@
+#include "baseline/virustotal_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/dataset.h"
+
+namespace dm::baseline {
+namespace {
+
+VtOptions deterministic_options() {
+  VtOptions options;
+  options.timeout_prob = 0.0;  // most tests don't want timeouts
+  return options;
+}
+
+TEST(VirusTotalSimTest, UnknownDigestZeroDetections) {
+  VirusTotalSim vt(deterministic_options());
+  const auto result = vt.scan("deadbeef", 100.0);
+  EXPECT_EQ(result.detections, 0);
+  EXPECT_FALSE(result.known);
+  EXPECT_FALSE(vt.flags_malicious(result));
+}
+
+TEST(VirusTotalSimTest, VisibleMalwareEventuallyDetected) {
+  auto options = deterministic_options();
+  options.campaign_visibility = 1.0;  // force visibility
+  VirusTotalSim vt(options);
+  vt.register_payload("digest-a", true, 0.0, "campaign-x");
+  const auto fresh = vt.scan("digest-a", 0.0);
+  const auto aged = vt.scan("digest-a", 365.0);
+  EXPECT_LE(fresh.detections, aged.detections);
+  EXPECT_TRUE(vt.flags_malicious(aged));
+  // After a year nearly all covering engines have signatures.
+  EXPECT_GT(aged.detections, options.num_engines / 2);
+}
+
+TEST(VirusTotalSimTest, DetectionCountGrowsWithLag) {
+  auto options = deterministic_options();
+  options.campaign_visibility = 1.0;
+  VirusTotalSim vt(options);
+  vt.register_payload("digest-lag", true, 10.0, "campaign-lag");
+  int previous = -1;
+  for (double day : {10.0, 15.0, 21.0, 40.0, 100.0}) {
+    const int detections = vt.scan("digest-lag", day).detections;
+    EXPECT_GE(detections, previous);
+    previous = detections;
+  }
+}
+
+TEST(VirusTotalSimTest, TheElevenDayEffect) {
+  // A fresh payload typically gathers detections between day 0 and day 11 —
+  // the mechanism behind the paper's forensic case study.
+  auto options = deterministic_options();
+  options.campaign_visibility = 1.0;
+  VirusTotalSim vt(options);
+  int gained = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::string digest = "fresh-" + std::to_string(i);
+    vt.register_payload(digest, true, 1000.0, "campaign-" + std::to_string(i));
+    const int at_capture = vt.scan(digest, 1000.0).detections;
+    const int later = vt.scan(digest, 1011.0).detections;
+    EXPECT_GE(later, at_capture);
+    gained += later - at_capture;
+  }
+  EXPECT_GT(gained, 0);
+}
+
+TEST(VirusTotalSimTest, InvisibleCampaignNeverDetected) {
+  auto options = deterministic_options();
+  options.campaign_visibility = 0.0;
+  VirusTotalSim vt(options);
+  vt.register_payload("digest-b", true, 0.0, "hidden-campaign");
+  EXPECT_EQ(vt.scan("digest-b", 10000.0).detections, 0);
+}
+
+TEST(VirusTotalSimTest, CleanBenignStaysUnderThreshold) {
+  auto options = deterministic_options();
+  options.benign_grey_prob = 0.0;
+  VirusTotalSim vt(options);
+  for (int i = 0; i < 100; ++i) {
+    const std::string digest = "benign-" + std::to_string(i);
+    vt.register_payload(digest, false, 0.0, "b");
+    EXPECT_FALSE(vt.flags_malicious(vt.scan(digest, 1000.0)));
+  }
+}
+
+TEST(VirusTotalSimTest, GreyBenignSometimesFlagged) {
+  auto options = deterministic_options();
+  options.benign_grey_prob = 1.0;
+  VirusTotalSim vt(options);
+  vt.register_payload("grey-1", false, 0.0, "b");
+  EXPECT_TRUE(vt.flags_malicious(vt.scan("grey-1", 1.0)));
+}
+
+TEST(VirusTotalSimTest, ScansAreRepeatable) {
+  VirusTotalSim vt(deterministic_options());
+  vt.register_payload("digest-c", true, 5.0, "campaign-c");
+  const auto r1 = vt.scan("digest-c", 20.0);
+  const auto r2 = vt.scan("digest-c", 20.0);
+  EXPECT_EQ(r1.detections, r2.detections);
+}
+
+TEST(VirusTotalSimTest, ReregistrationKeepsEarliestDate) {
+  auto options = deterministic_options();
+  options.campaign_visibility = 1.0;
+  VirusTotalSim vt(options);
+  vt.register_payload("digest-d", true, 10.0, "campaign-d");
+  vt.register_payload("digest-d", true, 500.0, "campaign-d");  // re-seen later
+  const auto result = vt.scan("digest-d", 400.0);
+  EXPECT_GT(result.detections, 0);  // lag measured from day 10, not 500
+}
+
+TEST(VirusTotalSimTest, EpisodeScanAggregates) {
+  dm::synth::TraceGenerator gen(20);
+  const auto episode = gen.infection(dm::synth::family_by_name("Angler"));
+  auto options = deterministic_options();
+  options.campaign_visibility = 1.0;
+  VirusTotalSim vt(options);
+  vt.register_episode(episode, 0.0);
+  const auto verdict = vt.scan_episode(episode, 365.0);
+  EXPECT_TRUE(verdict.flagged);
+}
+
+TEST(VirusTotalSimTest, CoverageCalibrationRoughlyMatchesTable5) {
+  // Over many campaigns, roughly campaign_visibility of episodes should be
+  // flaggable once aged (the Table V "84.3%" coverage shape).
+  VtOptions options = deterministic_options();
+  VirusTotalSim vt(options);
+  dm::synth::TraceGenerator gen(21);
+  int flagged = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const auto episode = gen.infection(dm::synth::family_by_name("Nuclear"));
+    vt.register_episode(episode, 0.0);
+    flagged += vt.scan_episode(episode, 365.0).flagged;
+  }
+  EXPECT_NEAR(static_cast<double>(flagged) / n, options.campaign_visibility, 0.1);
+}
+
+TEST(VirusTotalSimTest, TimeoutsOccurWhenEnabled) {
+  VtOptions options;
+  options.timeout_prob = 1.0;
+  VirusTotalSim vt(options);
+  vt.register_payload("digest-e", true, 0.0, "campaign-e");
+  const auto result = vt.scan("digest-e", 100.0);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(vt.flags_malicious(result));
+}
+
+}  // namespace
+}  // namespace dm::baseline

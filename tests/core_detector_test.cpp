@@ -1,0 +1,93 @@
+// Detector-level tests: thresholds, determinism, and the offline-train /
+// serialize / deploy round trip the paper's two-stage design implies.
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trainer.h"
+#include "core/wcg_builder.h"
+#include "ml/serialization.h"
+#include "synth/dataset.h"
+
+namespace dm::core {
+namespace {
+
+struct Fixture {
+  dm::ml::RandomForest forest;
+  Wcg infection_wcg;
+  Wcg benign_wcg;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    const auto gt = dm::synth::generate_ground_truth(600, 0.05);
+    std::vector<Wcg> infections;
+    std::vector<Wcg> benign;
+    for (const auto& e : gt.infections) {
+      infections.push_back(build_wcg(e.transactions));
+    }
+    for (const auto& e : gt.benign) benign.push_back(build_wcg(e.transactions));
+    auto forest = train_dynaminer(dataset_from_wcgs(infections, benign), 3);
+
+    dm::synth::TraceGenerator fresh(601);
+    return Fixture{
+        std::move(forest),
+        build_wcg(fresh.infection(dm::synth::family_by_name("Nuclear")).transactions),
+        build_wcg(fresh.benign().transactions),
+    };
+  }();
+  return f;
+}
+
+TEST(DetectorTest, ScoresAreProbabilities) {
+  const Detector detector(fixture().forest);
+  for (const Wcg* wcg : {&fixture().infection_wcg, &fixture().benign_wcg}) {
+    const double s = detector.score(*wcg);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(DetectorTest, SeparatesFreshEpisodes) {
+  const Detector detector(fixture().forest);
+  EXPECT_GT(detector.score(fixture().infection_wcg),
+            detector.score(fixture().benign_wcg));
+}
+
+TEST(DetectorTest, ThresholdControlsVerdict) {
+  const double score = Detector(fixture().forest).score(fixture().infection_wcg);
+  const Detector lenient(fixture().forest, {}, score - 0.01);
+  const Detector strict(fixture().forest, {}, score + 0.01);
+  EXPECT_TRUE(lenient.is_infection(fixture().infection_wcg));
+  EXPECT_FALSE(strict.is_infection(fixture().infection_wcg));
+  EXPECT_DOUBLE_EQ(lenient.threshold(), score - 0.01);
+}
+
+TEST(DetectorTest, ScoreDeterministic) {
+  const Detector detector(fixture().forest);
+  EXPECT_DOUBLE_EQ(detector.score(fixture().infection_wcg),
+                   detector.score(fixture().infection_wcg));
+}
+
+TEST(DetectorTest, SurvivesSerializationRoundTrip) {
+  // Offline-train -> persist -> deploy must reproduce scores bit-exactly.
+  std::stringstream buffer;
+  dm::ml::save_forest(fixture().forest, buffer);
+  const Detector original(fixture().forest);
+  const Detector deployed(dm::ml::load_forest(buffer));
+  EXPECT_DOUBLE_EQ(original.score(fixture().infection_wcg),
+                   deployed.score(fixture().infection_wcg));
+  EXPECT_DOUBLE_EQ(original.score(fixture().benign_wcg),
+                   deployed.score(fixture().benign_wcg));
+}
+
+TEST(DetectorTest, EmptyWcgScoresAsBenignSide) {
+  const Detector detector(fixture().forest);
+  const Wcg empty;
+  EXPECT_LT(detector.score(empty), 0.5);
+}
+
+}  // namespace
+}  // namespace dm::core

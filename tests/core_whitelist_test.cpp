@@ -1,0 +1,48 @@
+#include "core/whitelist.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::core {
+namespace {
+
+TEST(TrustedVendorsTest, DefaultListNonEmpty) {
+  const auto list = TrustedVendors::default_list();
+  EXPECT_GT(list.size(), 10u);
+}
+
+TEST(TrustedVendorsTest, ExactAndSubdomainMatch) {
+  const auto list = TrustedVendors::default_list();
+  EXPECT_TRUE(list.is_trusted("windowsupdate.com"));
+  EXPECT_TRUE(list.is_trusted("dl.windowsupdate.com"));
+  EXPECT_TRUE(list.is_trusted("a.b.c.windowsupdate.com"));
+  EXPECT_FALSE(list.is_trusted("notwindowsupdate.com"));
+  EXPECT_FALSE(list.is_trusted("windowsupdate.com.evil.top"));
+}
+
+TEST(TrustedVendorsTest, CaseInsensitive) {
+  const auto list = TrustedVendors::default_list();
+  EXPECT_TRUE(list.is_trusted("Update.Microsoft.COM"));
+}
+
+TEST(TrustedVendorsTest, NoneTrustsNothing) {
+  const auto list = TrustedVendors::none();
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_FALSE(list.is_trusted("windowsupdate.com"));
+}
+
+TEST(TrustedVendorsTest, CustomAdditions) {
+  TrustedVendors list;
+  list.add("Internal-Mirror.example");
+  EXPECT_TRUE(list.is_trusted("internal-mirror.example"));
+  EXPECT_TRUE(list.is_trusted("pkg.internal-mirror.example"));
+  EXPECT_FALSE(list.is_trusted("other.example"));
+}
+
+TEST(TrustedVendorsTest, EkDomainsNeverTrusted) {
+  const auto list = TrustedVendors::default_list();
+  EXPECT_FALSE(list.is_trusted("qazotrel.top"));
+  EXPECT_FALSE(list.is_trusted("203.0.113.7"));
+}
+
+}  // namespace
+}  // namespace dm::core

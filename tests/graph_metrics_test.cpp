@@ -1,0 +1,77 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::graph {
+namespace {
+
+TEST(GraphMetricsTest, EmptyGraphAllZero) {
+  const auto m = compute_metrics(Digraph{});
+  EXPECT_EQ(m.order, 0u);
+  EXPECT_EQ(m.size, 0u);
+  EXPECT_EQ(m.volume, 0u);
+  EXPECT_EQ(m.density, 0.0);
+}
+
+TEST(GraphMetricsTest, TriangleBasics) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.order, 3u);
+  EXPECT_EQ(m.size, 3u);
+  EXPECT_EQ(m.volume, 6u);  // sum of degrees = 2m
+  EXPECT_DOUBLE_EQ(m.avg_degree, 2.0);
+  EXPECT_DOUBLE_EQ(m.avg_in_degree, 1.0);
+  EXPECT_DOUBLE_EQ(m.avg_out_degree, 1.0);
+  EXPECT_DOUBLE_EQ(m.density, 0.5);  // 3 simple edges / (3*2)
+  EXPECT_EQ(m.diameter, 1u);
+  EXPECT_DOUBLE_EQ(m.avg_clustering_coefficient, 1.0);
+  EXPECT_EQ(m.reciprocity, 0.0);
+  EXPECT_NEAR(m.avg_pagerank, 1.0 / 3.0, 1e-9);
+}
+
+TEST(GraphMetricsTest, MultiEdgesCountInSizeVolumeNotDensity) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.size, 3u);
+  EXPECT_EQ(m.volume, 6u);
+  EXPECT_DOUBLE_EQ(m.density, 0.5);  // one simple edge over 2 possible
+}
+
+TEST(GraphMetricsTest, StarMetrics) {
+  Digraph g(5);  // hub 0 with 4 leaves
+  for (NodeId leaf = 1; leaf < 5; ++leaf) g.add_edge(0, leaf);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.diameter, 2u);
+  EXPECT_NEAR(m.avg_betweenness_centrality, 1.0 / 5.0, 1e-12);  // hub=1, rest 0
+  EXPECT_DOUBLE_EQ(m.avg_clustering_coefficient, 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_node_connectivity, 1.0);  // tree
+}
+
+TEST(GraphMetricsTest, DeterministicUnderSeededSampling) {
+  // A graph large enough to trigger connectivity sampling.
+  Digraph g(80);
+  for (NodeId v = 0; v + 1 < 80; ++v) g.add_edge(v, v + 1);
+  for (NodeId v = 0; v + 7 < 80; v += 7) g.add_edge(v, v + 7);
+  MetricsOptions options;
+  options.connectivity_max_pairs = 100;
+  const auto m1 = compute_metrics(g, options);
+  const auto m2 = compute_metrics(g, options);
+  EXPECT_DOUBLE_EQ(m1.avg_node_connectivity, m2.avg_node_connectivity);
+}
+
+TEST(GraphMetricsTest, ReciprocityDetected) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const auto m = compute_metrics(g);
+  EXPECT_DOUBLE_EQ(m.reciprocity, 1.0);
+}
+
+}  // namespace
+}  // namespace dm::graph

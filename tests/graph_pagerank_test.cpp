@@ -1,0 +1,108 @@
+#include "graph/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dm::graph {
+namespace {
+
+double sum_of(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  EXPECT_TRUE(pagerank({}).empty());
+}
+
+TEST(PageRankTest, SingleNodeGetsAllMass) {
+  const auto pr = pagerank(Adjacency(1));
+  ASSERT_EQ(pr.size(), 1u);
+  EXPECT_NEAR(pr[0], 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SumsToOne) {
+  Adjacency adj(4);
+  adj[0] = {1, 2};
+  adj[1] = {2};
+  adj[2] = {0};
+  adj[3] = {2};  // 3 is a source; also exercises dangling handling via 2->0
+  const auto pr = pagerank(adj);
+  EXPECT_NEAR(sum_of(pr), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  Adjacency adj(4);
+  for (NodeId v = 0; v < 4; ++v) adj[v] = {static_cast<NodeId>((v + 1) % 4)};
+  const auto pr = pagerank(adj);
+  for (double x : pr) EXPECT_NEAR(x, 0.25, 1e-9);
+}
+
+TEST(PageRankTest, SinkAttractsMoreMassThanSource) {
+  Adjacency adj(3);
+  adj[0] = {2};
+  adj[1] = {2};
+  // node 2 dangling
+  const auto pr = pagerank(adj);
+  EXPECT_GT(pr[2], pr[0]);
+  EXPECT_NEAR(pr[0], pr[1], 1e-9);
+  EXPECT_NEAR(sum_of(pr), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, KnownTwoNodeAsymmetry) {
+  // 0 -> 1, 1 -> 0: symmetric, both 0.5.
+  Adjacency adj(2);
+  adj[0] = {1};
+  adj[1] = {0};
+  const auto pr = pagerank(adj);
+  EXPECT_NEAR(pr[0], 0.5, 1e-9);
+  EXPECT_NEAR(pr[1], 0.5, 1e-9);
+}
+
+TEST(PageRankTest, DampingAffectsSpread) {
+  Adjacency adj(3);
+  adj[0] = {1};
+  adj[1] = {2};
+  adj[2] = {};  // dangling chain end
+  PageRankOptions strong;
+  strong.damping = 0.99;
+  PageRankOptions weak;
+  weak.damping = 0.05;
+  const auto pr_strong = pagerank(adj, strong);
+  const auto pr_weak = pagerank(adj, weak);
+  // With weak damping everything is near uniform.
+  EXPECT_NEAR(pr_weak[0], 1.0 / 3.0, 0.05);
+  // With strong damping mass accumulates down the chain.
+  EXPECT_GT(pr_strong[2], pr_strong[0]);
+}
+
+class PageRankSumTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PageRankSumTest, AlwaysAProbabilityDistribution) {
+  // Deterministic pseudo-random sparse digraph of size n.
+  const std::size_t n = GetParam();
+  Adjacency adj(n);
+  std::uint64_t state = 88172645463325252ULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t degree = next() % 4;
+    for (std::size_t i = 0; i < degree; ++i) {
+      const auto w = static_cast<NodeId>(next() % n);
+      if (w != v) adj[v].push_back(w);
+    }
+  }
+  const auto pr = pagerank(adj);
+  EXPECT_NEAR(sum_of(pr), 1.0, 1e-6);
+  for (double x : pr) EXPECT_GT(x, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PageRankSumTest,
+                         ::testing::Values(2, 5, 17, 64, 200));
+
+}  // namespace
+}  // namespace dm::graph

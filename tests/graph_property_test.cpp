@@ -1,0 +1,183 @@
+// Property-based tests over randomly generated graphs: structural
+// invariants every metric must satisfy regardless of topology.
+#include <gtest/gtest.h>
+
+#include "graph/centrality.h"
+#include "graph/connectivity.h"
+#include "graph/metrics.h"
+#include "graph/pagerank.h"
+#include "graph/shortest_paths.h"
+#include "util/rng.h"
+
+namespace dm::graph {
+namespace {
+
+/// Random digraph: n nodes, expected out-degree d.
+Digraph random_digraph(std::uint64_t seed, std::size_t n, double d) {
+  dm::util::Rng rng(seed);
+  Digraph g(n);
+  const double p = n > 1 ? d / static_cast<double>(n - 1) : 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v && rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  // A few parallel edges to exercise multigraph handling.
+  for (int i = 0; i < 3 && g.edge_count() > 0; ++i) {
+    const auto e = g.edge(static_cast<EdgeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(g.edge_count()) - 1)));
+    g.add_edge(e.src, e.dst);
+  }
+  return g;
+}
+
+class RandomGraphTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    graph_ = random_digraph(GetParam(), 24, 2.5);
+    adj_ = graph_.undirected_adjacency();
+  }
+  Digraph graph_;
+  Adjacency adj_;
+};
+
+TEST_P(RandomGraphTest, HandshakeLemma) {
+  const auto m = compute_metrics(graph_);
+  EXPECT_EQ(m.volume, 2 * m.size);  // sum of degrees = 2 * edges
+}
+
+TEST_P(RandomGraphTest, DegreeCentralityBounds) {
+  for (double c : degree_centrality(adj_)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST_P(RandomGraphTest, ClosenessCentralityBounds) {
+  for (double c : closeness_centrality(adj_)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(RandomGraphTest, BetweennessNonNegativeAndBounded) {
+  for (double c : betweenness_centrality(adj_)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(RandomGraphTest, LoadCentralityNonNegative) {
+  for (double c : load_centrality(adj_)) {
+    EXPECT_GE(c, 0.0);
+  }
+}
+
+TEST_P(RandomGraphTest, LoadEqualsBetweennessWhenPathsUnique) {
+  // On any graph, load and betweenness agree on nodes where all shortest
+  // paths are unique; globally they stay within the normalization bound.
+  const auto lc = load_centrality(adj_);
+  const auto bc = betweenness_centrality(adj_);
+  for (std::size_t v = 0; v < lc.size(); ++v) {
+    EXPECT_LT(std::abs(lc[v] - bc[v]), 0.5) << "wildly divergent at " << v;
+  }
+}
+
+TEST_P(RandomGraphTest, DiameterBoundedByOrder) {
+  EXPECT_LE(diameter(adj_), adj_.size() > 0 ? adj_.size() - 1 : 0);
+}
+
+TEST_P(RandomGraphTest, EccentricityNeverExceedsDiameter) {
+  const auto d = diameter(adj_);
+  for (NodeId v = 0; v < adj_.size(); ++v) {
+    EXPECT_LE(eccentricity(adj_, v), d);
+  }
+}
+
+TEST_P(RandomGraphTest, ClusteringCoefficientBounds) {
+  for (double c : clustering_coefficients(adj_)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+TEST_P(RandomGraphTest, PageRankIsDistribution) {
+  const auto pr = pagerank(graph_.directed_adjacency());
+  double sum = 0.0;
+  for (double x : pr) {
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST_P(RandomGraphTest, ReciprocityBounds) {
+  const double r = reciprocity(graph_);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST_P(RandomGraphTest, LocalConnectivityBoundedByMinDegree) {
+  dm::util::Rng rng(GetParam() ^ 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(adj_.size()) - 1));
+    const auto t = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(adj_.size()) - 1));
+    if (s == t) continue;
+    const auto k = local_node_connectivity(adj_, s, t);
+    EXPECT_LE(k, std::min(adj_[s].size(), adj_[t].size()) + 1);
+    // Connectivity positive iff t reachable from s.
+    const auto dist = bfs_distances(adj_, s);
+    EXPECT_EQ(k > 0, dist[t] != kUnreachable);
+  }
+}
+
+TEST_P(RandomGraphTest, ConnectivityZeroAcrossComponents) {
+  const auto comps = connected_components(adj_);
+  if (comps.count < 2) GTEST_SKIP() << "graph happens to be connected";
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  for (NodeId v = 0; v < adj_.size(); ++v) {
+    if (comps.component_of[v] == 0) a = v;
+    if (comps.component_of[v] == 1) b = v;
+  }
+  ASSERT_NE(a, kInvalidNode);
+  ASSERT_NE(b, kInvalidNode);
+  EXPECT_EQ(local_node_connectivity(adj_, a, b), 0u);
+}
+
+TEST_P(RandomGraphTest, MetricsDeterministic) {
+  const auto m1 = compute_metrics(graph_);
+  const auto m2 = compute_metrics(graph_);
+  EXPECT_EQ(m1.avg_betweenness_centrality, m2.avg_betweenness_centrality);
+  EXPECT_EQ(m1.avg_node_connectivity, m2.avg_node_connectivity);
+  EXPECT_EQ(m1.avg_pagerank, m2.avg_pagerank);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(GraphScalingTest, MetricsOnLargeSparseGraphComplete) {
+  // Worst realistic WCG scale (the paper saw up to 404 nodes / 1778 edges).
+  dm::util::Rng rng(99);
+  Digraph g(404);
+  for (NodeId v = 1; v < 404; ++v) {
+    g.add_edge(static_cast<NodeId>(rng.uniform_int(0, v - 1)), v);
+  }
+  for (int i = 0; i < 1374; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_int(0, 403));
+    const auto v = static_cast<NodeId>(rng.uniform_int(0, 403));
+    if (u != v) g.add_edge(u, v);
+  }
+  MetricsOptions options;
+  options.connectivity_max_pairs = 200;  // force the sampling path
+  const auto m = compute_metrics(g, options);
+  EXPECT_EQ(m.order, 404u);
+  EXPECT_GT(m.size, 1500u);
+  EXPECT_GT(m.avg_node_connectivity, 0.0);
+  EXPECT_GT(m.diameter, 1u);
+}
+
+}  // namespace
+}  // namespace dm::graph

@@ -1,0 +1,103 @@
+#include "http/classify.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::http {
+namespace {
+
+TEST(ClassifyExtensionTest, ExploitTypes) {
+  EXPECT_EQ(classify_extension("exe"), PayloadType::kExe);
+  EXPECT_EQ(classify_extension("dll"), PayloadType::kExe);
+  EXPECT_EQ(classify_extension("dmg"), PayloadType::kExe);
+  EXPECT_EQ(classify_extension("jar"), PayloadType::kJar);
+  EXPECT_EQ(classify_extension("swf"), PayloadType::kSwf);
+  EXPECT_EQ(classify_extension("xap"), PayloadType::kSilverlight);
+  EXPECT_EQ(classify_extension("pdf"), PayloadType::kPdf);
+}
+
+TEST(ClassifyExtensionTest, CommonWebTypes) {
+  EXPECT_EQ(classify_extension("html"), PayloadType::kHtml);
+  EXPECT_EQ(classify_extension("php"), PayloadType::kHtml);
+  EXPECT_EQ(classify_extension("js"), PayloadType::kJavaScript);
+  EXPECT_EQ(classify_extension("png"), PayloadType::kImage);
+  EXPECT_EQ(classify_extension("zip"), PayloadType::kArchive);
+  EXPECT_EQ(classify_extension("docx"), PayloadType::kOffice);
+  EXPECT_EQ(classify_extension("mp4"), PayloadType::kVideo);
+  EXPECT_EQ(classify_extension(""), PayloadType::kNone);
+  EXPECT_EQ(classify_extension("weirdext"), PayloadType::kOther);
+}
+
+TEST(RansomwareExtensionTest, KnownCryptoLockers) {
+  EXPECT_TRUE(is_ransomware_extension("locky"));
+  EXPECT_TRUE(is_ransomware_extension("cerber"));
+  EXPECT_TRUE(is_ransomware_extension("CRYPT"));  // case-insensitive
+  EXPECT_TRUE(is_ransomware_extension("zepto"));
+  EXPECT_FALSE(is_ransomware_extension("exe"));
+  EXPECT_FALSE(is_ransomware_extension("txt"));
+  EXPECT_EQ(classify_extension("locky"), PayloadType::kCrypt);
+}
+
+TEST(ExploitTypeTest, PaperList) {
+  EXPECT_TRUE(is_exploit_type(PayloadType::kPdf));
+  EXPECT_TRUE(is_exploit_type(PayloadType::kExe));
+  EXPECT_TRUE(is_exploit_type(PayloadType::kJar));
+  EXPECT_TRUE(is_exploit_type(PayloadType::kSwf));
+  EXPECT_TRUE(is_exploit_type(PayloadType::kSilverlight));
+  EXPECT_TRUE(is_exploit_type(PayloadType::kCrypt));
+  EXPECT_FALSE(is_exploit_type(PayloadType::kHtml));
+  EXPECT_FALSE(is_exploit_type(PayloadType::kImage));
+  EXPECT_FALSE(is_exploit_type(PayloadType::kArchive));
+}
+
+TEST(DownloadTypeTest, IncludesArchivesAndOffice) {
+  EXPECT_TRUE(is_download_type(PayloadType::kArchive));
+  EXPECT_TRUE(is_download_type(PayloadType::kOffice));
+  EXPECT_TRUE(is_download_type(PayloadType::kExe));
+  EXPECT_FALSE(is_download_type(PayloadType::kHtml));
+  EXPECT_FALSE(is_download_type(PayloadType::kJavaScript));
+}
+
+TEST(ClassifyPayloadTest, ContentTypeWins) {
+  EXPECT_EQ(classify_payload("text/html", "/x.exe"), PayloadType::kHtml);
+  EXPECT_EQ(classify_payload("application/pdf", "/doc"), PayloadType::kPdf);
+  EXPECT_EQ(classify_payload("application/x-shockwave-flash", "/f"),
+            PayloadType::kSwf);
+  EXPECT_EQ(classify_payload("application/java-archive", "/a"), PayloadType::kJar);
+  EXPECT_EQ(classify_payload("image/png", "/pic"), PayloadType::kImage);
+}
+
+TEST(ClassifyPayloadTest, OctetStreamDefersToExtension) {
+  EXPECT_EQ(classify_payload("application/octet-stream", "/payload.jar"),
+            PayloadType::kJar);
+  EXPECT_EQ(classify_payload("application/octet-stream", "/payload.locky"),
+            PayloadType::kCrypt);
+  // No extension hint: octet-stream is executable-ish.
+  EXPECT_EQ(classify_payload("application/octet-stream", "/download"),
+            PayloadType::kExe);
+}
+
+TEST(ClassifyPayloadTest, EmptyContentTypeUsesExtension) {
+  EXPECT_EQ(classify_payload("", "/files/a.swf"), PayloadType::kSwf);
+  EXPECT_EQ(classify_payload("", "/noext"), PayloadType::kNone);
+}
+
+TEST(ClassifyPayloadTest, TextPlainWithCryptoExtension) {
+  EXPECT_EQ(classify_payload("text/plain", "/files/x.locky"), PayloadType::kCrypt);
+  EXPECT_EQ(classify_payload("text/plain", "/readme.txt"), PayloadType::kText);
+}
+
+TEST(ClassifyPayloadTest, ContentTypeWithCharsetSuffix) {
+  EXPECT_EQ(classify_payload("text/html; charset=utf-8", "/"), PayloadType::kHtml);
+  EXPECT_EQ(classify_payload("application/javascript; charset=utf-8", "/a.js"),
+            PayloadType::kJavaScript);
+}
+
+TEST(PayloadTypeNameTest, RoundTripNames) {
+  EXPECT_EQ(payload_type_name(PayloadType::kExe), "exe");
+  EXPECT_EQ(payload_type_name(PayloadType::kCrypt), "crypt");
+  EXPECT_EQ(payload_type_name(PayloadType::kSilverlight), "xap");
+  EXPECT_EQ(payload_type_name(PayloadType::kNone), "none");
+}
+
+}  // namespace
+}  // namespace dm::http

@@ -1,0 +1,158 @@
+// Robustness sweeps over the HTTP layer: malformed, truncated and
+// adversarial message bytes must never crash the parser, the session
+// extractor or the redirect miner.
+#include <gtest/gtest.h>
+
+#include "http/parser.h"
+#include "http/redirect_miner.h"
+#include "http/session.h"
+#include "util/rng.h"
+
+namespace dm::http {
+namespace {
+
+dm::net::DirectionStream stream_of(std::string data) {
+  dm::net::DirectionStream s;
+  s.chunks.push_back({0, data.size(), 42});
+  s.data = std::move(data);
+  return s;
+}
+
+const std::string kValidExchange =
+    "GET /index.html HTTP/1.1\r\nHost: example.com\r\n"
+    "Cookie: PHPSESSID=abc\r\nReferer: http://a.example/\r\n\r\n"
+    "POST /submit HTTP/1.1\r\nHost: example.com\r\nContent-Length: 9\r\n\r\n"
+    "key=value";
+
+class HttpMutationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HttpMutationTest, MutatedRequestsNeverCrash) {
+  dm::util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = kValidExchange;
+    for (int i = 0; i < 8; ++i) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+      text[at] = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    const auto requests = parse_requests(stream_of(text));
+    for (const auto& req : requests) {
+      EXPECT_FALSE(req.method.empty());
+      EXPECT_LE(req.body.size(), text.size());
+    }
+  }
+}
+
+TEST_P(HttpMutationTest, TruncatedRequestsNeverCrash) {
+  dm::util::Rng rng(GetParam() ^ 5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto len = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kValidExchange.size())));
+    const auto requests = parse_requests(stream_of(kValidExchange.substr(0, len)));
+    EXPECT_LE(requests.size(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HttpMutationTest, ::testing::Values(3, 14, 15, 92));
+
+TEST(HttpGarbageTest, PureGarbageYieldsNothing) {
+  dm::util::Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(static_cast<std::size_t>(rng.uniform_int(0, 300)), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.uniform_int(0, 255));
+    // Must not throw; usually yields zero messages.
+    const auto requests = parse_requests(stream_of(garbage));
+    const auto responses = parse_responses(stream_of(garbage), true);
+    EXPECT_LE(requests.size() + responses.size(), 8u);
+  }
+}
+
+TEST(HttpGarbageTest, HugeContentLengthDoesNotAllocate) {
+  const auto responses = parse_responses(
+      stream_of("HTTP/1.1 200 OK\r\nContent-Length: 99999999999999\r\n\r\nx"),
+      false);
+  EXPECT_TRUE(responses.empty());  // body incomplete -> dropped
+}
+
+TEST(HttpGarbageTest, NegativeContentLengthRejected) {
+  const auto responses = parse_responses(
+      stream_of("HTTP/1.1 200 OK\r\nContent-Length: -5\r\n\r\nhello"), false);
+  EXPECT_TRUE(responses.empty());
+}
+
+TEST(HttpGarbageTest, MalformedChunkSizesRejected) {
+  const auto responses = parse_responses(
+      stream_of("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+                "ZZZ\r\nnot-hex\r\n0\r\n\r\n"),
+      false);
+  EXPECT_TRUE(responses.empty());
+}
+
+TEST(RedirectMinerFuzzTest, RandomBodiesNeverCrash) {
+  dm::util::Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    HttpTransaction txn;
+    txn.server_host = "fuzz.example";
+    txn.request.method = "GET";
+    txn.request.uri = "/";
+    HttpResponse res;
+    res.status_code = 200;
+    res.headers.add("Content-Type", "text/html");
+    std::string body(static_cast<std::size_t>(rng.uniform_int(0, 2000)), ' ');
+    for (auto& c : body) c = static_cast<char>(rng.uniform_int(1, 255));
+    res.body = std::move(body);
+    txn.response = std::move(res);
+    const auto evidence = mine_redirects(txn);
+    for (const auto& e : evidence) {
+      EXPECT_FALSE(e.target_host.empty());
+    }
+  }
+}
+
+TEST(RedirectMinerFuzzTest, TruncatedObfuscationLayersNeverCrash) {
+  // Half-finished escape sequences, unterminated quotes, cut-off atob calls.
+  const char* cases[] = {
+      "\\x",        "\\x4",          "\\u00",
+      "unescape(",  "unescape('%4",  "atob(",
+      "atob('YWJj", "window.location=\"http://",
+      "<iframe src=",
+      "<meta http-equiv=\"refresh\" content=\"0;url=",
+  };
+  for (const char* text : cases) {
+    HttpTransaction txn;
+    txn.server_host = "x";
+    txn.request.method = "GET";
+    txn.request.uri = "/";
+    HttpResponse res;
+    res.status_code = 200;
+    res.headers.add("Content-Type", "text/html");
+    res.body = text;
+    txn.response = std::move(res);
+    EXPECT_NO_THROW({ const auto out = mine_redirects(txn); (void)out; }) << text;
+    EXPECT_NO_THROW(decode_obfuscated_layers(text)) << text;
+  }
+}
+
+TEST(SessionFuzzTest, HostileCookieStringsNeverCrash) {
+  const char* cases[] = {
+      ";;;;",        "= = = =",        "PHPSESSID",
+      "PHPSESSID==", "=value",         "a=b; c",
+      ";PHPSESSID=x;", "sid=\x01\x02\x03",
+  };
+  for (const char* cookie : cases) {
+    EXPECT_NO_THROW({ const auto sid = session_id_from_cookie(cookie); (void)sid; })
+        << cookie;
+  }
+}
+
+TEST(SessionFuzzTest, HostileUrisNeverCrash) {
+  const char* cases[] = {
+      "?", "??", "/a?#", "/a?sid", "/a?sid=#", "/a?&&&&", "/a?=x&=y",
+  };
+  for (const char* uri : cases) {
+    EXPECT_NO_THROW({ const auto sid = session_id_from_uri(uri); (void)sid; }) << uri;
+  }
+}
+
+}  // namespace
+}  // namespace dm::http

@@ -1,0 +1,78 @@
+#include "http/session.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::http {
+namespace {
+
+HttpTransaction with_cookie(std::string cookie) {
+  HttpTransaction txn;
+  txn.request.method = "GET";
+  txn.request.uri = "/";
+  txn.request.headers.add("Cookie", std::move(cookie));
+  return txn;
+}
+
+TEST(SessionCookieTest, ExtractsKnownKeys) {
+  EXPECT_EQ(session_id_from_cookie("PHPSESSID=abc123").value(), "abc123");
+  EXPECT_EQ(session_id_from_cookie("theme=dark; JSESSIONID=xyz; lang=en").value(),
+            "xyz");
+  EXPECT_EQ(session_id_from_cookie("sid=42").value(), "42");
+}
+
+TEST(SessionCookieTest, CaseInsensitiveKeys) {
+  EXPECT_EQ(session_id_from_cookie("phpsessid=low").value(), "low");
+  EXPECT_EQ(session_id_from_cookie("SessionId=Mixed").value(), "Mixed");
+}
+
+TEST(SessionCookieTest, IgnoresUnknownAndEmpty) {
+  EXPECT_FALSE(session_id_from_cookie("theme=dark; lang=en").has_value());
+  EXPECT_FALSE(session_id_from_cookie("PHPSESSID=").has_value());
+  EXPECT_FALSE(session_id_from_cookie("").has_value());
+  EXPECT_FALSE(session_id_from_cookie("garbage-no-equals").has_value());
+}
+
+TEST(SessionUriTest, QueryParameters) {
+  EXPECT_EQ(session_id_from_uri("/page?sid=q99&x=1").value(), "q99");
+  EXPECT_EQ(session_id_from_uri("/a?x=1&session=s7").value(), "s7");
+  EXPECT_FALSE(session_id_from_uri("/plain/path").has_value());
+  EXPECT_FALSE(session_id_from_uri("/q?x=1&y=2").has_value());
+}
+
+TEST(SessionUriTest, FragmentIgnored) {
+  EXPECT_EQ(session_id_from_uri("/p?sid=v#frag").value(), "v");
+}
+
+TEST(ExtractSessionTest, CookiePreferredOverUri) {
+  auto txn = with_cookie("PHPSESSID=cookie-id");
+  txn.request.uri = "/x?sid=uri-id";
+  EXPECT_EQ(extract_session_id(txn).value(), "cookie-id");
+}
+
+TEST(ExtractSessionTest, SetCookieOnResponseUsed) {
+  HttpTransaction txn;
+  txn.request.method = "GET";
+  txn.request.uri = "/";
+  HttpResponse res;
+  res.status_code = 200;
+  res.headers.add("Set-Cookie", "PHPSESSID=fresh; path=/");
+  txn.response = std::move(res);
+  EXPECT_EQ(extract_session_id(txn).value(), "fresh");
+}
+
+TEST(ExtractSessionTest, UriFallback) {
+  HttpTransaction txn;
+  txn.request.method = "GET";
+  txn.request.uri = "/landing?sessionid=u1";
+  EXPECT_EQ(extract_session_id(txn).value(), "u1");
+}
+
+TEST(ExtractSessionTest, NoneFound) {
+  HttpTransaction txn;
+  txn.request.method = "GET";
+  txn.request.uri = "/";
+  EXPECT_FALSE(extract_session_id(txn).has_value());
+}
+
+}  // namespace
+}  // namespace dm::http

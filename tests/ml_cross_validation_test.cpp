@@ -1,0 +1,71 @@
+#include "ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::ml {
+namespace {
+
+Dataset noisy_separable(std::size_t n, std::uint64_t seed) {
+  dm::util::Rng rng(seed);
+  Dataset data({"a", "b"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = i % 3 == 0;  // imbalanced, like the real corpus
+    const double base = positive ? 6.0 : 0.0;
+    data.add_row({base + rng.normal(0, 1.5), rng.normal(0, 1.0)},
+                 positive ? kInfection : kBenign);
+  }
+  return data;
+}
+
+TEST(CrossValidationTest, EveryRowScoredExactlyOnce) {
+  const auto data = noisy_separable(120, 1);
+  const auto result = cross_validate(data, 10, {}, 2);
+  EXPECT_EQ(result.labels.size(), data.size());
+  EXPECT_EQ(result.scores.size(), data.size());
+  EXPECT_EQ(result.confusion.total(), data.size());
+  EXPECT_EQ(result.fold_confusions.size(), 10u);
+}
+
+TEST(CrossValidationTest, GoodDataHighTprLowFpr) {
+  const auto data = noisy_separable(600, 3);
+  ForestOptions options;
+  options.num_trees = 20;
+  const auto result = cross_validate(data, 10, options, 4);
+  EXPECT_GT(result.tpr(), 0.85);
+  EXPECT_LT(result.fpr(), 0.15);
+  EXPECT_GT(result.roc_area, 0.9);
+  EXPECT_GT(result.f_score(), 0.8);
+}
+
+TEST(CrossValidationTest, DeterministicForSeed) {
+  const auto data = noisy_separable(150, 5);
+  const auto r1 = cross_validate(data, 5, {}, 42);
+  const auto r2 = cross_validate(data, 5, {}, 42);
+  EXPECT_EQ(r1.confusion.true_positives, r2.confusion.true_positives);
+  EXPECT_EQ(r1.confusion.false_positives, r2.confusion.false_positives);
+  EXPECT_DOUBLE_EQ(r1.roc_area, r2.roc_area);
+}
+
+TEST(CrossValidationTest, ThresholdTradesTprForFpr) {
+  const auto data = noisy_separable(300, 6);
+  const auto strict = cross_validate(data, 5, {}, 7, 0.9);
+  const auto lax = cross_validate(data, 5, {}, 7, 0.1);
+  EXPECT_GE(lax.tpr(), strict.tpr());
+  EXPECT_GE(lax.fpr(), strict.fpr());
+}
+
+TEST(CrossValidationTest, PooledConfusionMatchesFoldSum) {
+  const auto data = noisy_separable(200, 8);
+  const auto result = cross_validate(data, 4, {}, 9);
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (const auto& fold : result.fold_confusions) {
+    tp += fold.true_positives;
+    fp += fold.false_positives;
+  }
+  EXPECT_EQ(tp, result.confusion.true_positives);
+  EXPECT_EQ(fp, result.confusion.false_positives);
+}
+
+}  // namespace
+}  // namespace dm::ml

@@ -1,0 +1,126 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dm::ml {
+namespace {
+
+Dataset two_feature_dataset() {
+  Dataset data({"x", "y"});
+  data.add_row({1.0, 2.0}, kInfection);
+  data.add_row({3.0, 4.0}, kBenign);
+  data.add_row({5.0, 6.0}, kInfection);
+  return data;
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  const auto data = two_feature_dataset();
+  EXPECT_EQ(data.size(), 3u);
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_EQ(data.label(0), kInfection);
+  EXPECT_EQ(data.value(1, 1), 4.0);
+  const auto row = data.row(2);
+  EXPECT_EQ(row[0], 5.0);
+  EXPECT_EQ(row[1], 6.0);
+}
+
+TEST(DatasetTest, RejectsWidthMismatch) {
+  Dataset data({"x", "y"});
+  EXPECT_THROW(data.add_row({1.0}, kBenign), std::invalid_argument);
+  EXPECT_THROW(data.add_row({1.0, 2.0, 3.0}, kBenign), std::invalid_argument);
+}
+
+TEST(DatasetTest, OutOfRangeAccessThrows) {
+  const auto data = two_feature_dataset();
+  EXPECT_THROW(data.row(3), std::out_of_range);
+  EXPECT_THROW(data.value(0, 2), std::out_of_range);
+}
+
+TEST(DatasetTest, CountLabel) {
+  const auto data = two_feature_dataset();
+  EXPECT_EQ(data.count_label(kInfection), 2u);
+  EXPECT_EQ(data.count_label(kBenign), 1u);
+}
+
+TEST(DatasetTest, SubsetPreservesOrder) {
+  const auto data = two_feature_dataset();
+  const std::vector<std::size_t> idx{2, 0};
+  const auto sub = data.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.value(0, 0), 5.0);
+  EXPECT_EQ(sub.value(1, 0), 1.0);
+}
+
+TEST(DatasetTest, SelectFeatures) {
+  const auto data = two_feature_dataset();
+  const std::vector<std::size_t> keep{1};
+  const auto narrow = data.select_features(keep);
+  EXPECT_EQ(narrow.num_features(), 1u);
+  EXPECT_EQ(narrow.feature_names()[0], "y");
+  EXPECT_EQ(narrow.value(0, 0), 2.0);
+  EXPECT_EQ(narrow.label(0), kInfection);
+}
+
+TEST(DatasetTest, AppendRequiresMatchingSchema) {
+  auto a = two_feature_dataset();
+  const auto b = two_feature_dataset();
+  a.append(b);
+  EXPECT_EQ(a.size(), 6u);
+  Dataset other({"different"});
+  EXPECT_THROW(a.append(other), std::invalid_argument);
+}
+
+TEST(StratifiedFoldsTest, CoverAllRowsOnce) {
+  Dataset data({"x"});
+  for (int i = 0; i < 50; ++i) data.add_row({double(i)}, i % 5 == 0 ? kInfection : kBenign);
+  dm::util::Rng rng(1);
+  const auto folds = stratified_folds(data, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<int> seen(50, 0);
+  for (const auto& fold : folds) {
+    for (std::size_t i : fold) ++seen[i];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(StratifiedFoldsTest, PreservesClassBalance) {
+  Dataset data({"x"});
+  for (int i = 0; i < 100; ++i) data.add_row({double(i)}, i < 20 ? kInfection : kBenign);
+  dm::util::Rng rng(2);
+  const auto folds = stratified_folds(data, 10, rng);
+  for (const auto& fold : folds) {
+    std::size_t positives = 0;
+    for (std::size_t i : fold) positives += data.label(i) == kInfection;
+    EXPECT_EQ(positives, 2u);  // 20 positives over 10 folds
+  }
+}
+
+TEST(StratifiedFoldsTest, RejectsBadK) {
+  const auto data = two_feature_dataset();
+  dm::util::Rng rng(3);
+  EXPECT_THROW(stratified_folds(data, 1, rng), std::invalid_argument);
+}
+
+TEST(StratifiedSplitTest, FractionRespected) {
+  Dataset data({"x"});
+  for (int i = 0; i < 100; ++i) data.add_row({double(i)}, i < 40 ? kInfection : kBenign);
+  dm::util::Rng rng(4);
+  const auto split = stratified_split(data, 0.25, rng);
+  EXPECT_EQ(split.test.size(), 25u);  // 10 positives + 15 negatives
+  EXPECT_EQ(split.train.size(), 75u);
+  std::size_t test_pos = 0;
+  for (std::size_t i : split.test) test_pos += data.label(i) == kInfection;
+  EXPECT_EQ(test_pos, 10u);
+}
+
+TEST(StratifiedSplitTest, RejectsBadFraction) {
+  const auto data = two_feature_dataset();
+  dm::util::Rng rng(5);
+  EXPECT_THROW(stratified_split(data, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(data, 1.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dm::ml

@@ -1,0 +1,83 @@
+#include "ml/feature_ranking.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::ml {
+namespace {
+
+/// "signal" perfectly separates, "weak" partially, "noise" not at all.
+Dataset ranked_dataset(std::size_t n, std::uint64_t seed) {
+  dm::util::Rng rng(seed);
+  Dataset data({"signal", "weak", "noise"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = i % 2 == 0;
+    data.add_row({positive ? 1.0 : 0.0,
+                  (positive ? 0.7 : 0.3) + rng.normal(0, 0.3),
+                  rng.normal(0, 1.0)},
+                 positive ? kInfection : kBenign);
+  }
+  return data;
+}
+
+TEST(GainRatioTest, PerfectFeatureIsOne) {
+  const auto data = ranked_dataset(100, 1);
+  EXPECT_NEAR(gain_ratio(data, 0), 1.0, 1e-9);
+}
+
+TEST(GainRatioTest, UselessFeatureNearZero) {
+  const auto data = ranked_dataset(400, 2);
+  EXPECT_LT(gain_ratio(data, 2), 0.2);
+}
+
+TEST(GainRatioTest, OrderingMatchesInformativeness) {
+  const auto data = ranked_dataset(400, 3);
+  EXPECT_GT(gain_ratio(data, 0), gain_ratio(data, 1));
+  EXPECT_GT(gain_ratio(data, 1), gain_ratio(data, 2));
+}
+
+TEST(GainRatioTest, ConstantFeatureIsZero) {
+  Dataset data({"const"});
+  for (int i = 0; i < 20; ++i) data.add_row({5.0}, i % 2 ? kInfection : kBenign);
+  EXPECT_EQ(gain_ratio(data, 0), 0.0);
+}
+
+TEST(GainRatioTest, PureLabelsGiveZero) {
+  Dataset data({"x"});
+  for (int i = 0; i < 20; ++i) data.add_row({double(i)}, kInfection);
+  EXPECT_EQ(gain_ratio(data, 0), 0.0);
+}
+
+TEST(RankFeaturesTest, SortedByMeanRank) {
+  const auto data = ranked_dataset(400, 4);
+  dm::util::Rng rng(5);
+  const auto ranking = rank_features(data, 10, rng);
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].name, "signal");
+  EXPECT_EQ(ranking[0].rank_mean, 1.0);
+  EXPECT_EQ(ranking[1].name, "weak");
+  EXPECT_EQ(ranking[2].name, "noise");
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_LE(ranking[i - 1].rank_mean, ranking[i].rank_mean);
+  }
+}
+
+TEST(RankFeaturesTest, StableFeatureHasLowStdev) {
+  const auto data = ranked_dataset(400, 6);
+  dm::util::Rng rng(7);
+  const auto ranking = rank_features(data, 10, rng);
+  // The perfectly separating feature ranks first in every fold.
+  EXPECT_EQ(ranking[0].rank_stdev, 0.0);
+  EXPECT_LT(ranking[0].gain_ratio_stdev, 0.05);
+}
+
+TEST(RankFeaturesTest, GainMeansWithinUnitRange) {
+  const auto data = ranked_dataset(200, 8);
+  dm::util::Rng rng(9);
+  for (const auto& fr : rank_features(data, 5, rng)) {
+    EXPECT_GE(fr.gain_ratio_mean, 0.0);
+    EXPECT_LE(fr.gain_ratio_mean, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dm::ml

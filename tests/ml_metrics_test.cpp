@@ -1,0 +1,109 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.h"
+
+namespace dm::ml {
+namespace {
+
+TEST(ConfusionTest, RatesFromCounts) {
+  Confusion c;
+  c.true_positives = 90;
+  c.false_negatives = 10;
+  c.true_negatives = 95;
+  c.false_positives = 5;
+  EXPECT_DOUBLE_EQ(c.tpr(), 0.9);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.05);
+  EXPECT_NEAR(c.precision(), 90.0 / 95.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 185.0 / 200.0);
+  const double p = 90.0 / 95.0;
+  const double r = 0.9;
+  EXPECT_NEAR(c.f_score(), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionTest, EmptyIsZero) {
+  Confusion c;
+  EXPECT_EQ(c.tpr(), 0.0);
+  EXPECT_EQ(c.fpr(), 0.0);
+  EXPECT_EQ(c.precision(), 0.0);
+  EXPECT_EQ(c.accuracy(), 0.0);
+  EXPECT_EQ(c.f_score(), 0.0);
+}
+
+TEST(ConfusionFromTest, CountsCorrectly) {
+  const std::vector<int> labels{1, 1, 0, 0, 1, 0};
+  const std::vector<int> preds{1, 0, 0, 1, 1, 0};
+  const auto c = confusion_from(labels, preds);
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_EQ(c.false_negatives, 1u);
+  EXPECT_EQ(c.false_positives, 1u);
+  EXPECT_EQ(c.true_negatives, 2u);
+}
+
+TEST(ConfusionFromTest, SizeMismatchThrows) {
+  const std::vector<int> labels{1, 0};
+  const std::vector<int> preds{1};
+  EXPECT_THROW(confusion_from(labels, preds), std::invalid_argument);
+}
+
+TEST(RocTest, PerfectSeparationAucOne) {
+  const std::vector<int> labels{1, 1, 1, 0, 0, 0};
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.3, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 1.0);
+}
+
+TEST(RocTest, ReversedScoresAucZero) {
+  const std::vector<int> labels{1, 1, 0, 0};
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.0);
+}
+
+TEST(RocTest, RandomScoresNearHalf) {
+  // All scores identical: single operating point -> AUC exactly 0.5.
+  const std::vector<int> labels{1, 0, 1, 0};
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.5);
+}
+
+TEST(RocTest, DegenerateSingleClass) {
+  const std::vector<int> labels{1, 1};
+  const std::vector<double> scores{0.2, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.5);
+}
+
+TEST(RocTest, CurveMonotonicAndAnchored) {
+  const std::vector<int> labels{1, 0, 1, 0, 1, 0, 1, 1};
+  const std::vector<double> scores{0.9, 0.8, 0.75, 0.7, 0.6, 0.3, 0.2, 0.1};
+  const auto curve = roc_curve(labels, scores);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_EQ(curve.front().fpr, 0.0);
+  EXPECT_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+}
+
+TEST(RocTest, TiedScoresGroupedIntoOnePoint) {
+  const std::vector<int> labels{1, 0, 1, 0};
+  const std::vector<double> scores{0.7, 0.7, 0.7, 0.2};
+  const auto curve = roc_curve(labels, scores);
+  // Points: anchor, the 0.7 block, the 0.2 block.
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[1].tpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].fpr, 0.5);
+}
+
+TEST(RocTest, KnownPartialAuc) {
+  // One inversion among four samples.
+  const std::vector<int> labels{1, 0, 1, 0};
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.1};
+  // Rank order: 1, 0, 1, 0 -> AUC = 0.75.
+  EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.75);
+}
+
+}  // namespace
+}  // namespace dm::ml

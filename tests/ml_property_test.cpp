@@ -1,0 +1,155 @@
+// Property-based tests for the ML substrate: score bounds, monotonicity,
+// determinism and stability on randomly generated datasets.
+#include <gtest/gtest.h>
+
+#include "ml/cross_validation.h"
+#include "ml/feature_ranking.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace dm::ml {
+namespace {
+
+Dataset random_dataset(std::uint64_t seed, std::size_t n, std::size_t features,
+                       double signal) {
+  dm::util::Rng rng(seed);
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < features; ++f) names.push_back("f" + std::to_string(f));
+  Dataset data(std::move(names));
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = rng.chance(0.4);
+    std::vector<double> row;
+    for (std::size_t f = 0; f < features; ++f) {
+      const double base = (f == 0 && positive) ? signal : 0.0;
+      row.push_back(base + rng.normal(0, 1.0));
+    }
+    data.add_row(std::move(row), positive ? kInfection : kBenign);
+  }
+  return data;
+}
+
+class RandomDatasetTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDatasetTest, ForestScoresAlwaysProbabilities) {
+  const auto data = random_dataset(GetParam(), 150, 5, 2.0);
+  const auto forest = RandomForest::train(data, {});
+  dm::util::Rng rng(GetParam() ^ 0xf);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x;
+    for (int f = 0; f < 5; ++f) x.push_back(rng.uniform(-10, 10));
+    const double p = forest.predict_proba(x);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_P(RandomDatasetTest, SignalImprovesAuc) {
+  // A dataset with signal must yield a better CV AUC than pure noise.
+  const auto with_signal = random_dataset(GetParam(), 300, 5, 3.0);
+  const auto pure_noise = random_dataset(GetParam() ^ 1, 300, 5, 0.0);
+  const auto r_signal = cross_validate(with_signal, 5, {}, GetParam());
+  const auto r_noise = cross_validate(pure_noise, 5, {}, GetParam());
+  EXPECT_GT(r_signal.roc_area, 0.8);
+  EXPECT_LT(r_noise.roc_area, 0.75);
+  EXPECT_GT(r_signal.roc_area, r_noise.roc_area);
+}
+
+TEST_P(RandomDatasetTest, GainRatioIdentifiesTheSignalFeature) {
+  const auto data = random_dataset(GetParam(), 400, 6, 3.0);
+  const double g0 = gain_ratio(data, 0);
+  for (std::size_t f = 1; f < 6; ++f) {
+    EXPECT_GT(g0, gain_ratio(data, f)) << "feature " << f;
+  }
+}
+
+TEST_P(RandomDatasetTest, GainRatioWithinUnitInterval) {
+  const auto data = random_dataset(GetParam(), 100, 4, 1.0);
+  for (std::size_t f = 0; f < 4; ++f) {
+    const double g = gain_ratio(data, f);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(RandomDatasetTest, RocAucInvariantToMonotoneScoreTransform) {
+  const auto data = random_dataset(GetParam(), 200, 3, 2.0);
+  const auto forest = RandomForest::train(data, {});
+  std::vector<int> labels;
+  std::vector<double> scores;
+  std::vector<double> squashed;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double s = forest.predict_proba(data.row(i));
+    labels.push_back(data.label(i));
+    scores.push_back(s);
+    squashed.push_back(s * s * 0.5 + 0.1);  // strictly increasing transform
+  }
+  EXPECT_NEAR(roc_auc(labels, scores), roc_auc(labels, squashed), 1e-12);
+}
+
+TEST_P(RandomDatasetTest, MoreTreesNeverMuchWorse) {
+  const auto data = random_dataset(GetParam(), 250, 5, 2.0);
+  ForestOptions small;
+  small.num_trees = 2;
+  small.seed = GetParam();
+  ForestOptions large = small;
+  large.num_trees = 30;
+  const auto r_small = cross_validate(data, 5, small, GetParam());
+  const auto r_large = cross_validate(data, 5, large, GetParam());
+  EXPECT_GE(r_large.roc_area, r_small.roc_area - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDatasetTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(MetricsPropertyTest, ConfusionTotalsAlwaysConsistent) {
+  dm::util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 200));
+    std::vector<int> labels(n);
+    std::vector<int> preds(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      labels[i] = rng.chance(0.5) ? kInfection : kBenign;
+      preds[i] = rng.chance(0.5) ? kInfection : kBenign;
+    }
+    const auto c = confusion_from(labels, preds);
+    EXPECT_EQ(c.total(), n);
+    EXPECT_GE(c.accuracy(), 0.0);
+    EXPECT_LE(c.accuracy(), 1.0);
+    EXPECT_GE(c.f_score(), 0.0);
+    EXPECT_LE(c.f_score(), 1.0);
+  }
+}
+
+TEST(MetricsPropertyTest, AucSymmetry) {
+  // Reversing all scores must map AUC to 1 - AUC.
+  dm::util::Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> labels;
+    std::vector<double> scores;
+    std::vector<double> reversed;
+    for (int i = 0; i < 60; ++i) {
+      labels.push_back(rng.chance(0.5) ? kInfection : kBenign);
+      const double s = rng.next_double();
+      scores.push_back(s);
+      reversed.push_back(1.0 - s);
+    }
+    bool has_both = false;
+    has_both = std::count(labels.begin(), labels.end(), kInfection) > 0 &&
+               std::count(labels.begin(), labels.end(), kBenign) > 0;
+    if (!has_both) continue;
+    EXPECT_NEAR(roc_auc(labels, scores) + roc_auc(labels, reversed), 1.0, 1e-9);
+  }
+}
+
+TEST(CrossValidationPropertyTest, FoldsPartitionForAnyK) {
+  const auto data = random_dataset(9, 97, 3, 1.0);  // awkward prime size
+  for (std::size_t k : {2u, 3u, 5u, 7u, 10u}) {
+    const auto result = cross_validate(data, k, {}, 1);
+    EXPECT_EQ(result.labels.size(), data.size()) << "k=" << k;
+    EXPECT_EQ(result.fold_confusions.size(), k);
+  }
+}
+
+}  // namespace
+}  // namespace dm::ml

@@ -1,0 +1,122 @@
+#include "ml/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace dm::ml {
+namespace {
+
+Dataset training_data(std::uint64_t seed, std::size_t n = 200) {
+  dm::util::Rng rng(seed);
+  Dataset data({"a", "b", "c"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = i % 2 == 0;
+    data.add_row({(positive ? 5.0 : 0.0) + rng.normal(0, 1.5),
+                  rng.normal(0, 1.0), rng.uniform(-3, 3)},
+                 positive ? kInfection : kBenign);
+  }
+  return data;
+}
+
+TEST(SerializationTest, RoundTripPreservesEveryScore) {
+  const auto data = training_data(1);
+  const auto forest = RandomForest::train(data, {});
+  std::stringstream buffer;
+  save_forest(forest, buffer);
+  const auto loaded = load_forest(buffer);
+
+  ASSERT_EQ(loaded.num_trees(), forest.num_trees());
+  dm::util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> x{rng.uniform(-10, 10), rng.uniform(-5, 5),
+                                rng.uniform(-10, 10)};
+    // Hex-float serialization must round-trip bit-exactly.
+    EXPECT_EQ(forest.predict_proba(x), loaded.predict_proba(x));
+  }
+}
+
+TEST(SerializationTest, CombinationModePreserved) {
+  const auto data = training_data(3);
+  ForestOptions options;
+  options.combination = Combination::kMajorityVote;
+  const auto forest = RandomForest::train(data, options);
+  std::stringstream buffer;
+  save_forest(forest, buffer);
+  const auto loaded = load_forest(buffer);
+  EXPECT_EQ(loaded.options().combination, Combination::kMajorityVote);
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dm_forest_test.model";
+  const auto data = training_data(4);
+  const auto forest = RandomForest::train(data, {});
+  save_forest_file(forest, path);
+  const auto loaded = load_forest_file(path);
+  EXPECT_EQ(loaded.num_trees(), forest.num_trees());
+  EXPECT_EQ(forest.predict_proba({5.0, 0.0, 0.0}),
+            loaded.predict_proba({5.0, 0.0, 0.0}));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileThrows) {
+  EXPECT_THROW(load_forest_file("/definitely/not/here.model"),
+               std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  std::stringstream buffer("not-a-forest v1\ntrees 0 combination avg\n");
+  EXPECT_THROW(load_forest(buffer), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsWrongVersion) {
+  std::stringstream buffer("dynaminer-forest v9\ntrees 0 combination avg\n");
+  EXPECT_THROW(load_forest(buffer), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsTruncation) {
+  const auto data = training_data(5);
+  const auto forest = RandomForest::train(data, {});
+  std::stringstream buffer;
+  save_forest(forest, buffer);
+  const std::string full = buffer.str();
+  for (const double fraction : {0.1, 0.5, 0.9}) {
+    std::stringstream cut(full.substr(
+        0, static_cast<std::size_t>(full.size() * fraction)));
+    EXPECT_THROW(load_forest(cut), std::runtime_error) << fraction;
+  }
+}
+
+TEST(SerializationTest, RejectsCorruptNodeStructure) {
+  // Child index beyond the node table must be rejected.
+  std::stringstream buffer(
+      "dynaminer-forest v1\ntrees 1 combination avg\n"
+      "tree 1 0\nnode 5 6 0 0x0p+0 0x1p-1\n");
+  EXPECT_THROW(load_forest(buffer), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsHalfLeaf) {
+  std::stringstream buffer(
+      "dynaminer-forest v1\ntrees 1 combination avg\n"
+      "tree 1 0\nnode -1 0 0 0x0p+0 0x1p-1\n");
+  EXPECT_THROW(load_forest(buffer), std::runtime_error);
+}
+
+TEST(SerializationTest, RejectsUnknownCombination) {
+  std::stringstream buffer("dynaminer-forest v1\ntrees 0 combination xor\n");
+  EXPECT_THROW(load_forest(buffer), std::runtime_error);
+}
+
+TEST(SerializationTest, EmptyForestRoundTrips) {
+  // A zero-tree forest is degenerate but must survive the format.
+  std::stringstream buffer("dynaminer-forest v1\ntrees 0 combination avg\n");
+  const auto loaded = load_forest(buffer);
+  EXPECT_EQ(loaded.num_trees(), 0u);
+  EXPECT_EQ(loaded.predict_proba({1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace dm::ml

@@ -1,0 +1,190 @@
+// Robustness sweeps over the wire-format parsers: random mutation,
+// truncation and garbage must never crash, hang, or corrupt state — the
+// on-the-wire deployment (§V-B) parses adversarial traffic by definition.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "net/packet_builder.h"
+#include "net/pcap.h"
+#include "net/tcp_reassembly.h"
+#include "synth/pcap_export.h"
+#include "util/rng.h"
+
+namespace dm::net {
+namespace {
+
+std::vector<std::uint8_t> valid_capture_bytes() {
+  dm::synth::TraceGenerator gen(3);
+  const auto episode = gen.benign();
+  return write_pcap(dm::synth::episode_to_pcap(episode));
+}
+
+class PcapMutationTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PcapMutationTest, MutatedBytesNeverCrash) {
+  auto bytes = valid_capture_bytes();
+  dm::util::Rng rng(GetParam());
+  // Flip ~50 random bytes.
+  for (int i = 0; i < 50; ++i) {
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[at] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  try {
+    const auto parsed = read_pcap(bytes);
+    // Whatever survives must be self-consistent.
+    for (const auto& pkt : parsed.packets) {
+      EXPECT_LE(pkt.data.size(), bytes.size());
+    }
+  } catch (const std::runtime_error&) {
+    // Rejecting the mutation outright is acceptable.
+  }
+}
+
+TEST_P(PcapMutationTest, TruncationNeverCrashes) {
+  const auto bytes = valid_capture_bytes();
+  dm::util::Rng rng(GetParam() ^ 77);
+  for (int i = 0; i < 20; ++i) {
+    const auto len = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size())));
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    try {
+      const auto parsed = read_pcap(cut);
+      (void)parsed;
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PcapMutationTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(PacketFuzzTest, RandomFramesNeverCrashParser) {
+  dm::util::Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> frame(
+        static_cast<std::size_t>(rng.uniform_int(0, 120)));
+    for (auto& b : frame) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto parsed = parse_ethernet_ipv4_tcp(frame);
+    if (parsed) {
+      // Any accepted frame must have a payload inside the buffer.
+      EXPECT_LE(parsed->payload.size(), frame.size());
+    }
+  }
+}
+
+TEST(PacketFuzzTest, MutatedValidFrameParsesOrRejectsCleanly) {
+  FrameSpec spec;
+  spec.src_ip = Ipv4Address::from_octets(10, 0, 0, 2);
+  spec.dst_ip = Ipv4Address::from_octets(1, 2, 3, 4);
+  spec.src_port = 1234;
+  spec.dst_port = 80;
+  spec.flags = {.ack = true};
+  const std::string payload = "GET / HTTP/1.1\r\n\r\n";
+  spec.payload = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size());
+  const auto base = build_frame(spec);
+
+  dm::util::Rng rng(8);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto frame = base;
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+    frame[at] ^= static_cast<std::uint8_t>(1 + rng.uniform_int(0, 254));
+    const auto parsed = parse_ethernet_ipv4_tcp(frame);
+    if (parsed) {
+      EXPECT_LE(parsed->payload.size(), frame.size());
+    }
+  }
+}
+
+TEST(ReassemblyFuzzTest, ShuffledSegmentsReconstructExactly) {
+  // Deliver a message as segments in random order; the reassembled stream
+  // must always equal the original once everything arrived.
+  const std::string message =
+      "The quick brown fox jumps over the lazy dog 0123456789 "
+      "the payload-agnostic web conversation graph";
+  const Ipv4Address client = Ipv4Address::from_octets(10, 0, 0, 2);
+  const Ipv4Address server = Ipv4Address::from_octets(5, 6, 7, 8);
+
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    dm::util::Rng rng(seed);
+    // Split into random chunks.
+    struct Seg {
+      std::uint32_t seq;
+      std::string data;
+    };
+    std::vector<Seg> segments;
+    std::size_t at = 0;
+    while (at < message.size()) {
+      const auto len = static_cast<std::size_t>(
+          rng.uniform_int(1, 12));
+      const auto take = std::min(len, message.size() - at);
+      segments.push_back({static_cast<std::uint32_t>(101 + at),
+                          message.substr(at, take)});
+      at += take;
+    }
+    // Duplicate a couple of segments (retransmissions).
+    if (segments.size() > 2) {
+      segments.push_back(segments[0]);
+      segments.push_back(segments[segments.size() / 2]);
+    }
+    rng.shuffle(segments);
+
+    TcpReassembler reassembler;
+    ParsedPacket syn;
+    syn.src_ip = client;
+    syn.dst_ip = server;
+    syn.src_port = 40000;
+    syn.dst_port = 80;
+    syn.seq = 100;
+    syn.flags = {.syn = true};
+    reassembler.ingest(syn, 1);
+
+    std::uint64_t ts = 2;
+    for (const auto& segment : segments) {
+      ParsedPacket pkt;
+      pkt.src_ip = client;
+      pkt.dst_ip = server;
+      pkt.src_port = 40000;
+      pkt.dst_port = 80;
+      pkt.seq = segment.seq;
+      pkt.flags = {.ack = true};
+      pkt.payload = std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(segment.data.data()),
+          segment.data.size());
+      reassembler.ingest(pkt, ts++);
+    }
+    ASSERT_EQ(reassembler.flows().size(), 1u) << "seed " << seed;
+    EXPECT_EQ(reassembler.flows()[0]->client_to_server.data, message)
+        << "seed " << seed;
+  }
+}
+
+TEST(ReassemblyFuzzTest, RandomPacketsNeverCrash) {
+  dm::util::Rng rng(9);
+  TcpReassembler reassembler;
+  std::vector<std::uint8_t> junk(64);
+  for (int trial = 0; trial < 3000; ++trial) {
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    ParsedPacket pkt;
+    pkt.src_ip.value = static_cast<std::uint32_t>(rng.next_u64());
+    pkt.dst_ip.value = static_cast<std::uint32_t>(rng.next_u64());
+    pkt.src_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    pkt.dst_port = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    pkt.seq = static_cast<std::uint32_t>(rng.next_u64());
+    pkt.flags.syn = rng.chance(0.1);
+    pkt.flags.fin = rng.chance(0.1);
+    pkt.flags.rst = rng.chance(0.05);
+    pkt.flags.ack = rng.chance(0.8);
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 64));
+    pkt.payload = std::span<const std::uint8_t>(junk.data(), len);
+    reassembler.ingest(pkt, static_cast<std::uint64_t>(trial));
+  }
+  // Bounded growth: at most one flow per unique 4-tuple fed in.
+  EXPECT_LE(reassembler.flow_count(), 3000u);
+}
+
+}  // namespace
+}  // namespace dm::net

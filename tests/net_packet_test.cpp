@@ -1,0 +1,125 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.h"
+
+namespace dm::net {
+namespace {
+
+TEST(Ipv4AddressTest, ParseAndFormat) {
+  const auto addr = Ipv4Address::parse("192.168.1.200");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->to_string(), "192.168.1.200");
+  EXPECT_EQ(addr->value, 0xc0a801c8u);
+}
+
+TEST(Ipv4AddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4x").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+}
+
+TEST(ChecksumTest, Rfc1071Example) {
+  // Canonical example: verifies complement arithmetic.
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5,
+                                       0xf6, 0xf7};
+  const std::uint16_t checksum = internet_checksum(data);
+  // Sum: 0x0001+0xf203+0xf4f5+0xf6f7 = 0x2ddf0 -> 0xddf2 -> ~ = 0x220d.
+  EXPECT_EQ(checksum, 0x220d);
+}
+
+TEST(ChecksumTest, OddLengthPads) {
+  const std::vector<std::uint8_t> data{0x01};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0x0100));
+}
+
+FrameSpec basic_spec(std::span<const std::uint8_t> payload = {}) {
+  FrameSpec spec;
+  spec.src_ip = Ipv4Address::from_octets(10, 0, 0, 2);
+  spec.dst_ip = Ipv4Address::from_octets(93, 184, 216, 34);
+  spec.src_port = 40001;
+  spec.dst_port = 80;
+  spec.seq = 1000;
+  spec.ack = 2000;
+  spec.flags = {.ack = true, .psh = true};
+  spec.payload = payload;
+  return spec;
+}
+
+TEST(PacketRoundTripTest, BuildThenParse) {
+  const std::string body = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  const auto payload = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(body.data()), body.size());
+  const auto frame = build_frame(basic_spec(payload));
+  const auto parsed = parse_ethernet_ipv4_tcp(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_ip.to_string(), "10.0.0.2");
+  EXPECT_EQ(parsed->dst_ip.to_string(), "93.184.216.34");
+  EXPECT_EQ(parsed->src_port, 40001);
+  EXPECT_EQ(parsed->dst_port, 80);
+  EXPECT_EQ(parsed->seq, 1000u);
+  EXPECT_EQ(parsed->ack, 2000u);
+  EXPECT_TRUE(parsed->flags.ack);
+  EXPECT_TRUE(parsed->flags.psh);
+  EXPECT_FALSE(parsed->flags.syn);
+  ASSERT_EQ(parsed->payload.size(), body.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(parsed->payload.data()),
+                        parsed->payload.size()),
+            body);
+}
+
+TEST(PacketRoundTripTest, IpChecksumValid) {
+  const auto frame = build_frame(basic_spec());
+  // Recomputing the checksum over the IP header (with embedded checksum)
+  // must yield zero.
+  const auto ip_header = std::span<const std::uint8_t>(frame).subspan(14, 20);
+  EXPECT_EQ(internet_checksum(ip_header), 0);
+}
+
+TEST(PacketParseTest, RejectsNonIpv4EtherType) {
+  auto frame = build_frame(basic_spec());
+  frame[12] = 0x86;  // IPv6 ethertype
+  frame[13] = 0xdd;
+  EXPECT_FALSE(parse_ethernet_ipv4_tcp(frame).has_value());
+}
+
+TEST(PacketParseTest, RejectsNonTcpProtocol) {
+  auto frame = build_frame(basic_spec());
+  frame[14 + 9] = 17;  // UDP
+  EXPECT_FALSE(parse_ethernet_ipv4_tcp(frame).has_value());
+}
+
+TEST(PacketParseTest, RejectsTruncatedFrames) {
+  const auto frame = build_frame(basic_spec());
+  for (std::size_t len : {0u, 10u, 20u, 30u, 50u}) {
+    if (len < frame.size()) {
+      EXPECT_FALSE(parse_ethernet_ipv4_tcp(
+                       std::span<const std::uint8_t>(frame.data(), len))
+                       .has_value())
+          << "length " << len;
+    }
+  }
+}
+
+TEST(PacketParseTest, RejectsNonFirstFragment) {
+  auto frame = build_frame(basic_spec());
+  frame[14 + 6] = 0x00;
+  frame[14 + 7] = 0x10;  // fragment offset != 0
+  EXPECT_FALSE(parse_ethernet_ipv4_tcp(frame).has_value());
+}
+
+TEST(PacketParseTest, SynFlagRoundTrip) {
+  FrameSpec spec = basic_spec();
+  spec.flags = {.syn = true};
+  const auto parsed = parse_ethernet_ipv4_tcp(build_frame(spec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->flags.syn);
+  EXPECT_FALSE(parsed->flags.ack);
+}
+
+}  // namespace
+}  // namespace dm::net

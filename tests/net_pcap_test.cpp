@@ -1,0 +1,99 @@
+#include "net/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dm::net {
+namespace {
+
+PcapFile sample_file() {
+  PcapFile file;
+  file.packets.push_back({1000000, {0x01, 0x02, 0x03}});
+  file.packets.push_back({2500000, {0xff}});
+  file.packets.push_back({2500001, {}});
+  return file;
+}
+
+TEST(PcapTest, WriteReadRoundTrip) {
+  const auto original = sample_file();
+  const auto bytes = write_pcap(original);
+  const auto parsed = read_pcap(bytes);
+  EXPECT_EQ(parsed.link_type, 1u);
+  ASSERT_EQ(parsed.packets.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed.packets[i].ts_micros, original.packets[i].ts_micros);
+    EXPECT_EQ(parsed.packets[i].data, original.packets[i].data);
+  }
+}
+
+TEST(PcapTest, GlobalHeaderFields) {
+  const auto bytes = write_pcap({});
+  ASSERT_GE(bytes.size(), 24u);
+  // Little-endian usec magic.
+  EXPECT_EQ(bytes[0], 0xd4);
+  EXPECT_EQ(bytes[1], 0xc3);
+  EXPECT_EQ(bytes[2], 0xb2);
+  EXPECT_EQ(bytes[3], 0xa1);
+  // Version 2.4.
+  EXPECT_EQ(bytes[4], 2);
+  EXPECT_EQ(bytes[6], 4);
+}
+
+TEST(PcapTest, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes(24, 0);
+  EXPECT_THROW(read_pcap(bytes), std::runtime_error);
+}
+
+TEST(PcapTest, RejectsTruncatedHeader) {
+  std::vector<std::uint8_t> bytes(10, 0);
+  EXPECT_THROW(read_pcap(bytes), std::runtime_error);
+}
+
+TEST(PcapTest, DropsTruncatedFinalRecord) {
+  auto bytes = write_pcap(sample_file());
+  bytes.pop_back();  // truncate the last packet's data
+  const auto parsed = read_pcap(bytes);
+  EXPECT_EQ(parsed.packets.size(), 2u);
+}
+
+TEST(PcapTest, ReadsNanosecondMagic) {
+  auto bytes = write_pcap(sample_file());
+  // Rewrite magic to little-endian nanosecond variant.
+  bytes[0] = 0x4d;
+  bytes[1] = 0x3c;
+  bytes[2] = 0xb2;
+  bytes[3] = 0xa1;
+  const auto parsed = read_pcap(bytes);
+  ASSERT_EQ(parsed.packets.size(), 3u);
+  // Fractional part now interpreted as nanoseconds: 0 usec becomes 0,
+  // 500000 "ns" -> 500 us.
+  EXPECT_EQ(parsed.packets[0].ts_micros, 1000000u);
+  EXPECT_EQ(parsed.packets[1].ts_micros, 2000500u);
+}
+
+TEST(PcapTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dm_pcap_test.pcap";
+  const auto original = sample_file();
+  write_pcap_file(path, original);
+  const auto parsed = read_pcap_file(path);
+  EXPECT_EQ(parsed.packets.size(), original.packets.size());
+  std::remove(path.c_str());
+}
+
+TEST(PcapTest, MissingFileThrows) {
+  EXPECT_THROW(read_pcap_file("/nonexistent/definitely/missing.pcap"),
+               std::runtime_error);
+}
+
+TEST(PcapTest, LargeTimestampPreserved) {
+  PcapFile file;
+  const std::uint64_t ts = 1467849600ULL * 1000000 + 123456;  // 2016-07-07
+  file.packets.push_back({ts, {0x00}});
+  const auto parsed = read_pcap(write_pcap(file));
+  EXPECT_EQ(parsed.packets[0].ts_micros, ts);
+}
+
+}  // namespace
+}  // namespace dm::net

@@ -1,0 +1,144 @@
+// Per-family calibration properties: every exploit-kit profile must produce
+// episodes inside its Table I envelope, with the right payload signature.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/wcg_builder.h"
+#include "synth/generator.h"
+#include "util/stats.h"
+
+namespace dm::synth {
+namespace {
+
+class FamilyCalibrationTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  const FamilyProfile& profile() const { return family_by_name(GetParam()); }
+};
+
+TEST_P(FamilyCalibrationTest, EveryEpisodeHasMaliciousPayload) {
+  TraceGenerator gen(100);
+  for (int i = 0; i < 8; ++i) {
+    const auto episode = gen.infection(profile());
+    std::size_t malicious = 0;
+    for (const auto& p : episode.meta.payloads) malicious += p.malicious;
+    EXPECT_GE(malicious, 1u) << GetParam();
+  }
+}
+
+TEST_P(FamilyCalibrationTest, RedirectChainsWithinFamilyEnvelope) {
+  TraceGenerator gen(101);
+  for (int i = 0; i < 10; ++i) {
+    const auto episode = gen.infection(profile());
+    EXPECT_LE(static_cast<int>(episode.meta.redirect_chain_len),
+              profile().redirects_max)
+        << GetParam();
+  }
+}
+
+TEST_P(FamilyCalibrationTest, PayloadTypesMatchFamilyWeights) {
+  // Types with zero weight in the family mix must never be generated.
+  TraceGenerator gen(102);
+  std::map<dm::http::PayloadType, double> weight_of = {
+      {dm::http::PayloadType::kPdf, profile().payload_weights[0]},
+      {dm::http::PayloadType::kExe, profile().payload_weights[1]},
+      {dm::http::PayloadType::kJar, profile().payload_weights[2]},
+      {dm::http::PayloadType::kSwf, profile().payload_weights[3]},
+      {dm::http::PayloadType::kCrypt, profile().payload_weights[4]},
+  };
+  for (int i = 0; i < 10; ++i) {
+    const auto episode = gen.infection(profile());
+    for (const auto& payload : episode.meta.payloads) {
+      if (!payload.malicious) continue;
+      const auto it = weight_of.find(payload.type);
+      ASSERT_NE(it, weight_of.end())
+          << GetParam() << " produced unexpected malicious type";
+      EXPECT_GT(it->second, 0.0)
+          << GetParam() << " produced zero-weight type "
+          << dm::http::payload_type_name(payload.type);
+    }
+  }
+}
+
+TEST_P(FamilyCalibrationTest, WcgAlwaysBuildable) {
+  TraceGenerator gen(103);
+  const auto episode = gen.infection(profile());
+  const auto wcg = dm::core::build_wcg(episode.transactions);
+  EXPECT_GE(wcg.node_count(), 3u);  // origin/victim + at least one remote
+  EXPECT_TRUE(wcg.annotations().has_download_stage);
+}
+
+TEST_P(FamilyCalibrationTest, UniquePayloadDigests) {
+  TraceGenerator gen(104);
+  std::set<std::string> digests;
+  std::size_t total = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto episode = gen.infection(profile());
+    for (const auto& payload : episode.meta.payloads) {
+      digests.insert(payload.digest);
+      ++total;
+    }
+  }
+  EXPECT_EQ(digests.size(), total) << "digest collision in " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilyCalibrationTest,
+    ::testing::Values("Angler", "RIG", "Nuclear", "Magnitude", "SweetOrange",
+                      "FlashPack", "Neutrino", "Goon", "Fiesta", "OtherKits"));
+
+class BenignScenarioTest : public ::testing::TestWithParam<BenignScenario> {};
+
+TEST_P(BenignScenarioTest, ProducesCleanBuildableEpisodes) {
+  TraceGenerator gen(200 + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 5; ++i) {
+    const auto episode = gen.benign(GetParam());
+    EXPECT_EQ(episode.meta.family, "Benign");
+    EXPECT_FALSE(episode.transactions.empty());
+    for (const auto& payload : episode.meta.payloads) {
+      EXPECT_FALSE(payload.malicious);
+    }
+    const auto wcg = dm::core::build_wcg(episode.transactions);
+    EXPECT_GE(wcg.node_count(), 2u);
+  }
+}
+
+TEST_P(BenignScenarioTest, RedirectCountStaysLow) {
+  // Table I: benign redirects <= 2 (average 0).
+  TraceGenerator gen(300 + static_cast<std::uint64_t>(GetParam()));
+  dm::util::Accumulator chains;
+  for (int i = 0; i < 15; ++i) {
+    const auto wcg = dm::core::build_wcg(gen.benign(GetParam()).transactions);
+    chains.add(wcg.annotations().longest_redirect_chain);
+  }
+  EXPECT_LE(chains.max(), 2.0);
+  EXPECT_LT(chains.mean(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, BenignScenarioTest,
+                         ::testing::Values(BenignScenario::kWebSearch,
+                                           BenignScenario::kSocialNetworking,
+                                           BenignScenario::kWebMail,
+                                           BenignScenario::kVideoStreaming,
+                                           BenignScenario::kRandomBrowsing));
+
+TEST(FamilyTableTest, ProfilesEncodeTableOne) {
+  // Spot-check the calibration constants against the published table.
+  const auto& angler = family_by_name("Angler");
+  EXPECT_EQ(angler.hosts_max, 74);
+  EXPECT_NEAR(angler.hosts_avg, 6.0, 1e-9);
+  EXPECT_EQ(angler.redirects_max, 18);
+  EXPECT_GT(angler.payload_weights[2], angler.payload_weights[0]);  // jar > pdf
+
+  const auto& magnitude = family_by_name("Magnitude");
+  EXPECT_EQ(magnitude.hosts_max, 231);
+  EXPECT_NEAR(magnitude.hosts_avg, 20.0, 1e-9);
+  EXPECT_GT(magnitude.payload_weights[1], 800);  // exe-dominated
+
+  const auto& fiesta = family_by_name("Fiesta");
+  EXPECT_GT(fiesta.payload_weights[3], 0);  // swf present
+  EXPECT_GT(fiesta.payload_weights[0], 0);  // pdf present
+}
+
+}  // namespace
+}  // namespace dm::synth

@@ -1,0 +1,183 @@
+#include "synth/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ml/dataset.h"
+#include "net/packet.h"
+#include "synth/dataset.h"
+
+namespace dm::synth {
+namespace {
+
+TEST(GeneratorTest, InfectionEpisodeBasicShape) {
+  TraceGenerator gen(1);
+  const auto episode = gen.infection(family_by_name("Angler"));
+  EXPECT_EQ(episode.meta.label, dm::ml::kInfection);
+  EXPECT_EQ(episode.meta.family, "Angler");
+  EXPECT_FALSE(episode.transactions.empty());
+  // At least one malicious payload download.
+  bool has_malicious = false;
+  for (const auto& p : episode.meta.payloads) has_malicious |= p.malicious;
+  EXPECT_TRUE(has_malicious);
+}
+
+TEST(GeneratorTest, TransactionsTimeOrdered) {
+  TraceGenerator gen(2);
+  const auto episode = gen.infection(family_by_name("Nuclear"));
+  for (std::size_t i = 1; i < episode.transactions.size(); ++i) {
+    EXPECT_GE(episode.transactions[i].request.ts_micros,
+              episode.transactions[i - 1].request.ts_micros);
+  }
+}
+
+TEST(GeneratorTest, ResponsesAfterRequests) {
+  TraceGenerator gen(3);
+  const auto episode = gen.benign();
+  for (const auto& txn : episode.transactions) {
+    ASSERT_TRUE(txn.response.has_value());
+    EXPECT_GE(txn.response->ts_micros, txn.request.ts_micros);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  TraceGenerator g1(77);
+  TraceGenerator g2(77);
+  const auto e1 = g1.infection(family_by_name("RIG"));
+  const auto e2 = g2.infection(family_by_name("RIG"));
+  ASSERT_EQ(e1.transactions.size(), e2.transactions.size());
+  for (std::size_t i = 0; i < e1.transactions.size(); ++i) {
+    EXPECT_EQ(e1.transactions[i].server_host, e2.transactions[i].server_host);
+    EXPECT_EQ(e1.transactions[i].request.uri, e2.transactions[i].request.uri);
+  }
+}
+
+TEST(GeneratorTest, BenignEpisodeHasNoMaliciousPayloads) {
+  TraceGenerator gen(4);
+  for (int i = 0; i < 20; ++i) {
+    const auto episode = gen.benign();
+    EXPECT_EQ(episode.meta.label, dm::ml::kBenign);
+    for (const auto& p : episode.meta.payloads) EXPECT_FALSE(p.malicious);
+  }
+}
+
+TEST(GeneratorTest, HostCountsWithinFamilyBounds) {
+  TraceGenerator gen(5);
+  const auto& family = family_by_name("Magnitude");
+  for (int i = 0; i < 10; ++i) {
+    const auto episode = gen.infection(family);
+    EXPECT_GE(static_cast<int>(episode.meta.host_count), family.hosts_min);
+    // Allow a little slack: CDN helpers may add hosts beyond the target.
+    EXPECT_LE(static_cast<int>(episode.meta.host_count), family.hosts_max + 8);
+  }
+}
+
+TEST(GeneratorTest, InfectionFasterThanBenign) {
+  TraceGenerator gen(6);
+  auto avg_gap = [](const Episode& e) {
+    if (e.transactions.size() < 2) return 0.0;
+    double total = 0;
+    for (std::size_t i = 1; i < e.transactions.size(); ++i) {
+      total += static_cast<double>(e.transactions[i].request.ts_micros -
+                                   e.transactions[i - 1].request.ts_micros);
+    }
+    return total / static_cast<double>(e.transactions.size() - 1) / 1e6;
+  };
+  double infection_gap = 0;
+  double benign_gap = 0;
+  const int n = 15;
+  for (int i = 0; i < n; ++i) {
+    infection_gap += avg_gap(gen.infection(family_by_name("Angler")));
+    benign_gap += avg_gap(gen.benign());
+  }
+  // The paper's top feature: infections have much shorter inter-transaction
+  // times than human-paced benign browsing.
+  EXPECT_LT(infection_gap / n, benign_gap / n);
+}
+
+TEST(GeneratorTest, CallbacksUsesFreshIpLiteralHosts) {
+  TraceGenerator gen(7);
+  for (int i = 0; i < 10; ++i) {
+    const auto episode = gen.infection(family_by_name("Neutrino"));
+    if (!episode.meta.has_callback) continue;
+    std::set<std::string> pre_hosts;
+    bool saw_post_to_fresh_ip = false;
+    for (const auto& txn : episode.transactions) {
+      if (txn.request.method == "POST") {
+        const bool is_ip =
+            dm::net::Ipv4Address::parse(txn.server_host).has_value();
+        if (is_ip && pre_hosts.find(txn.server_host) == pre_hosts.end()) {
+          saw_post_to_fresh_ip = true;
+        }
+      }
+      pre_hosts.insert(txn.server_host);
+    }
+    EXPECT_TRUE(saw_post_to_fresh_ip);
+  }
+}
+
+TEST(GeneratorTest, PayloadRecordsMatchTransactions) {
+  TraceGenerator gen(8);
+  const auto episode = gen.infection(family_by_name("Fiesta"));
+  for (const auto& record : episode.meta.payloads) {
+    bool matched = false;
+    for (const auto& txn : episode.transactions) {
+      if (txn.server_host == record.host && txn.request.uri == record.uri) {
+        matched = true;
+        EXPECT_EQ(txn.response->body.size(), record.size);
+      }
+    }
+    EXPECT_TRUE(matched) << record.uri;
+  }
+}
+
+TEST(GeneratorTest, StreamingSessionContainsInterruptions) {
+  TraceGenerator gen(9);
+  const auto episode = gen.free_streaming_session(3, 40);
+  std::size_t malicious = 0;
+  for (const auto& p : episode.meta.payloads) malicious += p.malicious;
+  EXPECT_EQ(malicious, 3u);
+  EXPECT_GT(episode.transactions.size(), 40u);
+}
+
+TEST(EnticementTest, DistributionRoughlyMatchesFigure1) {
+  dm::util::Rng rng(10);
+  std::map<Enticement, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[sample_enticement(rng)];
+  EXPECT_NEAR(counts[Enticement::kGoogle] / double(n), 0.366, 0.02);
+  EXPECT_NEAR(counts[Enticement::kBing] / double(n), 0.247, 0.02);
+  EXPECT_NEAR(counts[Enticement::kCompromisedSite] / double(n), 0.127, 0.015);
+  EXPECT_NEAR(counts[Enticement::kEmptyReferrer] / double(n), 0.176, 0.015);
+  EXPECT_NEAR(counts[Enticement::kRedactedReferrer] / double(n), 0.074, 0.01);
+  EXPECT_LT(counts[Enticement::kSocial] / double(n), 0.03);
+}
+
+TEST(FamiliesTest, TableOneRowsPresent) {
+  const auto& families = exploit_kit_families();
+  EXPECT_EQ(families.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& f : families) total += f.trace_count;
+  EXPECT_EQ(total, 770u);  // Table I total infections
+  EXPECT_EQ(family_by_name("Angler").trace_count, 253u);
+  EXPECT_EQ(family_by_name("Goon").redirects_max, 30);
+  EXPECT_THROW(family_by_name("NotAFamily"), std::out_of_range);
+}
+
+TEST(DatasetScalingTest, ScaledGroundTruthCounts) {
+  const auto gt = generate_ground_truth(1, 0.02);
+  // 980 * 0.02 ~ 20 benign; every family contributes at least one infection.
+  EXPECT_GE(gt.infections.size(), 10u);
+  EXPECT_NEAR(static_cast<double>(gt.benign.size()), 19.6, 3.0);
+}
+
+TEST(DatasetScalingTest, ValidationSetSizes) {
+  const auto set = generate_validation_set(2, 30, 10);
+  EXPECT_EQ(set.infections.size(), 30u);
+  EXPECT_EQ(set.benign.size(), 10u);
+}
+
+}  // namespace
+}  // namespace dm::synth

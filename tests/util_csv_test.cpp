@@ -1,0 +1,72 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dm::util {
+namespace {
+
+TEST(CsvTest, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WriteRow) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "b,c", "d"});
+  EXPECT_EQ(out.str(), "a,\"b,c\",d\n");
+}
+
+TEST(CsvTest, WriteRowNumericRoundTrips) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row_numeric({1.5, 0.1, 37});
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "1.5");
+  EXPECT_EQ(rows[0][1], "0.1");
+  EXPECT_EQ(rows[0][2], "37");
+}
+
+TEST(CsvTest, ParseSimple) {
+  const auto rows = parse_csv("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseQuotedFieldsWithCommasAndNewlines) {
+  const auto rows = parse_csv("\"a,b\",\"line\nbreak\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "line\nbreak");
+  EXPECT_EQ(rows[0][2], "he said \"hi\"");
+}
+
+TEST(CsvTest, ParseHandlesCrLfAndMissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\r\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseEmptyInput) {
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+TEST(CsvTest, RoundTripThroughWriterAndParser) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const std::vector<std::string> original{"x,y", "\"quoted\"", "multi\nline", ""};
+  writer.write_row(original);
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+}  // namespace
+}  // namespace dm::util

@@ -1,0 +1,44 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace dm::util {
+namespace {
+
+TEST(HashTest, Fnv1aKnownValue) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  // Reference value for "a".
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(HashTest, Fnv1aAppendComposes) {
+  EXPECT_EQ(fnv1a_append(fnv1a("ab"), "cd"), fnv1a("abcd"));
+}
+
+TEST(HashTest, DigestHexShapeAndDeterminism) {
+  const std::string d1 = digest_hex("payload-bytes");
+  EXPECT_EQ(d1.size(), 40u);
+  for (char c : d1) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+  EXPECT_EQ(d1, digest_hex("payload-bytes"));
+}
+
+TEST(HashTest, DigestHexDistinguishesInputs) {
+  std::set<std::string> digests;
+  for (int i = 0; i < 2000; ++i) {
+    digests.insert(digest_hex("payload-" + std::to_string(i)));
+  }
+  EXPECT_EQ(digests.size(), 2000u);  // no collisions on small corpus
+}
+
+TEST(HashTest, DigestSensitiveToSingleByte) {
+  EXPECT_NE(digest_hex("aaaa"), digest_hex("aaab"));
+}
+
+}  // namespace
+}  // namespace dm::util

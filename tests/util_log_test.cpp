@@ -1,0 +1,70 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::util {
+namespace {
+
+/// Restores the global level after each test.
+class LogLevelGuard : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+using LogTest = LogLevelGuard;
+
+TEST_F(LogTest, DefaultLevelIsWarn) {
+  // Can't assert the process default after other tests ran; assert the
+  // setter/getter contract instead.
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, LevelOrdering) {
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kOff);
+}
+
+TEST_F(LogTest, SetAndGetRoundTrip) {
+  for (const auto level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                           LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LogTest, SuppressedLevelsDoNotFormat) {
+  // A message below the threshold must not even evaluate its formatting —
+  // log_fmt checks the level before streaming.  We detect evaluation via a
+  // side effect.
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto tracked = [&evaluations]() {
+    ++evaluations;
+    return "expensive";
+  };
+  log_debug("x", tracked());  // arguments ARE evaluated (C++ semantics)...
+  EXPECT_EQ(evaluations, 1);
+  // ...but emission is filtered; smoke-test that emitting at every level
+  // with kOff never crashes and never throws.
+  set_log_level(LogLevel::kOff);
+  EXPECT_NO_THROW({
+    log_debug("d");
+    log_info("i");
+    log_warn("w");
+    log_error("e");
+  });
+}
+
+TEST_F(LogTest, EmissionAtEnabledLevelDoesNotThrow) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_NO_THROW(log_debug("value=", 42, " pi=", 3.14));
+  EXPECT_NO_THROW(log_line(LogLevel::kError, "direct line"));
+}
+
+}  // namespace
+}  // namespace dm::util

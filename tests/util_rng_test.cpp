@@ -1,0 +1,173 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace dm::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  // Must not get stuck at zero.
+  EXPECT_NE(rng.next_u64() | rng.next_u64(), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBoundsInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(11);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(5, 4), 5);  // inverted -> lo
+}
+
+TEST(RngTest, UniformIntRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMomentsApproximate) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, SkewedIntStaysInRangeAndNearMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.skewed_int(2, 100, 6.0);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 100);
+    sum += static_cast<double>(v);
+  }
+  // Truncation pulls the mean slightly below the target.
+  EXPECT_GT(sum / n, 4.0);
+  EXPECT_LT(sum / n, 8.0);
+}
+
+TEST(RngTest, WeightedIndexHonorsWeights) {
+  Rng rng(37);
+  std::vector<int> counts(3, 0);
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.weighted_index({1.0, 2.0, 6.0})];
+  }
+  EXPECT_NEAR(counts[0], n / 9, n / 9 * 0.15);
+  EXPECT_NEAR(counts[1], 2 * n / 9, 2 * n / 9 * 0.12);
+  EXPECT_NEAR(counts[2], 6 * n / 9, 6 * n / 9 * 0.08);
+}
+
+TEST(RngTest, WeightedIndexIgnoresNegativeAndHandlesAllZero) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_index({-1.0, 0.0, 5.0}), 2u);
+  }
+  EXPECT_EQ(rng.weighted_index({0.0, 0.0}), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(47);
+  Rng child = a.fork();
+  // The child's stream must not equal the parent's subsequent stream.
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace dm::util

@@ -1,0 +1,122 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dm::util {
+namespace {
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("HeLLo-World_123"), "hello-world_123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  abc \t\r\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitTrimmedDropsEmpties) {
+  const auto parts = split_trimmed("  a ; ;b; ", ';');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, CaseInsensitiveComparisons) {
+  EXPECT_TRUE(iequals("Content-Type", "content-type"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+  EXPECT_TRUE(istarts_with("HTTP/1.1 200", "http/"));
+  EXPECT_FALSE(istarts_with("HT", "http/"));
+  EXPECT_TRUE(iends_with("payload.EXE", ".exe"));
+  EXPECT_FALSE(iends_with("exe", ".exe"));
+}
+
+TEST(StringsTest, IfindLocates) {
+  EXPECT_EQ(ifind("Hello World", "WORLD"), 6u);
+  EXPECT_EQ(ifind("abc", "zzz"), std::string_view::npos);
+  EXPECT_EQ(ifind("abc", ""), 0u);
+  EXPECT_EQ(ifind("ab", "abc"), std::string_view::npos);
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, ParseLong) {
+  EXPECT_EQ(parse_long("42"), 42);
+  EXPECT_EQ(parse_long("  42  "), 42);
+  EXPECT_EQ(parse_long("abc", -7), -7);
+  EXPECT_EQ(parse_long("12abc", -7), -7);
+  EXPECT_EQ(parse_long("", -7), -7);
+}
+
+TEST(StringsTest, UrlDecode) {
+  EXPECT_EQ(url_decode("%68%65llo+world"), "hello world");
+  EXPECT_EQ(url_decode("a%2Fb"), "a/b");
+  EXPECT_EQ(url_decode("bad%zz"), "bad%zz");  // invalid escape passes through
+  EXPECT_EQ(url_decode("%4"), "%4");          // truncated escape
+}
+
+TEST(StringsTest, RegistrableDomain) {
+  EXPECT_EQ(registrable_domain("a.b.example.com"), "example.com");
+  EXPECT_EQ(registrable_domain("example.com"), "example.com");
+  EXPECT_EQ(registrable_domain("localhost"), "localhost");
+  EXPECT_EQ(registrable_domain("192.168.1.1"), "192.168.1.1");
+}
+
+TEST(StringsTest, TopLevelDomain) {
+  EXPECT_EQ(top_level_domain("a.example.com"), "com");
+  EXPECT_EQ(top_level_domain("example.top"), "top");
+  EXPECT_EQ(top_level_domain("localhost"), "");
+  EXPECT_EQ(top_level_domain("10.0.0.1"), "");
+  EXPECT_EQ(top_level_domain("trailingdot."), "");
+}
+
+TEST(StringsTest, LooksLikeIpv4) {
+  EXPECT_TRUE(looks_like_ipv4("1.2.3.4"));
+  EXPECT_TRUE(looks_like_ipv4("255.255.255.255"));
+  EXPECT_FALSE(looks_like_ipv4("1.2.3"));
+  EXPECT_FALSE(looks_like_ipv4("a.b.c.d"));
+  EXPECT_FALSE(looks_like_ipv4("1.2.3.4.5"));
+  EXPECT_FALSE(looks_like_ipv4("1..3.4"));
+  EXPECT_FALSE(looks_like_ipv4("1.2.3.4444"));
+}
+
+TEST(StringsTest, UriExtension) {
+  EXPECT_EQ(uri_extension("/files/payload.EXE?x=1"), "exe");
+  EXPECT_EQ(uri_extension("/a/b.tar.gz"), "gz");
+  EXPECT_EQ(uri_extension("/no-extension"), "");
+  EXPECT_EQ(uri_extension("/dir.with.dots/plain"), "");
+  EXPECT_EQ(uri_extension("/trailingdot."), "");
+}
+
+TEST(StringsTest, UriPath) {
+  EXPECT_EQ(uri_path("/a/b?q=1#frag"), "/a/b");
+  EXPECT_EQ(uri_path("/a/b#frag"), "/a/b");
+  EXPECT_EQ(uri_path("/plain"), "/plain");
+}
+
+TEST(StringsTest, Base64Decode) {
+  EXPECT_EQ(base64_decode("aGVsbG8="), "hello");
+  EXPECT_EQ(base64_decode("aGVsbG8h"), "hello!");
+  EXPECT_EQ(base64_decode("aA=="), "h");
+  EXPECT_EQ(base64_decode("!!invalid!!"), "");
+  EXPECT_EQ(base64_decode(""), "");
+}
+
+}  // namespace
+}  // namespace dm::util

@@ -1,0 +1,40 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dm::util {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"Name", "Count"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header, separator, two rows.
+  EXPECT_NE(text.find("Name   Count"), std::string::npos);
+  EXPECT_NE(text.find("-----  -----"), std::string::npos);
+  EXPECT_NE(text.find("alpha  1"), std::string::npos);
+  EXPECT_NE(text.find("b      12345"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table({"A", "B", "C"});
+  table.add_row({"x"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find('x'), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::pct(0.973, 1), "97.3%");
+  EXPECT_EQ(TextTable::pct(0.015, 1), "1.5%");
+}
+
+}  // namespace
+}  // namespace dm::util
