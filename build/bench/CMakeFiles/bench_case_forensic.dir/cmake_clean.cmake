@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_forensic.dir/bench_case_forensic.cpp.o"
+  "CMakeFiles/bench_case_forensic.dir/bench_case_forensic.cpp.o.d"
+  "bench_case_forensic"
+  "bench_case_forensic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_forensic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_enticement.dir/bench_fig1_enticement.cpp.o"
+  "CMakeFiles/bench_fig1_enticement.dir/bench_fig1_enticement.cpp.o.d"
+  "bench_fig1_enticement"
+  "bench_fig1_enticement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_enticement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_origins.dir/bench_fig2_origins.cpp.o"
+  "CMakeFiles/bench_fig2_origins.dir/bench_fig2_origins.cpp.o.d"
+  "bench_fig2_origins"
+  "bench_fig2_origins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_origins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

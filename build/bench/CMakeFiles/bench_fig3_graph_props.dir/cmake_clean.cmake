@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_graph_props.dir/bench_fig3_graph_props.cpp.o"
+  "CMakeFiles/bench_fig3_graph_props.dir/bench_fig3_graph_props.cpp.o.d"
+  "bench_fig3_graph_props"
+  "bench_fig3_graph_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_graph_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

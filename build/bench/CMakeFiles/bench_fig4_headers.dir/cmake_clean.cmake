@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_headers.dir/bench_fig4_headers.cpp.o"
+  "CMakeFiles/bench_fig4_headers.dir/bench_fig4_headers.cpp.o.d"
+  "bench_fig4_headers"
+  "bench_fig4_headers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ranking.dir/bench_table4_ranking.cpp.o"
+  "CMakeFiles/bench_table4_ranking.dir/bench_table4_ranking.cpp.o.d"
+  "bench_table4_ranking"
+  "bench_table4_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensic_pcap_scan.dir/forensic_pcap_scan.cpp.o"
+  "CMakeFiles/forensic_pcap_scan.dir/forensic_pcap_scan.cpp.o.d"
+  "forensic_pcap_scan"
+  "forensic_pcap_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensic_pcap_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_proxy_monitor.dir/live_proxy_monitor.cpp.o"
+  "CMakeFiles/live_proxy_monitor.dir/live_proxy_monitor.cpp.o.d"
+  "live_proxy_monitor"
+  "live_proxy_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_proxy_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcg_explorer.dir/wcg_explorer.cpp.o"
+  "CMakeFiles/wcg_explorer.dir/wcg_explorer.cpp.o.d"
+  "wcg_explorer"
+  "wcg_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcg_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

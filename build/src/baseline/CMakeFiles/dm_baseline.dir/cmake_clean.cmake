@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_baseline.dir/virustotal_sim.cpp.o"
+  "CMakeFiles/dm_baseline.dir/virustotal_sim.cpp.o.d"
+  "libdm_baseline.a"
+  "libdm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

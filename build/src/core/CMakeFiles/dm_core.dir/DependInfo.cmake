@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/dm_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/dm_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/dm_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/dm_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/dm_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/dm_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/dm_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/dm_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/wcg.cpp" "src/core/CMakeFiles/dm_core.dir/wcg.cpp.o" "gcc" "src/core/CMakeFiles/dm_core.dir/wcg.cpp.o.d"
+  "/root/repo/src/core/wcg_builder.cpp" "src/core/CMakeFiles/dm_core.dir/wcg_builder.cpp.o" "gcc" "src/core/CMakeFiles/dm_core.dir/wcg_builder.cpp.o.d"
+  "/root/repo/src/core/whitelist.cpp" "src/core/CMakeFiles/dm_core.dir/whitelist.cpp.o" "gcc" "src/core/CMakeFiles/dm_core.dir/whitelist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dm_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

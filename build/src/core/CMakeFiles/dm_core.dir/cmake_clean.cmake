@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_core.dir/detector.cpp.o"
+  "CMakeFiles/dm_core.dir/detector.cpp.o.d"
+  "CMakeFiles/dm_core.dir/features.cpp.o"
+  "CMakeFiles/dm_core.dir/features.cpp.o.d"
+  "CMakeFiles/dm_core.dir/online.cpp.o"
+  "CMakeFiles/dm_core.dir/online.cpp.o.d"
+  "CMakeFiles/dm_core.dir/trainer.cpp.o"
+  "CMakeFiles/dm_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/dm_core.dir/wcg.cpp.o"
+  "CMakeFiles/dm_core.dir/wcg.cpp.o.d"
+  "CMakeFiles/dm_core.dir/wcg_builder.cpp.o"
+  "CMakeFiles/dm_core.dir/wcg_builder.cpp.o.d"
+  "CMakeFiles/dm_core.dir/whitelist.cpp.o"
+  "CMakeFiles/dm_core.dir/whitelist.cpp.o.d"
+  "libdm_core.a"
+  "libdm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

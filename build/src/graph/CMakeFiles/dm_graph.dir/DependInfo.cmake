@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/centrality.cpp" "src/graph/CMakeFiles/dm_graph.dir/centrality.cpp.o" "gcc" "src/graph/CMakeFiles/dm_graph.dir/centrality.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/graph/CMakeFiles/dm_graph.dir/connectivity.cpp.o" "gcc" "src/graph/CMakeFiles/dm_graph.dir/connectivity.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/dm_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/dm_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/dm_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/dm_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/pagerank.cpp" "src/graph/CMakeFiles/dm_graph.dir/pagerank.cpp.o" "gcc" "src/graph/CMakeFiles/dm_graph.dir/pagerank.cpp.o.d"
+  "/root/repo/src/graph/shortest_paths.cpp" "src/graph/CMakeFiles/dm_graph.dir/shortest_paths.cpp.o" "gcc" "src/graph/CMakeFiles/dm_graph.dir/shortest_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_graph.dir/centrality.cpp.o"
+  "CMakeFiles/dm_graph.dir/centrality.cpp.o.d"
+  "CMakeFiles/dm_graph.dir/connectivity.cpp.o"
+  "CMakeFiles/dm_graph.dir/connectivity.cpp.o.d"
+  "CMakeFiles/dm_graph.dir/digraph.cpp.o"
+  "CMakeFiles/dm_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/dm_graph.dir/metrics.cpp.o"
+  "CMakeFiles/dm_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/dm_graph.dir/pagerank.cpp.o"
+  "CMakeFiles/dm_graph.dir/pagerank.cpp.o.d"
+  "CMakeFiles/dm_graph.dir/shortest_paths.cpp.o"
+  "CMakeFiles/dm_graph.dir/shortest_paths.cpp.o.d"
+  "libdm_graph.a"
+  "libdm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

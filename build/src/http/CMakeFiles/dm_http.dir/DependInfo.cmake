@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/classify.cpp" "src/http/CMakeFiles/dm_http.dir/classify.cpp.o" "gcc" "src/http/CMakeFiles/dm_http.dir/classify.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/dm_http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/dm_http.dir/message.cpp.o.d"
+  "/root/repo/src/http/parser.cpp" "src/http/CMakeFiles/dm_http.dir/parser.cpp.o" "gcc" "src/http/CMakeFiles/dm_http.dir/parser.cpp.o.d"
+  "/root/repo/src/http/redirect_miner.cpp" "src/http/CMakeFiles/dm_http.dir/redirect_miner.cpp.o" "gcc" "src/http/CMakeFiles/dm_http.dir/redirect_miner.cpp.o.d"
+  "/root/repo/src/http/session.cpp" "src/http/CMakeFiles/dm_http.dir/session.cpp.o" "gcc" "src/http/CMakeFiles/dm_http.dir/session.cpp.o.d"
+  "/root/repo/src/http/transaction_stream.cpp" "src/http/CMakeFiles/dm_http.dir/transaction_stream.cpp.o" "gcc" "src/http/CMakeFiles/dm_http.dir/transaction_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

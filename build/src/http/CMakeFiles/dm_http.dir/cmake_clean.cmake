@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_http.dir/classify.cpp.o"
+  "CMakeFiles/dm_http.dir/classify.cpp.o.d"
+  "CMakeFiles/dm_http.dir/message.cpp.o"
+  "CMakeFiles/dm_http.dir/message.cpp.o.d"
+  "CMakeFiles/dm_http.dir/parser.cpp.o"
+  "CMakeFiles/dm_http.dir/parser.cpp.o.d"
+  "CMakeFiles/dm_http.dir/redirect_miner.cpp.o"
+  "CMakeFiles/dm_http.dir/redirect_miner.cpp.o.d"
+  "CMakeFiles/dm_http.dir/session.cpp.o"
+  "CMakeFiles/dm_http.dir/session.cpp.o.d"
+  "CMakeFiles/dm_http.dir/transaction_stream.cpp.o"
+  "CMakeFiles/dm_http.dir/transaction_stream.cpp.o.d"
+  "libdm_http.a"
+  "libdm_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/dm_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/dm_ml.dir/dataset.cpp.o"
+  "CMakeFiles/dm_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/dm_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/dm_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/dm_ml.dir/feature_ranking.cpp.o"
+  "CMakeFiles/dm_ml.dir/feature_ranking.cpp.o.d"
+  "CMakeFiles/dm_ml.dir/metrics.cpp.o"
+  "CMakeFiles/dm_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/dm_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/dm_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/dm_ml.dir/serialization.cpp.o"
+  "CMakeFiles/dm_ml.dir/serialization.cpp.o.d"
+  "libdm_ml.a"
+  "libdm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_net.dir/packet.cpp.o"
+  "CMakeFiles/dm_net.dir/packet.cpp.o.d"
+  "CMakeFiles/dm_net.dir/packet_builder.cpp.o"
+  "CMakeFiles/dm_net.dir/packet_builder.cpp.o.d"
+  "CMakeFiles/dm_net.dir/pcap.cpp.o"
+  "CMakeFiles/dm_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/dm_net.dir/tcp_reassembly.cpp.o"
+  "CMakeFiles/dm_net.dir/tcp_reassembly.cpp.o.d"
+  "libdm_net.a"
+  "libdm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

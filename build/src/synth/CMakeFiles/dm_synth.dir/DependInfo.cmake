@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/content.cpp" "src/synth/CMakeFiles/dm_synth.dir/content.cpp.o" "gcc" "src/synth/CMakeFiles/dm_synth.dir/content.cpp.o.d"
+  "/root/repo/src/synth/dataset.cpp" "src/synth/CMakeFiles/dm_synth.dir/dataset.cpp.o" "gcc" "src/synth/CMakeFiles/dm_synth.dir/dataset.cpp.o.d"
+  "/root/repo/src/synth/families.cpp" "src/synth/CMakeFiles/dm_synth.dir/families.cpp.o" "gcc" "src/synth/CMakeFiles/dm_synth.dir/families.cpp.o.d"
+  "/root/repo/src/synth/generator.cpp" "src/synth/CMakeFiles/dm_synth.dir/generator.cpp.o" "gcc" "src/synth/CMakeFiles/dm_synth.dir/generator.cpp.o.d"
+  "/root/repo/src/synth/names.cpp" "src/synth/CMakeFiles/dm_synth.dir/names.cpp.o" "gcc" "src/synth/CMakeFiles/dm_synth.dir/names.cpp.o.d"
+  "/root/repo/src/synth/pcap_export.cpp" "src/synth/CMakeFiles/dm_synth.dir/pcap_export.cpp.o" "gcc" "src/synth/CMakeFiles/dm_synth.dir/pcap_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dm_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_synth.dir/content.cpp.o"
+  "CMakeFiles/dm_synth.dir/content.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/dataset.cpp.o"
+  "CMakeFiles/dm_synth.dir/dataset.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/families.cpp.o"
+  "CMakeFiles/dm_synth.dir/families.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/generator.cpp.o"
+  "CMakeFiles/dm_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/names.cpp.o"
+  "CMakeFiles/dm_synth.dir/names.cpp.o.d"
+  "CMakeFiles/dm_synth.dir/pcap_export.cpp.o"
+  "CMakeFiles/dm_synth.dir/pcap_export.cpp.o.d"
+  "libdm_synth.a"
+  "libdm_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dm_util.dir/csv.cpp.o"
+  "CMakeFiles/dm_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dm_util.dir/hash.cpp.o"
+  "CMakeFiles/dm_util.dir/hash.cpp.o.d"
+  "CMakeFiles/dm_util.dir/log.cpp.o"
+  "CMakeFiles/dm_util.dir/log.cpp.o.d"
+  "CMakeFiles/dm_util.dir/rng.cpp.o"
+  "CMakeFiles/dm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dm_util.dir/stats.cpp.o"
+  "CMakeFiles/dm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dm_util.dir/strings.cpp.o"
+  "CMakeFiles/dm_util.dir/strings.cpp.o.d"
+  "CMakeFiles/dm_util.dir/table.cpp.o"
+  "CMakeFiles/dm_util.dir/table.cpp.o.d"
+  "libdm_util.a"
+  "libdm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_virustotal_test.cpp" "tests/CMakeFiles/baseline_virustotal_test.dir/baseline_virustotal_test.cpp.o" "gcc" "tests/CMakeFiles/baseline_virustotal_test.dir/baseline_virustotal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/dm_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/dm_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dm_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

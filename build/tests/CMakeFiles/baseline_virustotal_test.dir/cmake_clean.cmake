@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_virustotal_test.dir/baseline_virustotal_test.cpp.o"
+  "CMakeFiles/baseline_virustotal_test.dir/baseline_virustotal_test.cpp.o.d"
+  "baseline_virustotal_test"
+  "baseline_virustotal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_virustotal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stage_test.dir/core_stage_test.cpp.o"
+  "CMakeFiles/core_stage_test.dir/core_stage_test.cpp.o.d"
+  "core_stage_test"
+  "core_stage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_wcg_test.dir/core_wcg_test.cpp.o"
+  "CMakeFiles/core_wcg_test.dir/core_wcg_test.cpp.o.d"
+  "core_wcg_test"
+  "core_wcg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_wcg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_whitelist_test.dir/core_whitelist_test.cpp.o"
+  "CMakeFiles/core_whitelist_test.dir/core_whitelist_test.cpp.o.d"
+  "core_whitelist_test"
+  "core_whitelist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_whitelist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_centrality_test.dir/graph_centrality_test.cpp.o"
+  "CMakeFiles/graph_centrality_test.dir/graph_centrality_test.cpp.o.d"
+  "graph_centrality_test"
+  "graph_centrality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_centrality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_pagerank_test.dir/graph_pagerank_test.cpp.o"
+  "CMakeFiles/graph_pagerank_test.dir/graph_pagerank_test.cpp.o.d"
+  "graph_pagerank_test"
+  "graph_pagerank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_pagerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_shortest_paths_test.dir/graph_shortest_paths_test.cpp.o"
+  "CMakeFiles/graph_shortest_paths_test.dir/graph_shortest_paths_test.cpp.o.d"
+  "graph_shortest_paths_test"
+  "graph_shortest_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_shortest_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_classify_test.dir/http_classify_test.cpp.o"
+  "CMakeFiles/http_classify_test.dir/http_classify_test.cpp.o.d"
+  "http_classify_test"
+  "http_classify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

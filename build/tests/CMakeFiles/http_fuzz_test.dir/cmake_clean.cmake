@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_fuzz_test.dir/http_fuzz_test.cpp.o"
+  "CMakeFiles/http_fuzz_test.dir/http_fuzz_test.cpp.o.d"
+  "http_fuzz_test"
+  "http_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

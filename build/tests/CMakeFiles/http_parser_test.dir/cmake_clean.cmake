@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_parser_test.dir/http_parser_test.cpp.o"
+  "CMakeFiles/http_parser_test.dir/http_parser_test.cpp.o.d"
+  "http_parser_test"
+  "http_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

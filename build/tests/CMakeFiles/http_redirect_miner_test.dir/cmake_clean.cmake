@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_redirect_miner_test.dir/http_redirect_miner_test.cpp.o"
+  "CMakeFiles/http_redirect_miner_test.dir/http_redirect_miner_test.cpp.o.d"
+  "http_redirect_miner_test"
+  "http_redirect_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_redirect_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

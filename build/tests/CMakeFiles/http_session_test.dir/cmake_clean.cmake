@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_session_test.dir/http_session_test.cpp.o"
+  "CMakeFiles/http_session_test.dir/http_session_test.cpp.o.d"
+  "http_session_test"
+  "http_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_cross_validation_test.dir/ml_cross_validation_test.cpp.o"
+  "CMakeFiles/ml_cross_validation_test.dir/ml_cross_validation_test.cpp.o.d"
+  "ml_cross_validation_test"
+  "ml_cross_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_feature_ranking_test.dir/ml_feature_ranking_test.cpp.o"
+  "CMakeFiles/ml_feature_ranking_test.dir/ml_feature_ranking_test.cpp.o.d"
+  "ml_feature_ranking_test"
+  "ml_feature_ranking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_feature_ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_property_test.dir/ml_property_test.cpp.o"
+  "CMakeFiles/ml_property_test.dir/ml_property_test.cpp.o.d"
+  "ml_property_test"
+  "ml_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_random_forest_test.dir/ml_random_forest_test.cpp.o"
+  "CMakeFiles/ml_random_forest_test.dir/ml_random_forest_test.cpp.o.d"
+  "ml_random_forest_test"
+  "ml_random_forest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_random_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

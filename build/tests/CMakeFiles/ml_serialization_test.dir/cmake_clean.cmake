@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_serialization_test.dir/ml_serialization_test.cpp.o"
+  "CMakeFiles/ml_serialization_test.dir/ml_serialization_test.cpp.o.d"
+  "ml_serialization_test"
+  "ml_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

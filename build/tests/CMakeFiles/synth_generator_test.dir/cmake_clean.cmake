@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_generator_test.dir/synth_generator_test.cpp.o"
+  "CMakeFiles/synth_generator_test.dir/synth_generator_test.cpp.o.d"
+  "synth_generator_test"
+  "synth_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

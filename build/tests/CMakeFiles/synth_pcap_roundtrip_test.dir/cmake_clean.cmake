@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_pcap_roundtrip_test.dir/synth_pcap_roundtrip_test.cpp.o"
+  "CMakeFiles/synth_pcap_roundtrip_test.dir/synth_pcap_roundtrip_test.cpp.o.d"
+  "synth_pcap_roundtrip_test"
+  "synth_pcap_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_pcap_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
