@@ -1,19 +1,71 @@
 // Live proxy monitor (Stage 2, on-the-wire): streams a mixed workload of
-// benign browsing and exploit-kit infections through the OnlineDetector —
-// the deployment mode of §V-B where DynaMiner "sits at the edge of a
-// network or as a web proxy".
+// benign browsing and exploit-kit infections through the on-the-wire
+// detector — the deployment mode of §V-B where DynaMiner "sits at the edge
+// of a network or as a web proxy".
+//
+// Usage: live_proxy_monitor [--threads N]
+//   --threads 1 (default) replays through the sequential core engine;
+//   --threads N>1 runs the session-sharded concurrent runtime with N shard
+//   workers.  Both modes produce the same alert set on the same stream —
+//   that equivalence is the runtime's core invariant (see DESIGN.md,
+//   "Runtime architecture").
 //
 // The monitor prints each alert as it fires, then a session summary.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/online.h"
 #include "core/trainer.h"
+#include "runtime/sharded_online.h"
 #include "synth/dataset.h"
 
-int main() {
-  // Train on the offline corpus (Stage 1).
+namespace {
+
+void print_alert(const dm::core::Alert& alert, std::uint64_t stream_start_micros) {
+  std::printf("ALERT  t=%.1fs  client=%s  trigger=%s (%s)  score=%.3f  "
+              "wcg=%zun/%zue\n",
+              alert.ts_micros / 1e6 - stream_start_micros / 1e6,
+              alert.client.c_str(), alert.trigger_host.c_str(),
+              std::string(dm::http::payload_type_name(alert.trigger_payload))
+                  .c_str(),
+              alert.score, alert.wcg_order, alert.wcg_size);
+}
+
+void print_summary(const dm::core::OnlineStats& stats) {
+  std::printf("\n--- proxy session summary ---\n");
+  std::printf("transactions seen:      %zu\n", stats.transactions_seen);
+  std::printf("weeded (trusted):       %zu\n", stats.transactions_weeded);
+  std::printf("sessions opened:        %zu\n", stats.sessions_opened);
+  std::printf("infection clues fired:  %zu\n", stats.clues_fired);
+  std::printf("classifier queries:     %zu\n", stats.classifier_queries);
+  std::printf("alerts issued:          %zu (3 infections were in the mix)\n",
+              stats.alerts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const long long v = std::atoll(argv[++i]);
+      if (v < 1) {
+        std::fprintf(stderr, "--threads wants a positive integer\n");
+        return 2;
+      }
+      threads = static_cast<std::size_t>(v);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Train on the offline corpus (Stage 1).  One read-only model is shared
+  // by every shard worker.
   std::printf("training on the offline ground-truth corpus...\n");
   const auto gt = dm::synth::generate_ground_truth(42, 0.1);
   std::vector<dm::core::Wcg> infections;
@@ -24,7 +76,7 @@ int main() {
   for (const auto& e : gt.benign) {
     benign.push_back(dm::core::build_wcg(e.transactions));
   }
-  dm::core::Detector detector(
+  const auto detector = std::make_shared<const dm::core::Detector>(
       dm::core::train_dynaminer(dm::core::dataset_from_wcgs(infections, benign), 42));
 
   // Assemble the live mix: 12 benign sessions, 3 infections, interleaved.
@@ -36,41 +88,56 @@ int main() {
   episodes.push_back(live.infection(dm::synth::family_by_name("Goon")));
 
   std::vector<dm::http::HttpTransaction> stream;
-  std::vector<int> labels_by_client;  // for the summary
   for (const auto& episode : episodes) {
     for (const auto& txn : episode.transactions) stream.push_back(txn);
   }
   std::stable_sort(stream.begin(), stream.end(), [](const auto& a, const auto& b) {
     return a.request.ts_micros < b.request.ts_micros;
   });
+  const std::uint64_t stream_start = stream.front().request.ts_micros;
 
-  // Watch the wire.
   dm::core::OnlineOptions options;
   options.redirect_chain_threshold = 2;
-  dm::core::OnlineDetector proxy(std::move(detector), options);
 
-  std::printf("streaming %zu transactions through the proxy...\n\n",
-              stream.size());
-  for (const auto& txn : stream) {
-    if (const auto alert = proxy.observe(txn)) {
-      std::printf("ALERT  t=%.1fs  client=%s  trigger=%s (%s)  score=%.3f  "
-                  "wcg=%zun/%zue\n",
-                  alert->ts_micros / 1e6 - stream.front().request.ts_micros / 1e6,
-                  alert->client.c_str(), alert->trigger_host.c_str(),
-                  std::string(dm::http::payload_type_name(alert->trigger_payload))
-                      .c_str(),
-                  alert->score, alert->wcg_order, alert->wcg_size);
+  if (threads <= 1) {
+    // Sequential watch: alerts print the moment they fire.
+    dm::core::OnlineDetector proxy(detector, options);
+    std::printf("streaming %zu transactions through the proxy (sequential)...\n\n",
+                stream.size());
+    for (const auto& txn : stream) {
+      if (const auto alert = proxy.observe(txn)) {
+        print_alert(*alert, stream_start);
+      }
     }
+    print_summary(proxy.stats());
+    return 0;
   }
 
-  const auto& stats = proxy.stats();
-  std::printf("\n--- proxy session summary ---\n");
-  std::printf("transactions seen:      %zu\n", stats.transactions_seen);
-  std::printf("weeded (trusted):       %zu\n", stats.transactions_weeded);
-  std::printf("sessions opened:        %zu\n", stats.sessions_opened);
-  std::printf("infection clues fired:  %zu\n", stats.clues_fired);
-  std::printf("classifier queries:     %zu\n", stats.classifier_queries);
-  std::printf("alerts issued:          %zu (3 infections were in the mix)\n",
-              stats.alerts);
+  // Sharded watch: dispatch by client onto `threads` shard workers, then
+  // merge the per-shard alert streams back into time order.
+  dm::runtime::ShardedOptions sharded;
+  sharded.num_shards = threads;
+  sharded.online = options;
+  dm::runtime::ShardedOnlineEngine proxy(detector, sharded);
+  std::printf("streaming %zu transactions through the proxy (%zu shards)...\n\n",
+              stream.size(), proxy.num_shards());
+  for (const auto& txn : stream) proxy.observe(txn);
+  proxy.finish();
+  for (const auto& alert : proxy.merged_alerts()) {
+    print_alert(alert, stream_start);
+  }
+  print_summary(proxy.aggregated_stats());
+
+  const auto runtime = proxy.runtime_stats();
+  std::printf("\n--- runtime ---\n");
+  std::printf("shards:                 %zu\n", proxy.num_shards());
+  std::printf("dispatched batches:     %llu\n",
+              static_cast<unsigned long long>(runtime.batches_dispatched));
+  std::printf("queue high-water:       %zu batch(es)\n", runtime.queue_highwater);
+  for (std::size_t s = 0; s < runtime.per_shard_transactions.size(); ++s) {
+    std::printf("shard %zu:                %llu txns, %llu alert(s)\n", s,
+                static_cast<unsigned long long>(runtime.per_shard_transactions[s]),
+                static_cast<unsigned long long>(runtime.per_shard_alerts[s]));
+  }
   return 0;
 }

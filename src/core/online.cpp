@@ -23,14 +23,30 @@ std::string referrer_host_of(const HttpTransaction& txn) {
 }  // namespace
 
 OnlineDetector::OnlineDetector(Detector detector, OnlineOptions options)
+    : OnlineDetector(std::make_shared<const Detector>(std::move(detector)),
+                     std::move(options)) {}
+
+OnlineDetector::OnlineDetector(std::shared_ptr<const Detector> detector,
+                               OnlineOptions options)
     : detector_(std::move(detector)), options_(std::move(options)) {}
+
+bool OnlineDetector::joinable(const Session& session,
+                              std::uint64_t ts_micros) const noexcept {
+  if (ts_micros < session.last_activity) return true;  // clock skew: keep
+  const double idle_s =
+      static_cast<double>(ts_micros - session.last_activity) / 1e6;
+  return idle_s <= options_.session_idle_timeout_s;
+}
 
 OnlineDetector::Session& OnlineDetector::find_or_create_session(
     const HttpTransaction& txn, const std::optional<std::string>& sid) {
-  // 1. Session-ID match (the primary grouping rule, §V-B).
+  // 1. Session-ID match (the primary grouping rule, §V-B).  A session idle
+  //    past the timeout is terminated — "the WCG stops growing" — so even a
+  //    matching id opens a fresh session rather than resurrecting it.
   if (sid) {
     for (auto& [key, session] : sessions_) {
-      if (session.client == txn.client_host && session.session_id == sid) {
+      if (session.client == txn.client_host && session.session_id == sid &&
+          joinable(session, txn.request.ts_micros)) {
         return session;
       }
     }
@@ -42,6 +58,7 @@ OnlineDetector::Session& OnlineDetector::find_or_create_session(
   Session* best = nullptr;
   for (auto& [key, session] : sessions_) {
     if (session.client != txn.client_host || session.alerted) continue;
+    if (!joinable(session, txn.request.ts_micros)) continue;
     const double gap_s =
         static_cast<double>(txn.request.ts_micros - session.last_activity) / 1e6;
     if (txn.request.ts_micros < session.last_activity ||
@@ -58,7 +75,8 @@ OnlineDetector::Session& OnlineDetector::find_or_create_session(
 
   // 3. New session.
   Session session;
-  session.key = txn.client_host + "#" + std::to_string(session_counter_++);
+  session.key =
+      txn.client_host + "#" + std::to_string(next_session_seq_[txn.client_host]++);
   session.client = txn.client_host;
   session.builder = WcgBuilder(options_.builder);
   ++stats_.sessions_opened;
@@ -179,7 +197,7 @@ std::optional<Alert> OnlineDetector::classify_session(Session& session,
   const Wcg wcg = potential_infection_wcg(session);
   if (wcg.node_count() < 2) return std::nullopt;
   ++stats_.classifier_queries;
-  const double score = detector_.score(wcg);
+  const double score = detector_->score(wcg);
   if (score < options_.decision_threshold) return std::nullopt;
 
   Alert alert;

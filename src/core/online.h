@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -72,6 +73,12 @@ class OnlineDetector {
  public:
   OnlineDetector(Detector detector, OnlineOptions options = {});
 
+  /// Shares one trained detector read-only (inference is const and
+  /// state-free), so N engine instances — e.g. the shards of
+  /// runtime::ShardedOnlineEngine — can query a single model copy.
+  OnlineDetector(std::shared_ptr<const Detector> detector,
+                 OnlineOptions options = {});
+
   /// Feeds one transaction (stream must be in time order); returns an alert
   /// if this update tipped a session over the decision threshold.
   std::optional<Alert> observe(dm::http::HttpTransaction transaction);
@@ -116,12 +123,23 @@ class OnlineDetector {
                                         const dm::http::HttpTransaction& txn,
                                         dm::http::PayloadType trigger);
 
-  Detector detector_;
+  /// True when `session` may still be joined at time `ts_micros`: sessions
+  /// idle past the timeout are dead even if not yet garbage-collected.
+  /// Keeping this a pure function of (transaction, session) makes grouping
+  /// independent of when expire_idle happens to run — the property the
+  /// sharded runtime's determinism guarantee rests on.
+  bool joinable(const Session& session, std::uint64_t ts_micros) const noexcept;
+
+  std::shared_ptr<const Detector> detector_;
   OnlineOptions options_;
   std::map<std::string, Session> sessions_;  // key -> state
   OnlineStats stats_;
   std::vector<Alert> alerts_;
-  std::uint64_t session_counter_ = 0;
+  /// Next session ordinal per client.  Keys are "client#n" with a
+  /// per-client counter so they are reproducible for any partition of the
+  /// stream by client (a global counter would depend on arrival interleaving
+  /// across clients).  Grows with the number of distinct clients seen.
+  std::map<std::string, std::uint64_t> next_session_seq_;
 };
 
 }  // namespace dm::core

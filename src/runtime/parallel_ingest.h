@@ -1,0 +1,62 @@
+// Parallel ingest: fans reassembled HTTP transactions into the session-
+// sharded engine and merges the shard outputs into one time-ordered alert
+// stream.  Three entry points, one per deployment shape:
+//
+//   * detect_transactions  — an already-reconstructed stream (the in-process
+//     replayer of the live case studies),
+//   * detect_pcap          — one capture: Stage-1 reconstruction
+//     (pcap -> TCP reassembly -> HTTP pairing) then sharded detection,
+//   * detect_pcap_files    — many captures: reconstruction runs concurrently
+//     on a WorkerPool (one task per file), the streams are merged by request
+//     timestamp, and the merged stream is dispatched in time order.
+//
+// Dispatch is intentionally single-threaded: §V-B semantics require each
+// client's transactions to arrive at its shard in stream order, and one
+// time-ordered dispatcher is the simplest structure that guarantees it.
+// Parallelism lives in the reconstruction fan-out and in the shard workers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/online.h"
+#include "net/pcap.h"
+#include "runtime/sharded_online.h"
+
+namespace dm::runtime {
+
+struct IngestOptions {
+  ShardedOptions sharded;
+  /// Workers for the pcap-reconstruction fan-out (detect_pcap_files only);
+  /// 0 -> hardware_concurrency.
+  std::size_t ingest_workers = 0;
+};
+
+/// What came out of one ingest run.
+struct IngestResult {
+  std::vector<dm::core::Alert> alerts;  // merged, time-ordered
+  dm::core::OnlineStats online;         // summed over shards
+  StatsSnapshot runtime;
+  std::size_t transactions = 0;  // dispatched into the engine
+};
+
+/// Streams a time-ordered transaction list through a sharded engine.
+IngestResult detect_transactions(
+    std::vector<dm::http::HttpTransaction> stream,
+    std::shared_ptr<const dm::core::Detector> detector,
+    const ShardedOptions& options = {});
+
+/// Full Stage-1 + Stage-2 over one capture.
+IngestResult detect_pcap(const dm::net::PcapFile& capture,
+                         std::shared_ptr<const dm::core::Detector> detector,
+                         const ShardedOptions& options = {});
+
+/// Full Stage-1 + Stage-2 over many capture files, reconstructed in
+/// parallel.  Throws std::runtime_error if any file fails to parse.
+IngestResult detect_pcap_files(
+    const std::vector<std::string>& paths,
+    std::shared_ptr<const dm::core::Detector> detector,
+    const IngestOptions& options = {});
+
+}  // namespace dm::runtime

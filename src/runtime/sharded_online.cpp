@@ -1,0 +1,131 @@
+#include "runtime/sharded_online.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace dm::runtime {
+
+ShardedOnlineEngine::ShardedOnlineEngine(
+    std::shared_ptr<const dm::core::Detector> detector, ShardedOptions options)
+    : options_(options) {
+  std::size_t n = options_.num_shards;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  if (options_.batch_size == 0) options_.batch_size = 1;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(detector, options_));
+    shards_.back()->pending.reserve(options_.batch_size);
+  }
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([s = shard.get(), this] {
+      while (auto batch = s->queue.pop()) {
+        for (auto& txn : *batch) {
+          s->detector.observe(std::move(txn));
+        }
+        stats_.transactions_out.fetch_add(batch->size(),
+                                          std::memory_order_relaxed);
+      }
+    });
+  }
+}
+
+ShardedOnlineEngine::~ShardedOnlineEngine() { finish(); }
+
+std::size_t ShardedOnlineEngine::shard_of(const dm::http::HttpTransaction& txn,
+                                          std::size_t num_shards) noexcept {
+  if (num_shards <= 1) return 0;
+  return dm::util::fnv1a(txn.client_host) % num_shards;
+}
+
+void ShardedOnlineEngine::observe(dm::http::HttpTransaction txn) {
+  if (finished_) return;
+  Shard& shard = *shards_[shard_of(txn, shards_.size())];
+  shard.pending.push_back(std::move(txn));
+  stats_.transactions_in.fetch_add(1, std::memory_order_relaxed);
+  if (shard.pending.size() >= options_.batch_size) {
+    Batch batch;
+    batch.reserve(options_.batch_size);
+    std::swap(batch, shard.pending);
+    shard.queue.push(std::move(batch));
+    stats_.batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedOnlineEngine::flush() {
+  if (finished_) return;
+  for (auto& shard : shards_) {
+    if (shard->pending.empty()) continue;
+    Batch batch;
+    std::swap(batch, shard->pending);
+    shard->queue.push(std::move(batch));
+    stats_.batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedOnlineEngine::finish() {
+  if (finished_) return;
+  flush();
+  finished_ = true;
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+std::vector<dm::core::Alert> ShardedOnlineEngine::merged_alerts() const {
+  std::vector<dm::core::Alert> merged;
+  for (const auto& shard : shards_) {
+    const auto& alerts = shard->detector.alerts();
+    merged.insert(merged.end(), alerts.begin(), alerts.end());
+  }
+  // (ts, session key) is a strict total order: a session alerts at most once
+  // and keys are unique per run, so the merge is deterministic.
+  std::sort(merged.begin(), merged.end(),
+            [](const dm::core::Alert& a, const dm::core::Alert& b) {
+              if (a.ts_micros != b.ts_micros) return a.ts_micros < b.ts_micros;
+              return a.session_key < b.session_key;
+            });
+  return merged;
+}
+
+dm::core::OnlineStats ShardedOnlineEngine::aggregated_stats() const {
+  dm::core::OnlineStats total;
+  for (const auto& shard : shards_) {
+    const auto& s = shard->detector.stats();
+    total.transactions_seen += s.transactions_seen;
+    total.transactions_weeded += s.transactions_weeded;
+    total.clues_fired += s.clues_fired;
+    total.classifier_queries += s.classifier_queries;
+    total.alerts += s.alerts;
+    total.sessions_opened += s.sessions_opened;
+    total.sessions_expired += s.sessions_expired;
+  }
+  return total;
+}
+
+StatsSnapshot ShardedOnlineEngine::runtime_stats() const {
+  StatsSnapshot snap;
+  snap.transactions_in = stats_.transactions_in.load(std::memory_order_relaxed);
+  snap.transactions_out =
+      stats_.transactions_out.load(std::memory_order_relaxed);
+  snap.batches_dispatched =
+      stats_.batches_dispatched.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    snap.queue_highwater = std::max(snap.queue_highwater, shard->queue.highwater());
+  }
+  // The shard detectors belong to the worker threads until finish(); fold
+  // their counters in only once the workers have been joined.
+  if (finished_) {
+    snap.per_shard_transactions.reserve(shards_.size());
+    snap.per_shard_alerts.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      snap.per_shard_transactions.push_back(
+          shard->detector.stats().transactions_seen);
+      snap.per_shard_alerts.push_back(shard->detector.stats().alerts);
+    }
+  }
+  return snap;
+}
+
+}  // namespace dm::runtime

@@ -1,0 +1,118 @@
+// Session-sharded parallel on-the-wire detection (§V-B at scale).
+//
+// The sequential core::OnlineDetector processes one transaction at a time
+// and pays two O(total live sessions) scans per transaction (session lookup
+// and idle expiry).  This engine partitions the stream by a *pure function
+// of the transaction* — the client host — onto a fixed set of shards.  Each
+// shard owns a disjoint set of sessions and runs a private OnlineDetector,
+// so the hot path takes no locks and every per-transaction scan touches only
+// the shard's own sessions.
+//
+// Why the client host is the shard key: §V-B groups transactions into
+// sessions by session ID and by the referrer/timestamp heuristic, and BOTH
+// rules only ever merge transactions of the same client.  Client-sharding is
+// therefore the coarsest partition that can never split a session across
+// shards — which is what makes the engine's output *identical* (as a set;
+// the merge re-establishes time order) to the sequential engine on the same
+// trace, at any shard count.  Hashing by session ID or referrer host would
+// be finer but could place two transactions of one §V-B session on
+// different shards, breaking that equivalence.
+//
+// Determinism also requires the per-shard detectors to behave as pure
+// functions of their client subsequences; core::OnlineDetector guarantees
+// this via per-client session keys and lazy idle-liveness (see online.h).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/online.h"
+#include "runtime/mpmc_queue.h"
+#include "runtime/stats.h"
+
+namespace dm::runtime {
+
+struct ShardedOptions {
+  /// Number of shards (= worker threads); 0 -> hardware_concurrency.
+  std::size_t num_shards = 0;
+  /// Bounded depth of each shard's queue, in batches.  Full queue blocks the
+  /// dispatcher — backpressure instead of unbounded buffering under burst.
+  std::size_t queue_capacity = 256;
+  /// Transactions per dispatch batch.  Batching amortizes queue wakeups; a
+  /// batch is flushed early whenever the stream ends or flush() is called,
+  /// so it trades latency (bounded by batch_size transactions) for
+  /// throughput.
+  std::size_t batch_size = 64;
+  /// Options forwarded to every shard's core::OnlineDetector.
+  dm::core::OnlineOptions online;
+};
+
+/// Parallel drop-in for core::OnlineDetector over a time-ordered stream:
+/// feed transactions with observe() from one dispatching thread, then
+/// finish() and read the merged, time-ordered alert list.
+class ShardedOnlineEngine {
+ public:
+  ShardedOnlineEngine(std::shared_ptr<const dm::core::Detector> detector,
+                      ShardedOptions options = {});
+  ~ShardedOnlineEngine();  // implies finish()
+
+  ShardedOnlineEngine(const ShardedOnlineEngine&) = delete;
+  ShardedOnlineEngine& operator=(const ShardedOnlineEngine&) = delete;
+
+  /// Shard assignment: a pure function of the transaction (FNV-1a of the
+  /// client host).  Exposed so tests can assert stability and so external
+  /// dispatchers (e.g. NIC RSS-style steering) can pre-partition.
+  static std::size_t shard_of(const dm::http::HttpTransaction& txn,
+                              std::size_t num_shards) noexcept;
+
+  /// Dispatches one transaction to its shard.  Call from a single thread
+  /// (or externally serialized): per-client order must match stream order,
+  /// which a single time-ordered dispatcher guarantees.  Blocks when the
+  /// target shard's queue is full.  No-op after finish().
+  void observe(dm::http::HttpTransaction txn);
+
+  /// Pushes any partially-filled batches to their shards.
+  void flush();
+
+  /// Flushes, closes the queues, joins the workers.  Idempotent.  Alerts
+  /// and stats are only meaningful after finish().
+  void finish();
+
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// All shard alerts merged into one time-ordered stream
+  /// (ts, session key) — requires finish().
+  std::vector<dm::core::Alert> merged_alerts() const;
+
+  /// Element-wise sum of the shard detectors' OnlineStats — requires
+  /// finish().
+  dm::core::OnlineStats aggregated_stats() const;
+
+  /// Runtime counters.  Callable any time; the per-shard vectors are only
+  /// populated after finish() (the shard detectors belong to the worker
+  /// threads until then).
+  StatsSnapshot runtime_stats() const;
+
+ private:
+  using Batch = std::vector<dm::http::HttpTransaction>;
+
+  struct Shard {
+    explicit Shard(std::shared_ptr<const dm::core::Detector> detector,
+                   const ShardedOptions& options)
+        : queue(options.queue_capacity),
+          detector(std::move(detector), options.online) {}
+    MpmcRingQueue<Batch> queue;
+    dm::core::OnlineDetector detector;  // touched only by `thread` after start
+    Batch pending;                      // dispatcher-side partial batch
+    std::thread thread;
+  };
+
+  ShardedOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Stats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace dm::runtime

@@ -1,0 +1,35 @@
+// Observability counters for the concurrent streaming runtime.  The live
+// counters are atomics updated from the dispatcher and worker threads; a
+// StatsSnapshot is the plain-value copy handed to reports and benchmarks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dm::runtime {
+
+/// Plain-value view of the runtime counters at one instant.
+struct StatsSnapshot {
+  std::uint64_t transactions_in = 0;   // dispatched into shard queues
+  std::uint64_t transactions_out = 0;  // processed by shard workers
+  std::uint64_t batches_dispatched = 0;
+  /// Deepest any shard queue has been, in batches — how close the engine
+  /// came to exerting backpressure on the ingest stage.
+  std::size_t queue_highwater = 0;
+  std::vector<std::uint64_t> per_shard_transactions;
+  std::vector<std::uint64_t> per_shard_alerts;
+};
+
+/// Shared counter block.  transactions_in / batches_dispatched are written
+/// by the dispatching thread only; transactions_out is incremented by every
+/// worker; per-shard counts live with the shards and are folded into the
+/// snapshot by the engine.
+struct Stats {
+  std::atomic<std::uint64_t> transactions_in{0};
+  std::atomic<std::uint64_t> transactions_out{0};
+  std::atomic<std::uint64_t> batches_dispatched{0};
+};
+
+}  // namespace dm::runtime

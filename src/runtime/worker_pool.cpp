@@ -1,0 +1,67 @@
+#include "runtime/worker_pool.h"
+
+#include <algorithm>
+#include <latch>
+#include <memory>
+
+namespace dm::runtime {
+
+WorkerPool::WorkerPool(Options options) {
+  std::size_t n = options.workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>(options.queue_capacity));
+  }
+  // Threads start after all queues exist so a fast worker cannot observe a
+  // half-built pool.
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([w = worker.get()] {
+      while (auto task = w->queue.pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+bool WorkerPool::submit(std::size_t index, Task task) {
+  if (shut_down_) return false;
+  return workers_[index % workers_.size()]->queue.push(std::move(task));
+}
+
+bool WorkerPool::submit(Task task) {
+  return submit(round_robin_.fetch_add(1, std::memory_order_relaxed),
+                std::move(task));
+}
+
+void WorkerPool::drain() {
+  if (shut_down_) return;
+  // FIFO queues make a barrier trivial: one countdown task per worker, all
+  // earlier tasks on that worker necessarily complete first.
+  std::latch barrier(static_cast<std::ptrdiff_t>(workers_.size()));
+  for (auto& worker : workers_) {
+    worker->queue.push([&barrier] { barrier.count_down(); });
+  }
+  barrier.wait();
+}
+
+void WorkerPool::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (auto& worker : workers_) worker->queue.close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+std::size_t WorkerPool::queue_highwater() const {
+  std::size_t high = 0;
+  for (const auto& worker : workers_) {
+    high = std::max(high, worker->queue.highwater());
+  }
+  return high;
+}
+
+}  // namespace dm::runtime

@@ -1,0 +1,72 @@
+// Fixed-size worker pool over bounded per-worker queues.
+//
+// Unlike a classic shared-queue pool, every worker owns its own
+// MpmcRingQueue and executes it FIFO, so tasks submitted to the same worker
+// index run in submission order on one thread — the affinity property the
+// session-sharded engine needs (all work for a shard is serialized without
+// locks).  submit() blocks when the target queue is full, propagating
+// backpressure to the producer instead of buffering without bound.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "runtime/mpmc_queue.h"
+
+namespace dm::runtime {
+
+class WorkerPool {
+ public:
+  using Task = std::function<void()>;
+
+  struct Options {
+    /// 0 -> std::thread::hardware_concurrency() (at least 1).
+    std::size_t workers = 0;
+    /// Bounded depth of each worker's task queue.
+    std::size_t queue_capacity = 256;
+  };
+
+  WorkerPool() : WorkerPool(Options{}) {}
+  explicit WorkerPool(Options options);
+  ~WorkerPool();  // shutdown(): close queues, drain remaining tasks, join
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues onto worker `index % size()`; tasks with the same index run
+  /// FIFO on the same thread.  Blocks while that queue is full; returns
+  /// false after shutdown().
+  bool submit(std::size_t index, Task task);
+
+  /// Round-robin submit for affinity-free work.
+  bool submit(Task task);
+
+  /// Blocks until every task submitted before the call has finished.
+  /// Safe to call repeatedly; not safe concurrently with submit() from
+  /// other threads (a barrier over a moving target is not meaningful).
+  void drain();
+
+  /// Closes all queues (pending tasks still run) and joins the threads.
+  /// Idempotent; implied by the destructor.
+  void shutdown();
+
+  /// Max queue depth seen across workers.
+  std::size_t queue_highwater() const;
+
+ private:
+  struct Worker {
+    explicit Worker(std::size_t capacity) : queue(capacity) {}
+    MpmcRingQueue<Task> queue;
+    std::thread thread;
+  };
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::size_t> round_robin_{0};
+  bool shut_down_ = false;
+};
+
+}  // namespace dm::runtime

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <iostream>
 #include <mutex>
+#include <string>
 
 namespace dm::util {
 namespace {
@@ -26,8 +27,21 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_line(LogLevel level, std::string_view message) {
   if (level < log_level()) return;
+  // Format outside the lock, then emit the line as ONE write under it.
+  // Concurrent loggers (the sharded runtime's dispatcher + workers) must
+  // never interleave fragments of two lines; a single buffered insert under
+  // the mutex guarantees that even if std::cerr's rdbuf was replaced (the
+  // unit tests capture output that way).
+  std::string line;
+  line.reserve(4 + level_name(level).size() + message.size());
+  line.push_back('[');
+  line.append(level_name(level));
+  line.append("] ");
+  line.append(message);
+  line.push_back('\n');
   const std::scoped_lock lock(g_mutex);
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+  std::cerr.flush();
 }
 
 }  // namespace dm::util

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "core/trainer.h"
 #include "core/wcg_builder.h"
@@ -87,6 +89,51 @@ TEST(DetectorTest, EmptyWcgScoresAsBenignSide) {
   const Detector detector(fixture().forest);
   const Wcg empty;
   EXPECT_LT(detector.score(empty), 0.5);
+}
+
+// The sharded runtime shares ONE trained model read-only across shard
+// threads, so the whole inference path must be callable on const objects.
+// Compile-time contract, checked here so a future `mutable` cache or
+// non-const predict overload breaks the build loudly.
+static_assert(requires(const Detector& d, const Wcg& w) {
+  d.score(w);
+  d.is_infection(w);
+  d.threshold();
+});
+static_assert(requires(const dm::ml::RandomForest& f,
+                       std::span<const double> x) {
+  f.predict_proba(x);
+  f.predict(x);
+});
+
+TEST(DetectorTest, ConstDetectorSharedAcrossThreadsScoresIdentically) {
+  // Concurrent scoring through a const reference must be race-free and
+  // bit-identical to sequential scoring (the runtime determinism guarantee
+  // leans on this; the TSan job verifies the race-freedom half).
+  const Detector& detector = *[] {
+    static const Detector d(fixture().forest);
+    return &d;
+  }();
+  const double expected_infection = detector.score(fixture().infection_wcg);
+  const double expected_benign = detector.score(fixture().benign_wcg);
+
+  constexpr int kThreads = 8;
+  constexpr int kRepeats = 25;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRepeats; ++r) {
+        if (detector.score(fixture().infection_wcg) != expected_infection ||
+            detector.score(fixture().benign_wcg) != expected_benign) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0);
 }
 
 }  // namespace

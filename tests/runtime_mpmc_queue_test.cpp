@@ -1,0 +1,130 @@
+// Bounded MPMC ring queue: capacity/backpressure, FIFO order, close
+// semantics, and a multi-producer/multi-consumer integrity check (run under
+// TSan via the `tsan` ctest label).
+#include "runtime/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace dm::runtime {
+namespace {
+
+TEST(MpmcRingQueueTest, FifoWithinCapacity) {
+  MpmcRingQueue<int> queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.try_push(i));
+  for (int i = 0; i < 4; ++i) {
+    const auto v = queue.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(MpmcRingQueueTest, TryPushFailsWhenFull) {
+  MpmcRingQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // bounded: burst is rejected, not buffered
+  EXPECT_EQ(queue.size(), 2u);
+  queue.try_pop();
+  EXPECT_TRUE(queue.try_push(3));  // space reopened by the consumer
+}
+
+TEST(MpmcRingQueueTest, ZeroCapacityIsClampedToOne) {
+  MpmcRingQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.try_push(7));
+  EXPECT_FALSE(queue.try_push(8));
+}
+
+TEST(MpmcRingQueueTest, HighwaterTracksDeepestFill) {
+  MpmcRingQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) queue.try_push(i);
+  for (int i = 0; i < 5; ++i) queue.try_pop();
+  queue.try_push(0);
+  EXPECT_EQ(queue.highwater(), 5u);
+}
+
+TEST(MpmcRingQueueTest, CloseDrainsThenSignalsTermination) {
+  MpmcRingQueue<int> queue(4);
+  queue.try_push(1);
+  queue.try_push(2);
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3));  // closed: rejects producers...
+  EXPECT_EQ(queue.pop(), 1);       // ...but drains queued items
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_FALSE(queue.pop().has_value());  // closed + drained -> terminate
+}
+
+TEST(MpmcRingQueueTest, BlockedProducerUnblocksOnPop) {
+  MpmcRingQueue<int> queue(1);
+  ASSERT_TRUE(queue.try_push(0));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(1));  // blocks until the consumer makes room
+    pushed.store(true);
+  });
+  EXPECT_EQ(queue.pop(), 0);
+  EXPECT_EQ(queue.pop(), 1);  // the blocked push landed
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(MpmcRingQueueTest, BlockedProducerUnblocksOnClose) {
+  MpmcRingQueue<int> queue(1);
+  ASSERT_TRUE(queue.try_push(0));
+  std::thread producer([&] {
+    EXPECT_FALSE(queue.push(1));  // wakes on close, reports rejection
+  });
+  queue.close();
+  producer.join();
+}
+
+TEST(MpmcRingQueueTest, ManyProducersManyConsumersLoseNothing) {
+  // 4 producers push disjoint ranges through a deliberately tiny ring while
+  // 4 consumers drain; every value must arrive exactly once.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  MpmcRingQueue<int> queue(16);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+
+  std::vector<std::vector<int>> received(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      while (auto v = queue.pop()) received[c].push_back(*v);
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  std::vector<int> all;
+  for (const auto& r : received) all.insert(all.end(), r.begin(), r.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(all.begin(), all.end());
+  std::vector<int> expected(kProducers * kPerProducer);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(all, expected);
+  EXPECT_GE(queue.highwater(), 1u);
+  EXPECT_LE(queue.highwater(), queue.capacity());
+}
+
+}  // namespace
+}  // namespace dm::runtime

@@ -1,0 +1,260 @@
+// The sharded runtime's correctness invariant: on the same time-ordered
+// trace, the ShardedOnlineEngine must produce an alert set IDENTICAL to the
+// sequential core::OnlineDetector — same session keys, timestamps, scores,
+// triggers — at any shard count.  Client-sharding plus the detector's
+// pure-function session semantics (per-client keys, lazy idle-liveness) is
+// what makes this hold; this test is the regression fence around both.
+// Runs under ThreadSanitizer via the `tsan` ctest label.
+#include "runtime/sharded_online.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "core/trainer.h"
+#include "http/transaction_stream.h"
+#include "runtime/parallel_ingest.h"
+#include "synth/dataset.h"
+#include "synth/pcap_export.h"
+
+namespace dm::runtime {
+namespace {
+
+using dm::core::Alert;
+using dm::core::OnlineOptions;
+using dm::http::HttpTransaction;
+
+std::shared_ptr<const dm::core::Detector> shared_detector() {
+  static const auto detector = [] {
+    const auto gt = dm::synth::generate_ground_truth(100, 0.06);
+    std::vector<dm::core::Wcg> infections;
+    std::vector<dm::core::Wcg> benign;
+    for (const auto& e : gt.infections) {
+      infections.push_back(dm::core::build_wcg(e.transactions));
+    }
+    for (const auto& e : gt.benign) {
+      benign.push_back(dm::core::build_wcg(e.transactions));
+    }
+    return std::make_shared<const dm::core::Detector>(dm::core::train_dynaminer(
+        dm::core::dataset_from_wcgs(infections, benign), 5));
+  }();
+  return detector;
+}
+
+OnlineOptions online_options() {
+  OnlineOptions options;
+  options.redirect_chain_threshold = 2;
+  return options;
+}
+
+/// Interleaved mixed trace: episodes rebased onto a common clock with
+/// staggered starts so many clients are concurrently active (the workload
+/// shape sharding exists for).
+std::vector<HttpTransaction> mixed_trace(std::uint64_t seed,
+                                         int benign_episodes,
+                                         int infection_episodes) {
+  dm::synth::TraceGenerator gen(seed);
+  std::vector<dm::synth::Episode> episodes;
+  for (int i = 0; i < benign_episodes; ++i) episodes.push_back(gen.benign());
+  const auto& families = dm::synth::exploit_kit_families();
+  for (int i = 0; i < infection_episodes; ++i) {
+    episodes.push_back(
+        gen.infection(families[static_cast<std::size_t>(i) % families.size()]));
+  }
+
+  std::vector<HttpTransaction> stream;
+  constexpr std::uint64_t kStaggerMicros = 400'000;  // 0.4 s between starts
+  std::uint64_t start = 1'500'000'000ULL * 1'000'000;
+  for (auto& episode : episodes) {
+    if (episode.transactions.empty()) continue;
+    const std::uint64_t base = episode.transactions.front().request.ts_micros;
+    for (auto& txn : episode.transactions) {
+      txn.request.ts_micros = txn.request.ts_micros - base + start;
+      if (txn.response) {
+        txn.response->ts_micros = txn.response->ts_micros - base + start;
+      }
+      stream.push_back(std::move(txn));
+    }
+    start += kStaggerMicros;
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const HttpTransaction& a, const HttpTransaction& b) {
+                     return a.request.ts_micros < b.request.ts_micros;
+                   });
+  return stream;
+}
+
+/// Comparable projection of an alert (scores compared bit-exactly: both
+/// engines query the very same forest on the very same WCGs).
+using AlertKey = std::tuple<std::uint64_t, std::string, std::string, double,
+                            std::string, std::size_t, std::size_t>;
+
+AlertKey key_of(const Alert& alert) {
+  return {alert.ts_micros, alert.session_key, alert.client,     alert.score,
+          alert.trigger_host, alert.wcg_order, alert.wcg_size};
+}
+
+std::vector<AlertKey> sorted_keys(const std::vector<Alert>& alerts) {
+  std::vector<AlertKey> keys;
+  keys.reserve(alerts.size());
+  for (const auto& alert : alerts) keys.push_back(key_of(alert));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<Alert> run_sequential(const std::vector<HttpTransaction>& stream) {
+  dm::core::OnlineDetector sequential(shared_detector(), online_options());
+  for (const auto& txn : stream) sequential.observe(txn);
+  return sequential.alerts();
+}
+
+TEST(ShardedOnlineEngineTest, ShardAssignmentIsAPureFunctionOfTheClient) {
+  HttpTransaction txn;
+  txn.client_host = "10.1.2.3";
+  txn.server_host = "a.example";
+  const std::size_t shard = ShardedOnlineEngine::shard_of(txn, 8);
+  EXPECT_LT(shard, 8u);
+  txn.server_host = "b.example";  // server must not matter
+  txn.request.uri = "/other";
+  EXPECT_EQ(ShardedOnlineEngine::shard_of(txn, 8), shard);
+  EXPECT_EQ(ShardedOnlineEngine::shard_of(txn, 1), 0u);
+}
+
+TEST(ShardedOnlineEngineTest, AlertSetsIdenticalAcross1_2_8Shards) {
+  const auto stream = mixed_trace(/*seed=*/777, /*benign=*/60, /*infections=*/10);
+  ASSERT_GT(stream.size(), 500u);
+  const auto expected = sorted_keys(run_sequential(stream));
+  ASSERT_FALSE(expected.empty()) << "trace produced no alerts; test is vacuous";
+
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    ShardedOptions options;
+    options.num_shards = shards;
+    options.batch_size = 16;
+    options.queue_capacity = 32;
+    options.online = online_options();
+    ShardedOnlineEngine engine(shared_detector(), options);
+    for (const auto& txn : stream) engine.observe(txn);
+    engine.finish();
+    EXPECT_EQ(sorted_keys(engine.merged_alerts()), expected)
+        << "alert set diverged at " << shards << " shard(s)";
+    EXPECT_EQ(engine.runtime_stats().transactions_in, stream.size());
+    EXPECT_EQ(engine.runtime_stats().transactions_out, stream.size());
+    EXPECT_EQ(engine.aggregated_stats().transactions_seen, stream.size());
+  }
+}
+
+TEST(ShardedOnlineEngineTest, MergedAlertsAreTimeOrdered) {
+  const auto stream = mixed_trace(/*seed=*/778, /*benign=*/40, /*infections=*/8);
+  ShardedOptions options;
+  options.num_shards = 4;
+  options.online = online_options();
+  ShardedOnlineEngine engine(shared_detector(), options);
+  for (const auto& txn : stream) engine.observe(txn);
+  engine.finish();
+  const auto alerts = engine.merged_alerts();
+  for (std::size_t i = 1; i < alerts.size(); ++i) {
+    EXPECT_LE(alerts[i - 1].ts_micros, alerts[i].ts_micros);
+  }
+}
+
+TEST(ShardedOnlineEngineTest, StatsAccountForEveryTransaction) {
+  const auto stream = mixed_trace(/*seed=*/779, /*benign=*/30, /*infections=*/4);
+  ShardedOptions options;
+  options.num_shards = 4;
+  options.batch_size = 8;
+  options.online = online_options();
+  ShardedOnlineEngine engine(shared_detector(), options);
+  for (const auto& txn : stream) engine.observe(txn);
+  engine.finish();
+  const auto snap = engine.runtime_stats();
+  EXPECT_EQ(snap.transactions_in, stream.size());
+  EXPECT_EQ(snap.transactions_out, stream.size());
+  EXPECT_GE(snap.batches_dispatched,
+            stream.size() / options.batch_size);  // partial batches flush too
+  EXPECT_GE(snap.queue_highwater, 1u);
+  EXPECT_LE(snap.queue_highwater, options.queue_capacity);
+  ASSERT_EQ(snap.per_shard_transactions.size(), 4u);
+  std::uint64_t across_shards = 0;
+  for (const auto n : snap.per_shard_transactions) across_shards += n;
+  EXPECT_EQ(across_shards, stream.size());
+}
+
+TEST(ShardedOnlineEngineTest, FinishIsIdempotentAndImpliedByDestructor) {
+  ShardedOptions options;
+  options.num_shards = 2;
+  options.online = online_options();
+  ShardedOnlineEngine engine(shared_detector(), options);
+  const auto stream = mixed_trace(/*seed=*/780, /*benign=*/5, /*infections=*/1);
+  for (const auto& txn : stream) engine.observe(txn);
+  engine.finish();
+  engine.finish();  // idempotent
+  engine.observe(stream.front());  // post-finish observe is a no-op
+  EXPECT_EQ(engine.runtime_stats().transactions_out, stream.size());
+}
+
+TEST(ParallelIngestTest, DetectTransactionsMatchesSequential) {
+  const auto stream = mixed_trace(/*seed=*/781, /*benign=*/40, /*infections=*/8);
+  const auto expected = sorted_keys(run_sequential(stream));
+  ShardedOptions options;
+  options.num_shards = 4;
+  options.online = online_options();
+  const auto result = detect_transactions(stream, shared_detector(), options);
+  EXPECT_EQ(result.transactions, stream.size());
+  EXPECT_EQ(sorted_keys(result.alerts), expected);
+  EXPECT_EQ(result.online.transactions_seen, stream.size());
+}
+
+TEST(ParallelIngestTest, PcapFilesRoundTripThroughShardedDetection) {
+  // Episodes -> real pcap files -> parallel Stage-1 reconstruction ->
+  // sharded Stage-2; the infection episodes must still raise alerts.
+  dm::synth::TraceGenerator gen(900);
+  const auto dir = std::filesystem::temp_directory_path() / "dm_runtime_ingest";
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> paths;
+  int episode_index = 0;
+  auto write_episode = [&](const dm::synth::Episode& episode) {
+    const auto pcap = dm::synth::episode_to_pcap(episode);
+    const auto path = dir / ("episode" + std::to_string(episode_index++) + ".pcap");
+    dm::net::write_pcap_file(path.string(), pcap);
+    paths.push_back(path.string());
+  };
+  for (int i = 0; i < 4; ++i) write_episode(gen.benign());
+  write_episode(gen.infection(dm::synth::family_by_name("Angler")));
+  write_episode(gen.infection(dm::synth::family_by_name("Neutrino")));
+
+  IngestOptions options;
+  options.sharded.num_shards = 4;
+  options.sharded.online = online_options();
+  options.ingest_workers = 3;
+  const auto result = detect_pcap_files(paths, shared_detector(), options);
+  EXPECT_GT(result.transactions, 0u);
+  EXPECT_EQ(result.online.transactions_seen, result.transactions);
+
+  // Reference: the same captures through the sequential path.
+  std::vector<HttpTransaction> merged;
+  for (const auto& path : paths) {
+    auto txns = dm::http::transactions_from_pcap_file(path);
+    merged.insert(merged.end(), std::make_move_iterator(txns.begin()),
+                  std::make_move_iterator(txns.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const HttpTransaction& a, const HttpTransaction& b) {
+                     return a.request.ts_micros < b.request.ts_micros;
+                   });
+  EXPECT_EQ(sorted_keys(result.alerts), sorted_keys(run_sequential(merged)));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ParallelIngestTest, MissingPcapFileReportsAnError) {
+  IngestOptions options;
+  options.sharded.num_shards = 2;
+  EXPECT_THROW(
+      detect_pcap_files({"/nonexistent/never.pcap"}, shared_detector(), options),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dm::runtime
