@@ -4,6 +4,7 @@
 
 #include "http/classify.h"
 #include "http/redirect_miner.h"
+#include "util/rate_limit.h"
 #include "util/strings.h"
 
 namespace dm::core {
@@ -197,7 +198,26 @@ std::optional<Alert> OnlineDetector::classify_session(Session& session,
   const Wcg wcg = potential_infection_wcg(session);
   if (wcg.node_count() < 2) return std::nullopt;
   ++stats_.classifier_queries;
-  const double score = detector_->score(wcg);
+  // Failure isolation: a throwing classifier (or injected fault) quarantines
+  // this one query — the session stays live and is re-scored on its next
+  // update, so a transient failure costs one data point, not the stream.
+  double score = 0.0;
+  try {
+    if (options_.classifier_fault_hook) options_.classifier_fault_hook(txn);
+    score = detector_->score(wcg);
+  } catch (const std::exception& e) {
+    ++stats_.classifier_failures;
+    static dm::util::EveryN gate(128);
+    dm::util::log_every_n(gate, dm::util::LogLevel::kWarn,
+                          "online: classifier failure quarantined: ", e.what());
+    return std::nullopt;
+  } catch (...) {
+    ++stats_.classifier_failures;
+    static dm::util::EveryN gate(128);
+    dm::util::log_every_n(gate, dm::util::LogLevel::kWarn,
+                          "online: classifier failure quarantined");
+    return std::nullopt;
+  }
   if (score < options_.decision_threshold) return std::nullopt;
 
   Alert alert;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -45,6 +46,12 @@ struct OnlineOptions {
   /// the threshold, carries the false-positive control (§V-B).
   double decision_threshold = 0.4;
   FeatureExtractorOptions features;
+  /// Fault-injection seam: invoked (when set) right before every classifier
+  /// query, inside the engine's failure isolation.  An exception thrown here
+  /// — or by feature extraction / the classifier itself — is recorded as a
+  /// classifier_failure and the session keeps streaming; it never tears the
+  /// engine down.  Tests use it to prove that property deterministically.
+  std::function<void(const dm::http::HttpTransaction&)> classifier_fault_hook;
 };
 
 struct Alert {
@@ -64,6 +71,9 @@ struct OnlineStats {
   std::size_t transactions_weeded = 0;
   std::size_t clues_fired = 0;
   std::size_t classifier_queries = 0;
+  /// Classifier queries that threw instead of scoring; the query is
+  /// quarantined (no alert, no state corruption) and the stream continues.
+  std::size_t classifier_failures = 0;
   std::size_t alerts = 0;
   std::size_t sessions_opened = 0;
   std::size_t sessions_expired = 0;

@@ -3,13 +3,20 @@
 #include <algorithm>
 
 #include "util/log.h"
+#include "util/rate_limit.h"
 #include "util/strings.h"
 
 namespace dm::http {
 namespace {
 
+using dm::util::DecodeError;
+using dm::util::DecodeErrorCode;
+using dm::util::DecodeLayer;
 using dm::util::parse_long;
 using dm::util::trim;
+
+/// A chunk claiming more than this is a corrupt size field, not a body.
+constexpr std::size_t kMaxChunkBytes = 64 * 1024 * 1024;
 
 /// Cursor over a reassembled stream with timestamp lookups.
 struct Cursor {
@@ -42,6 +49,16 @@ struct Cursor {
   }
 };
 
+void quarantine(std::vector<DecodeError>& errors, dm::util::FaultStats* faults,
+                DecodeErrorCode code, std::size_t offset, std::string reason) {
+  DecodeError error{code, DecodeLayer::kHttp, offset, std::move(reason)};
+  if (faults) faults->record(error);
+  static dm::util::EveryN gate(256);
+  dm::util::log_every_n(gate, dm::util::LogLevel::kWarn,
+                        "http: quarantined: ", error.to_string());
+  errors.push_back(std::move(error));
+}
+
 bool parse_header_block(Cursor& cursor, Headers& headers) {
   while (true) {
     const auto line = cursor.read_line();
@@ -54,38 +71,61 @@ bool parse_header_block(Cursor& cursor, Headers& headers) {
   }
 }
 
-/// Reads a chunked body; returns nullopt if the stream ends mid-body.
-std::optional<std::string> read_chunked_body(Cursor& cursor) {
+/// Reads a chunked body.  The error distinguishes a stream that merely ends
+/// mid-body (truncated — stop parsing) from a corrupt size field (malformed
+/// — quarantine and resync past it).
+dm::util::Expected<std::string> read_chunked_body(Cursor& cursor) {
+  const auto fail = [&](DecodeErrorCode code, std::string reason) {
+    return DecodeError{code, DecodeLayer::kHttp, cursor.pos, std::move(reason)};
+  };
   std::string body;
   while (true) {
     const auto size_line = cursor.read_line();
-    if (!size_line) return std::nullopt;
+    if (!size_line) {
+      return fail(DecodeErrorCode::kHttpTruncatedMessage,
+                  "stream ends before chunk size");
+    }
     // Chunk extensions after ';' are ignored.
     const auto semi = size_line->find(';');
     const auto hex = trim(semi == std::string_view::npos ? *size_line
                                                          : size_line->substr(0, semi));
+    if (hex.empty() || hex.size() > 16) {
+      return fail(DecodeErrorCode::kHttpBadChunk, "bad chunk-size field");
+    }
     std::size_t chunk_size = 0;
     for (char c : hex) {
       int v;
       if (c >= '0' && c <= '9') v = c - '0';
       else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
       else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
-      else return std::nullopt;
+      else return fail(DecodeErrorCode::kHttpBadChunk, "non-hex chunk size");
       chunk_size = chunk_size * 16 + static_cast<std::size_t>(v);
+    }
+    if (chunk_size > kMaxChunkBytes) {
+      return fail(DecodeErrorCode::kHttpBadChunk, "chunk size over cap");
     }
     if (chunk_size == 0) {
       // Trailer section: read lines until the empty terminator.
       while (true) {
         const auto t = cursor.read_line();
-        if (!t) return std::nullopt;
+        if (!t) {
+          return fail(DecodeErrorCode::kHttpTruncatedMessage,
+                      "stream ends inside chunk trailer");
+        }
         if (t->empty()) return body;
       }
     }
     auto chunk = cursor.read_bytes(chunk_size);
-    if (!chunk) return std::nullopt;
+    if (!chunk) {
+      return fail(DecodeErrorCode::kHttpTruncatedMessage,
+                  "stream ends inside chunk");
+    }
     body += *chunk;
     const auto crlf = cursor.read_line();
-    if (!crlf) return std::nullopt;
+    if (!crlf) {
+      return fail(DecodeErrorCode::kHttpTruncatedMessage,
+                  "stream ends after chunk data");
+    }
   }
 }
 
@@ -95,51 +135,106 @@ bool is_known_method(std::string_view m) {
   return std::find(std::begin(kMethods), std::end(kMethods), m) != std::end(kMethods);
 }
 
+bool is_request_line(std::string_view line) {
+  const auto parts = dm::util::split_trimmed(line, ' ');
+  return parts.size() >= 3 && is_known_method(parts[0]);
+}
+
+bool is_status_line(std::string_view line) {
+  if (!dm::util::istarts_with(line, "HTTP/")) return false;
+  const auto parts = dm::util::split_trimmed(line, ' ');
+  if (parts.size() < 2) return false;
+  const long code = parse_long(parts[1], -1);
+  return code >= 100 && code <= 599;
+}
+
+/// Skips forward to the next line satisfying `looks_like_start`; the cursor
+/// is left AT that line.  False when the stream holds no further start.
+template <typename Pred>
+bool resync(Cursor& cursor, Pred&& looks_like_start) {
+  while (!cursor.at_end()) {
+    const std::size_t at = cursor.pos;
+    const auto line = cursor.read_line();
+    if (!line) return false;  // trailing partial line: nothing left to find
+    if (looks_like_start(*line)) {
+      cursor.pos = at;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
-std::vector<HttpRequest> parse_requests(const dm::net::DirectionStream& stream) {
-  std::vector<HttpRequest> requests;
+RequestParseResult parse_requests_ex(const dm::net::DirectionStream& stream,
+                                     dm::util::FaultStats* faults) {
+  RequestParseResult out;
   Cursor cursor{stream};
   while (!cursor.at_end()) {
     const std::size_t start = cursor.pos;
     const std::uint64_t ts = cursor.timestamp();
     const auto line = cursor.read_line();
-    if (!line) break;
+    if (!line) break;  // trailing partial line: wait-for-more, not a fault
     if (line->empty()) continue;  // stray CRLF between pipelined requests
 
     const auto parts = dm::util::split_trimmed(*line, ' ');
     if (parts.size() < 3 || !is_known_method(parts[0])) {
-      dm::util::log_debug("http: bad request line, stopping parse");
-      cursor.pos = start;
-      break;
+      // Garbage where a request line should be: quarantine the region up to
+      // the next plausible request start and keep parsing there.
+      quarantine(out.errors, faults, DecodeErrorCode::kHttpBadRequestLine,
+                 start, "garbage request line");
+      if (!resync(cursor, is_request_line)) break;
+      continue;
     }
     HttpRequest req;
     req.method = std::string(parts[0]);
     req.uri = std::string(parts[1]);
     req.version = std::string(parts[2]);
     req.ts_micros = ts;
-    if (!parse_header_block(cursor, req.headers)) break;
+    if (!parse_header_block(cursor, req.headers)) {
+      quarantine(out.errors, faults, DecodeErrorCode::kHttpTruncatedMessage,
+                 start, "stream ends inside request headers");
+      break;
+    }
 
     if (const auto te = req.headers.get("Transfer-Encoding");
         te && dm::util::ifind(*te, "chunked") != std::string_view::npos) {
       auto body = read_chunked_body(cursor);
-      if (!body) break;
+      if (!body) {
+        out.errors.push_back(body.error());
+        if (faults) faults->record(body.error());
+        if (body.error().code == DecodeErrorCode::kHttpBadChunk &&
+            resync(cursor, is_request_line)) {
+          continue;  // corrupt framing: skip this message, keep the rest
+        }
+        break;  // truncated: nothing more to salvage
+      }
       req.body = std::move(*body);
     } else if (const auto cl = req.headers.get("Content-Length")) {
       const long n = parse_long(*cl, -1);
-      if (n < 0) break;
+      if (n < 0) {
+        quarantine(out.errors, faults, DecodeErrorCode::kHttpBadContentLength,
+                   start, "unparseable Content-Length");
+        if (!resync(cursor, is_request_line)) break;
+        continue;
+      }
       auto body = cursor.read_bytes(static_cast<std::size_t>(n));
-      if (!body) break;
+      if (!body) {
+        quarantine(out.errors, faults, DecodeErrorCode::kHttpTruncatedMessage,
+                   start, "stream ends inside request body");
+        break;
+      }
       req.body = std::move(*body);
     }
-    requests.push_back(std::move(req));
+    out.requests.push_back(std::move(req));
   }
-  return requests;
+  return out;
 }
 
-std::vector<HttpResponse> parse_responses(const dm::net::DirectionStream& stream,
-                                          bool connection_closed) {
-  std::vector<HttpResponse> responses;
+ResponseParseResult parse_responses_ex(const dm::net::DirectionStream& stream,
+                                       bool connection_closed,
+                                       dm::util::FaultStats* faults) {
+  ResponseParseResult out;
   Cursor cursor{stream};
   while (!cursor.at_end()) {
     const std::size_t start = cursor.pos;
@@ -148,24 +243,27 @@ std::vector<HttpResponse> parse_responses(const dm::net::DirectionStream& stream
     if (!line) break;
     if (line->empty()) continue;
 
-    if (!dm::util::istarts_with(*line, "HTTP/")) {
-      cursor.pos = start;
-      break;
+    if (!is_status_line(*line)) {
+      quarantine(out.errors, faults, DecodeErrorCode::kHttpBadStatusLine,
+                 start, "garbage status line");
+      if (!resync(cursor, is_status_line)) break;
+      continue;
     }
     const auto parts = dm::util::split_trimmed(*line, ' ');
-    if (parts.size() < 2) break;
     HttpResponse res;
     res.version = std::string(parts[0]);
-    const long code = parse_long(parts[1], -1);
-    if (code < 100 || code > 599) break;
-    res.status_code = static_cast<int>(code);
+    res.status_code = static_cast<int>(parse_long(parts[1], -1));
     if (parts.size() >= 3) {
       // Reason phrase may contain spaces: rejoin everything after the code.
       const auto code_pos = line->find(parts[1]);
       res.reason = std::string(trim(line->substr(code_pos + parts[1].size())));
     }
     res.ts_micros = ts;
-    if (!parse_header_block(cursor, res.headers)) break;
+    if (!parse_header_block(cursor, res.headers)) {
+      quarantine(out.errors, faults, DecodeErrorCode::kHttpTruncatedMessage,
+                 start, "stream ends inside response headers");
+      break;
+    }
 
     // 1xx/204/304 have no body.
     const bool bodyless = res.status_code < 200 || res.status_code == 204 ||
@@ -174,13 +272,32 @@ std::vector<HttpResponse> parse_responses(const dm::net::DirectionStream& stream
       if (const auto te = res.headers.get("Transfer-Encoding");
           te && dm::util::ifind(*te, "chunked") != std::string_view::npos) {
         auto body = read_chunked_body(cursor);
-        if (!body) break;
+        if (!body) {
+          out.errors.push_back(body.error());
+          if (faults) faults->record(body.error());
+          if (body.error().code == DecodeErrorCode::kHttpBadChunk &&
+              resync(cursor, is_status_line)) {
+            continue;
+          }
+          break;
+        }
         res.body = std::move(*body);
       } else if (const auto cl = res.headers.get("Content-Length")) {
         const long n = parse_long(*cl, -1);
-        if (n < 0) break;
+        if (n < 0) {
+          quarantine(out.errors, faults,
+                     DecodeErrorCode::kHttpBadContentLength, start,
+                     "unparseable Content-Length");
+          if (!resync(cursor, is_status_line)) break;
+          continue;
+        }
         auto body = cursor.read_bytes(static_cast<std::size_t>(n));
-        if (!body) break;
+        if (!body) {
+          quarantine(out.errors, faults,
+                     DecodeErrorCode::kHttpTruncatedMessage, start,
+                     "stream ends inside response body");
+          break;
+        }
         res.body = std::move(*body);
       } else if (connection_closed) {
         // Close-delimited body: everything to end of stream.
@@ -192,14 +309,25 @@ std::vector<HttpResponse> parse_responses(const dm::net::DirectionStream& stream
         break;
       }
     }
-    responses.push_back(std::move(res));
+    out.responses.push_back(std::move(res));
   }
-  return responses;
+  return out;
 }
 
-std::vector<HttpTransaction> transactions_from_flow(const dm::net::TcpFlow& flow) {
-  auto requests = parse_requests(flow.client_to_server);
-  auto responses = parse_responses(flow.server_to_client, flow.closed);
+std::vector<HttpRequest> parse_requests(const dm::net::DirectionStream& stream) {
+  return parse_requests_ex(stream).requests;
+}
+
+std::vector<HttpResponse> parse_responses(const dm::net::DirectionStream& stream,
+                                          bool connection_closed) {
+  return parse_responses_ex(stream, connection_closed).responses;
+}
+
+std::vector<HttpTransaction> transactions_from_flow(
+    const dm::net::TcpFlow& flow, dm::util::FaultStats* faults) {
+  auto requests = parse_requests_ex(flow.client_to_server, faults).requests;
+  auto responses =
+      parse_responses_ex(flow.server_to_client, flow.closed, faults).responses;
 
   std::vector<HttpTransaction> transactions;
   transactions.reserve(requests.size());

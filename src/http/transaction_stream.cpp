@@ -8,17 +8,20 @@
 
 namespace dm::http {
 
-std::vector<HttpTransaction> transactions_from_pcap(const dm::net::PcapFile& capture) {
-  dm::net::TcpReassembler reassembler;
+std::vector<HttpTransaction> transactions_from_pcap(
+    const dm::net::PcapFile& capture, dm::util::FaultStats* faults) {
+  dm::net::TcpReassembler reassembler{dm::net::ReassemblyOptions{}, faults};
   for (const auto& pkt : capture.packets) {
     if (const auto parsed = dm::net::parse_ethernet_ipv4_tcp(pkt.data)) {
       reassembler.ingest(*parsed, pkt.ts_micros);
+    } else if (faults) {
+      faults->record(dm::util::DecodeErrorCode::kFrameUndecodable);
     }
   }
 
   std::vector<HttpTransaction> all;
   for (const dm::net::TcpFlow* flow : reassembler.flows()) {
-    auto txns = transactions_from_flow(*flow);
+    auto txns = transactions_from_flow(*flow, faults);
     all.insert(all.end(), std::make_move_iterator(txns.begin()),
                std::make_move_iterator(txns.end()));
   }
@@ -31,6 +34,12 @@ std::vector<HttpTransaction> transactions_from_pcap(const dm::net::PcapFile& cap
 
 std::vector<HttpTransaction> transactions_from_pcap_file(const std::string& path) {
   return transactions_from_pcap(dm::net::read_pcap_file(path));
+}
+
+std::vector<HttpTransaction> transactions_from_pcap_file(
+    const std::string& path, dm::util::FaultStats* faults) {
+  const auto decoded = dm::net::decode_pcap_file(path, {}, faults);
+  return transactions_from_pcap(decoded.file, faults);
 }
 
 }  // namespace dm::http

@@ -1,20 +1,35 @@
 // End-to-end extraction: pcap bytes -> TCP reassembly -> HTTP parsing ->
 // time-ordered transaction stream.  This is the entry point of the paper's
 // Stage 1 pipeline ("Given a stream of HTTP transactions...").
+//
+// The whole path is fault-tolerant: undecodable frames, reassembly-cap
+// drops and malformed HTTP messages are quarantined into the (optional)
+// util::FaultStats while every salvageable transaction still comes out.
 #pragma once
 
 #include <vector>
 
 #include "http/message.h"
 #include "net/pcap.h"
+#include "util/fault_stats.h"
 
 namespace dm::http {
 
 /// Reconstructs every HTTP transaction in a capture, ordered by request
-/// timestamp.  Non-TCP/non-HTTP traffic is skipped silently.
-std::vector<HttpTransaction> transactions_from_pcap(const dm::net::PcapFile& capture);
+/// timestamp.  Frames that do not decode as Ethernet/IPv4/TCP are skipped;
+/// when `faults` is given each skip is counted (frame/undecodable-frame —
+/// benign in mixed traffic, a corruption signal in TCP-only captures), as
+/// are TCP- and HTTP-layer quarantine events.
+std::vector<HttpTransaction> transactions_from_pcap(
+    const dm::net::PcapFile& capture, dm::util::FaultStats* faults = nullptr);
 
-/// Convenience file-path overload.
-std::vector<HttpTransaction> transactions_from_pcap_file(const std::string& path);
+/// Convenience file-path overload (throws on I/O error).  With `faults`,
+/// capture-file decode faults are quarantined and counted instead of
+/// thrown; without, a fatally-malformed capture header still throws
+/// (legacy read_pcap_file semantics).
+std::vector<HttpTransaction> transactions_from_pcap_file(
+    const std::string& path);
+std::vector<HttpTransaction> transactions_from_pcap_file(
+    const std::string& path, dm::util::FaultStats* faults);
 
 }  // namespace dm::http

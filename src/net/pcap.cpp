@@ -4,13 +4,21 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/rate_limit.h"
+
 namespace dm::net {
 namespace {
+
+using dm::util::DecodeError;
+using dm::util::DecodeErrorCode;
+using dm::util::DecodeLayer;
 
 constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
 constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
 constexpr std::uint32_t kMagicMicrosSwapped = 0xd4c3b2a1;
 constexpr std::uint32_t kMagicNanosSwapped = 0x4d3cb2a1;
+constexpr std::size_t kGlobalHeaderSize = 24;
+constexpr std::size_t kRecordHeaderSize = 16;
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v & 0xff));
@@ -34,6 +42,8 @@ class Reader {
   Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
 
   bool remaining(std::size_t n) const noexcept { return pos_ + n <= size_; }
+  std::size_t left() const noexcept { return size_ - pos_; }
+  std::size_t pos() const noexcept { return pos_; }
 
   std::uint32_t u32(bool swapped) {
     std::uint32_t v;
@@ -51,6 +61,15 @@ class Reader {
   std::size_t size_;
   std::size_t pos_ = 0;
 };
+
+void quarantine(PcapDecodeResult& result, dm::util::FaultStats* faults,
+                DecodeError error) {
+  if (faults) faults->record(error);
+  static dm::util::EveryN gate(256);
+  dm::util::log_every_n(gate, dm::util::LogLevel::kWarn,
+                        "pcap: quarantined: ", error.to_string());
+  result.errors.push_back(std::move(error));
+}
 
 }  // namespace
 
@@ -74,8 +93,18 @@ std::vector<std::uint8_t> write_pcap(const PcapFile& file) {
   return out;
 }
 
-PcapFile read_pcap(const std::vector<std::uint8_t>& bytes) {
-  if (bytes.size() < 24) throw std::runtime_error("pcap: truncated global header");
+PcapDecodeResult decode_pcap(std::span<const std::uint8_t> bytes,
+                             const PcapDecodeOptions& options,
+                             dm::util::FaultStats* faults) {
+  PcapDecodeResult result;
+  if (bytes.size() < kGlobalHeaderSize) {
+    result.fatal = true;
+    quarantine(result, faults,
+               {DecodeErrorCode::kPcapTruncatedHeader, DecodeLayer::kPcap, 0,
+                "global header needs 24 bytes, " +
+                    std::to_string(bytes.size()) + " given"});
+    return result;
+  }
   Reader r(bytes.data(), bytes.size());
 
   const std::uint32_t raw_magic = r.u32(false);
@@ -86,28 +115,100 @@ PcapFile read_pcap(const std::vector<std::uint8_t>& bytes) {
     case kMagicNanos: nanos = true; break;
     case kMagicMicrosSwapped: swapped = true; break;
     case kMagicNanosSwapped: swapped = true; nanos = true; break;
-    default: throw std::runtime_error("pcap: bad magic");
+    default:
+      result.fatal = true;
+      quarantine(result, faults,
+                 {DecodeErrorCode::kPcapBadMagic, DecodeLayer::kPcap, 0,
+                  "unrecognized magic"});
+      return result;
   }
   // Header layout after magic: version(4) thiszone(4) sigfigs(4) snaplen(4)
   // network(4) — 24 bytes total.
   r.skip(4 + 4 + 4 + 4);  // version, thiszone, sigfigs, snaplen
-  PcapFile file;
-  file.link_type = r.u32(swapped);
+  result.file.link_type = r.u32(swapped);
 
-  while (r.remaining(16)) {
+  while (r.remaining(kRecordHeaderSize)) {
+    const std::size_t record_start = r.pos();
     const std::uint32_t ts_sec = r.u32(swapped);
     const std::uint32_t ts_frac = r.u32(swapped);
     const std::uint32_t incl_len = r.u32(swapped);
     r.skip(4);  // orig_len
-    if (!r.remaining(incl_len)) break;  // truncated final record: drop
-    PcapPacket pkt;
     const std::uint64_t frac_micros = nanos ? ts_frac / 1000 : ts_frac;
-    pkt.ts_micros = static_cast<std::uint64_t>(ts_sec) * 1000000 + frac_micros;
+    const std::uint64_t ts_micros =
+        static_cast<std::uint64_t>(ts_sec) * 1000000 + frac_micros;
+
+    if (incl_len > options.max_record_bytes) {
+      // A corrupt length prefix makes everything after it unaddressable:
+      // quarantine the tail as one fault and stop.
+      quarantine(result, faults,
+                 {DecodeErrorCode::kPcapOversizedRecord, DecodeLayer::kPcap,
+                  record_start,
+                  "record claims " + std::to_string(incl_len) + " bytes, cap " +
+                      std::to_string(options.max_record_bytes)});
+      if (options.keep_quarantined) {
+        result.quarantined.push_back(
+            {ts_micros, std::vector<std::uint8_t>(
+                            r.cursor(), r.cursor() + std::min<std::size_t>(
+                                                         r.left(), incl_len))});
+      }
+      return result;
+    }
+    if (!r.remaining(incl_len)) {
+      // Truncated final record: keep the successfully-parsed prefix and flag
+      // the cut instead of discarding the capture.
+      result.truncated_tail = true;
+      quarantine(result, faults,
+                 {DecodeErrorCode::kPcapTruncatedRecord, DecodeLayer::kPcap,
+                  record_start,
+                  "record needs " + std::to_string(incl_len) + " bytes, " +
+                      std::to_string(r.left()) + " left"});
+      if (options.keep_quarantined) {
+        result.quarantined.push_back(
+            {ts_micros,
+             std::vector<std::uint8_t>(r.cursor(), r.cursor() + r.left())});
+      }
+      return result;
+    }
+    PcapPacket pkt;
+    pkt.ts_micros = ts_micros;
     pkt.data.assign(r.cursor(), r.cursor() + incl_len);
     r.skip(incl_len);
-    file.packets.push_back(std::move(pkt));
+    result.file.packets.push_back(std::move(pkt));
   }
-  return file;
+  if (r.left() > 0) {
+    // 1..15 trailing bytes: a record header itself was cut mid-write.
+    result.truncated_tail = true;
+    quarantine(result, faults,
+               {DecodeErrorCode::kPcapTruncatedRecord, DecodeLayer::kPcap,
+                r.pos(),
+                "trailing " + std::to_string(r.left()) +
+                    " bytes are a cut record header"});
+    if (options.keep_quarantined) {
+      result.quarantined.push_back(
+          {0, std::vector<std::uint8_t>(r.cursor(), r.cursor() + r.left())});
+    }
+  }
+  return result;
+}
+
+dm::util::Expected<PcapFile> parse_pcap(std::span<const std::uint8_t> bytes,
+                                        dm::util::FaultStats* faults) {
+  PcapDecodeResult result = decode_pcap(bytes, {}, faults);
+  if (result.fatal) return result.errors.front();
+  return std::move(result.file);
+}
+
+PcapFile quarantine_capture(const PcapDecodeResult& result) {
+  PcapFile capture;
+  capture.link_type = result.file.link_type;
+  capture.packets = result.quarantined;
+  return capture;
+}
+
+PcapFile read_pcap(const std::vector<std::uint8_t>& bytes) {
+  auto parsed = parse_pcap(bytes);
+  if (!parsed) throw std::runtime_error("pcap: " + parsed.error().to_string());
+  return std::move(*parsed);
 }
 
 void write_pcap_file(const std::string& path, const PcapFile& file) {
@@ -125,6 +226,16 @@ PcapFile read_pcap_file(const std::string& path) {
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
   return read_pcap(bytes);
+}
+
+PcapDecodeResult decode_pcap_file(const std::string& path,
+                                  const PcapDecodeOptions& options,
+                                  dm::util::FaultStats* faults) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("pcap: cannot open for read: " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return decode_pcap(bytes, options, faults);
 }
 
 }  // namespace dm::net

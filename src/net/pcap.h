@@ -7,11 +7,23 @@
 // (which WRITES infection/benign episodes as real pcap files) and the
 // offline analytics stage (which READS them back through full TCP/HTTP
 // reconstruction), mirroring the paper's PCAP-driven Stage 1.
+//
+// Decoding is fault-tolerant: decode_pcap() never throws on malformed
+// bytes.  A bad record is quarantined — described by a util::DecodeError,
+// counted in util::FaultStats, optionally retained for a forensic
+// quarantine capture — and iteration continues with whatever can still be
+// salvaged.  Only file-level I/O keeps throwing (read_pcap_file /
+// write_pcap_file), per the repo convention: exceptions for environment
+// errors, structured errors for wire data.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "util/expected.h"
+#include "util/fault_stats.h"
 
 namespace dm::net {
 
@@ -30,13 +42,63 @@ struct PcapFile {
 /// Serializes packets into pcap bytes (little-endian, usec resolution).
 std::vector<std::uint8_t> write_pcap(const PcapFile& file);
 
-/// Parses pcap bytes.  Throws std::runtime_error on malformed input
-/// (bad magic, truncated header); tolerates a truncated final record by
-/// dropping it.
+struct PcapDecodeOptions {
+  /// Records claiming more than this many bytes are treated as corrupt
+  /// length fields (quarantined, iteration stops — a broken length prefix
+  /// makes the rest of the byte stream unaddressable).
+  std::size_t max_record_bytes = 16 * 1024 * 1024;
+  /// Retain the raw bytes of quarantined records in
+  /// PcapDecodeResult::quarantined so they can be re-wrapped into a
+  /// forensic capture (quarantine_capture()).
+  bool keep_quarantined = false;
+};
+
+/// Outcome of a best-effort decode: the salvaged packets plus a precise
+/// account of everything that was quarantined.
+struct PcapDecodeResult {
+  PcapFile file;
+  /// One entry per quarantined fault, in input order.
+  std::vector<dm::util::DecodeError> errors;
+  /// Raw bytes of quarantined records (only with keep_quarantined); the
+  /// timestamp is the record's own if its header was readable.
+  std::vector<PcapPacket> quarantined;
+  /// The capture ended mid-record: the salvaged prefix is complete but the
+  /// final record was cut (satellite of the §V-B robustness requirement —
+  /// a truncated tail must not discard the parsed prefix).
+  bool truncated_tail = false;
+  /// The global header was unusable (bad magic / too short): nothing could
+  /// be decoded at all.
+  bool fatal = false;
+};
+
+/// Best-effort decode.  Never throws on malformed input; every fault is
+/// appended to `errors` and (when given) counted in `faults`.
+PcapDecodeResult decode_pcap(std::span<const std::uint8_t> bytes,
+                             const PcapDecodeOptions& options = {},
+                             dm::util::FaultStats* faults = nullptr);
+
+/// Header-validating decode for callers that need value-or-error: a fatal
+/// header fault becomes the DecodeError, anything else the salvaged file.
+dm::util::Expected<PcapFile> parse_pcap(std::span<const std::uint8_t> bytes,
+                                        dm::util::FaultStats* faults = nullptr);
+
+/// Re-wraps the quarantined records of a decode into a capture of their own
+/// (forensic dump; write with write_pcap / write_pcap_file).
+PcapFile quarantine_capture(const PcapDecodeResult& result);
+
+/// Legacy strict reader.  Throws std::runtime_error only on a fatal header
+/// fault (bad magic, truncated global header); malformed records are
+/// quarantined silently and the salvaged prefix is returned.
 PcapFile read_pcap(const std::vector<std::uint8_t>& bytes);
 
 /// File-system convenience wrappers.  Throw std::runtime_error on I/O error.
 void write_pcap_file(const std::string& path, const PcapFile& file);
 PcapFile read_pcap_file(const std::string& path);
+
+/// Reads a capture file fault-tolerantly: throws only on I/O errors; decode
+/// faults are quarantined into the result / `faults`.
+PcapDecodeResult decode_pcap_file(const std::string& path,
+                                  const PcapDecodeOptions& options = {},
+                                  dm::util::FaultStats* faults = nullptr);
 
 }  // namespace dm::net

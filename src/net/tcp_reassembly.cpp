@@ -1,6 +1,7 @@
 #include "net/tcp_reassembly.h"
 
 #include "util/hash.h"
+#include "util/rate_limit.h"
 
 namespace dm::net {
 
@@ -89,25 +90,62 @@ void TcpReassembler::ingest(const ParsedPacket& pkt, std::uint64_t ts_micros) {
   }
 }
 
+void TcpReassembler::quarantine(dm::util::DecodeErrorCode code,
+                                std::size_t amount) {
+  if (faults_) faults_->record(code);
+  static dm::util::EveryN gate(256);
+  dm::util::log_every_n(gate, dm::util::LogLevel::kWarn,
+                        "tcp: quarantined ", amount, " bytes (",
+                        dm::util::decode_error_name(code), ")");
+}
+
 void TcpReassembler::deliver(DirectionState& dir, DirectionStream& stream,
                              std::uint32_t seq, std::string_view payload,
                              std::uint64_t ts) {
   // Trim any prefix we already have (retransmission / overlap).
   if (seq_before(seq, dir.next_seq)) {
     const std::uint32_t overlap = dir.next_seq - seq;
-    if (overlap >= payload.size()) return;  // pure duplicate
+    if (overlap >= payload.size()) {
+      ++counters_.duplicate_segments;
+      return;  // pure duplicate
+    }
+    ++counters_.overlapping_segments;
     payload.remove_prefix(overlap);
     seq = dir.next_seq;
   }
 
   if (seq == dir.next_seq) {
+    if (stream.data.size() + payload.size() > options_.max_stream_bytes) {
+      // Direction hit its byte budget: advance next_seq so the flow's
+      // bookkeeping stays consistent, but stop growing the stream.
+      ++counters_.stream_capped;
+      quarantine(dm::util::DecodeErrorCode::kTcpStreamOverflow, payload.size());
+      dir.next_seq += static_cast<std::uint32_t>(payload.size());
+      flush_pending(dir, stream);
+      return;
+    }
     stream.chunks.push_back({stream.data.size(), payload.size(), ts});
     stream.data.append(payload);
     dir.next_seq += static_cast<std::uint32_t>(payload.size());
     flush_pending(dir, stream);
   } else {
-    // Out of order: hold until the gap fills.
-    dir.pending.emplace(seq, std::make_pair(std::string(payload), ts));
+    // Out of order: hold until the gap fills — within the per-direction
+    // budget.  An adversarial all-gaps stream sheds the newest segment
+    // (the buffered ones are closer to next_seq and still fillable).
+    if (dir.pending.size() >= options_.max_pending_segments ||
+        dir.pending_bytes + payload.size() > options_.max_pending_bytes) {
+      ++counters_.pending_dropped;
+      quarantine(dm::util::DecodeErrorCode::kTcpPendingOverflow,
+                 payload.size());
+      return;
+    }
+    const auto [it, inserted] =
+        dir.pending.emplace(seq, std::make_pair(std::string(payload), ts));
+    if (inserted) {
+      dir.pending_bytes += payload.size();
+    } else {
+      ++counters_.duplicate_segments;  // same-seq retransmission while gapped
+    }
   }
 }
 
@@ -126,11 +164,20 @@ void TcpReassembler::flush_pending(DirectionState& dir, DirectionStream& stream)
       if (overlap < data.size()) {
         std::string_view remaining(data);
         remaining.remove_prefix(overlap);
-        stream.chunks.push_back({stream.data.size(), remaining.size(), ts});
-        stream.data.append(remaining);
-        dir.next_seq += static_cast<std::uint32_t>(remaining.size());
+        if (overlap > 0) ++counters_.overlapping_segments;
+        if (stream.data.size() + remaining.size() > options_.max_stream_bytes) {
+          ++counters_.stream_capped;
+          quarantine(dm::util::DecodeErrorCode::kTcpStreamOverflow,
+                     remaining.size());
+          dir.next_seq += static_cast<std::uint32_t>(remaining.size());
+        } else {
+          stream.chunks.push_back({stream.data.size(), remaining.size(), ts});
+          stream.data.append(remaining);
+          dir.next_seq += static_cast<std::uint32_t>(remaining.size());
+        }
         progressed = true;
       }
+      dir.pending_bytes -= data.size();
       it = dir.pending.erase(it);
       if (progressed) break;  // restart scan: next_seq moved
     }

@@ -4,6 +4,13 @@
 // trimmed), and sequence-number wraparound.  Each delivered byte range keeps
 // its arrival timestamp so the HTTP layer can time individual transactions —
 // the WCG's temporal features (f36, f37) depend on this.
+//
+// Adversarial input cannot grow state without bound: per-direction caps
+// bound the out-of-order hold buffer (a hostile stream of gapped segments
+// would otherwise buffer forever) and the reassembled stream itself.
+// Segments dropped at a cap are quarantined — counted in the reassembler's
+// ReassemblyCounters and, when given, a util::FaultStats — and the flow
+// keeps going with what it has.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "util/fault_stats.h"
 
 namespace dm::net {
 
@@ -64,11 +72,38 @@ struct TcpFlow {
   bool closed = false;  // FIN or RST observed from either side
 };
 
+/// Robustness limits for adversarial streams.  The defaults are far above
+/// anything well-formed traffic produces; hitting one is a quarantine event.
+struct ReassemblyOptions {
+  /// Max out-of-order segments held per direction while waiting for a gap
+  /// to fill; further gapped segments are dropped (oldest-gap data wins).
+  std::size_t max_pending_segments = 4096;
+  /// Max bytes held across a direction's pending segments.
+  std::size_t max_pending_bytes = 8 * 1024 * 1024;
+  /// Max reassembled bytes per direction; deliveries beyond it are dropped.
+  std::size_t max_stream_bytes = 256 * 1024 * 1024;
+};
+
+/// Per-reassembler tallies of tolerated anomalies and quarantined drops.
+struct ReassemblyCounters {
+  std::uint64_t duplicate_segments = 0;   // fully-covered retransmissions
+  std::uint64_t overlapping_segments = 0; // partial overlap, prefix trimmed
+  std::uint64_t pending_dropped = 0;      // segments shed at a pending cap
+  std::uint64_t stream_capped = 0;        // deliveries shed at the byte cap
+};
+
 /// Streaming reassembler.  Feed packets in capture order via `ingest`; read
 /// out completed state via `flows()` at any point.
 class TcpReassembler {
  public:
+  TcpReassembler() = default;
+  explicit TcpReassembler(ReassemblyOptions options,
+                          dm::util::FaultStats* faults = nullptr)
+      : options_(options), faults_(faults) {}
+
   void ingest(const ParsedPacket& pkt, std::uint64_t ts_micros);
+
+  const ReassemblyCounters& counters() const noexcept { return counters_; }
 
   /// All flows seen so far, in order of first packet.
   std::vector<const TcpFlow*> flows() const;
@@ -81,6 +116,7 @@ class TcpReassembler {
     std::uint32_t next_seq = 0;  // next expected sequence number
     // Out-of-order segments keyed by absolute sequence number.
     std::map<std::uint32_t, std::pair<std::string, std::uint64_t>> pending;
+    std::size_t pending_bytes = 0;
   };
 
   struct FlowState {
@@ -97,8 +133,13 @@ class TcpReassembler {
                std::uint32_t seq, std::string_view payload, std::uint64_t ts);
   void flush_pending(DirectionState& dir, DirectionStream& stream);
 
+  void quarantine(dm::util::DecodeErrorCode code, std::size_t amount);
+
   std::unordered_map<FlowKey, FlowState, FlowKeyHash> flows_;
   std::vector<FlowKey> flow_order_;
+  ReassemblyOptions options_;
+  ReassemblyCounters counters_;
+  dm::util::FaultStats* faults_ = nullptr;
 };
 
 }  // namespace dm::net

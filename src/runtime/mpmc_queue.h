@@ -44,7 +44,12 @@ class MpmcRingQueue {
   }
 
   /// Non-blocking push; returns false when full or closed.
-  bool try_push(T value) {
+  bool try_push(T value) { return offer(value); }
+
+  /// Non-blocking push that leaves `value` intact when the queue is full or
+  /// closed — the overload-shedding primitive: the caller can pop a victim
+  /// and re-offer the same value without losing it.
+  bool offer(T& value) {
     {
       std::scoped_lock lock(mutex_);
       if (closed_ || count_ == ring_.size()) return false;

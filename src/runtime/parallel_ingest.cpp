@@ -39,8 +39,12 @@ IngestResult detect_transactions(
 IngestResult detect_pcap(const dm::net::PcapFile& capture,
                          std::shared_ptr<const dm::core::Detector> detector,
                          const ShardedOptions& options) {
-  return run_engine(dm::http::transactions_from_pcap(capture),
-                    std::move(detector), options);
+  dm::util::FaultStats faults;
+  IngestResult result = run_engine(
+      dm::http::transactions_from_pcap(capture, &faults), std::move(detector),
+      options);
+  result.faults = faults.snapshot();
+  return result;
 }
 
 IngestResult detect_pcap_files(
@@ -52,12 +56,15 @@ IngestResult detect_pcap_files(
   // needs no lock.
   std::vector<std::vector<dm::http::HttpTransaction>> per_file(paths.size());
   std::vector<std::string> errors(paths.size());
+  // One FaultStats shared by every reconstruction task — its counters are
+  // atomics, so the fan-out needs no extra synchronization.
+  dm::util::FaultStats faults;
   {
     WorkerPool pool({options.ingest_workers, /*queue_capacity=*/64});
     for (std::size_t i = 0; i < paths.size(); ++i) {
       pool.submit([&, i] {
         try {
-          per_file[i] = dm::http::transactions_from_pcap_file(paths[i]);
+          per_file[i] = dm::http::transactions_from_pcap_file(paths[i], &faults);
         } catch (const std::exception& e) {
           errors[i] = e.what();
         }
@@ -89,7 +96,14 @@ IngestResult detect_pcap_files(
                    });
   dm::util::log_info("parallel ingest: ", paths.size(), " captures -> ",
                      merged.size(), " transactions");
-  return run_engine(std::move(merged), std::move(detector), options.sharded);
+  IngestResult result =
+      run_engine(std::move(merged), std::move(detector), options.sharded);
+  result.faults = faults.snapshot();
+  if (result.faults.total() > 0) {
+    dm::util::log_warn("parallel ingest: quarantined decode faults: ",
+                       result.faults.summary());
+  }
+  return result;
 }
 
 }  // namespace dm::runtime

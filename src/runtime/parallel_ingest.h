@@ -23,6 +23,7 @@
 #include "core/online.h"
 #include "net/pcap.h"
 #include "runtime/sharded_online.h"
+#include "util/fault_stats.h"
 
 namespace dm::runtime {
 
@@ -39,6 +40,10 @@ struct IngestResult {
   dm::core::OnlineStats online;         // summed over shards
   StatsSnapshot runtime;
   std::size_t transactions = 0;  // dispatched into the engine
+  /// Decode faults quarantined during Stage-1 reconstruction (pcap, frame,
+  /// TCP, HTTP layers), summed across capture files.  All-zero for
+  /// detect_transactions (no reconstruction) and for clean captures.
+  dm::util::FaultStatsSnapshot faults;
 };
 
 /// Streams a time-ordered transaction list through a sharded engine.
@@ -53,7 +58,9 @@ IngestResult detect_pcap(const dm::net::PcapFile& capture,
                          const ShardedOptions& options = {});
 
 /// Full Stage-1 + Stage-2 over many capture files, reconstructed in
-/// parallel.  Throws std::runtime_error if any file fails to parse.
+/// parallel.  Throws std::runtime_error on file I/O failure; decode faults
+/// inside a readable capture are quarantined into IngestResult::faults and
+/// the salvageable transactions still flow through detection.
 IngestResult detect_pcap_files(
     const std::vector<std::string>& paths,
     std::shared_ptr<const dm::core::Detector> detector,

@@ -1,8 +1,10 @@
 #include "runtime/sharded_online.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "util/hash.h"
+#include "util/rate_limit.h"
 
 namespace dm::runtime {
 
@@ -21,8 +23,31 @@ ShardedOnlineEngine::ShardedOnlineEngine(
     shard->thread = std::thread([s = shard.get(), this] {
       while (auto batch = s->queue.pop()) {
         for (auto& txn : *batch) {
-          s->detector.observe(std::move(txn));
+          // Failure isolation: a transaction whose hook or detector throws
+          // is quarantined and counted — it costs itself, never the shard.
+          // The worker therefore always drains to queue close and finish()
+          // always joins, whatever the detector did mid-stream.
+          try {
+            if (options_.observe_fault_hook) options_.observe_fault_hook(txn);
+            s->detector.observe(std::move(txn));
+          } catch (const std::exception& e) {
+            ++s->detector_failures;
+            stats_.detector_failures.fetch_add(1, std::memory_order_relaxed);
+            static dm::util::EveryN gate(128);
+            dm::util::log_every_n(gate, dm::util::LogLevel::kWarn,
+                                  "sharded: detector failure quarantined: ",
+                                  e.what());
+          } catch (...) {
+            ++s->detector_failures;
+            stats_.detector_failures.fetch_add(1, std::memory_order_relaxed);
+            static dm::util::EveryN gate(128);
+            dm::util::log_every_n(gate, dm::util::LogLevel::kWarn,
+                                  "sharded: detector failure quarantined");
+          }
         }
+        // Quarantined transactions still count as processed (transactions_out):
+        // the conservation law in == out + shed holds with failures as a
+        // separate, overlapping tally.
         stats_.transactions_out.fetch_add(batch->size(),
                                           std::memory_order_relaxed);
       }
@@ -38,8 +63,61 @@ std::size_t ShardedOnlineEngine::shard_of(const dm::http::HttpTransaction& txn,
   return dm::util::fnv1a(txn.client_host) % num_shards;
 }
 
+void ShardedOnlineEngine::dispatch(Shard& shard, Batch&& batch) {
+  const std::uint64_t txns = batch.size();
+  const auto shed = [&](std::uint64_t t) {
+    stats_.transactions_shed.fetch_add(t, std::memory_order_relaxed);
+    stats_.batches_shed.fetch_add(1, std::memory_order_relaxed);
+    static dm::util::EveryN gate(64);
+    dm::util::log_every_n(gate, dm::util::LogLevel::kWarn,
+                          "sharded: overload shed ", t, " transaction(s)");
+  };
+  switch (options_.overload) {
+    case OverloadPolicy::kBlock:
+      // Lossless backpressure; push() only fails once the queue is closed,
+      // which cannot race finish() (both run on the dispatcher thread).
+      if (shard.queue.push(std::move(batch))) {
+        stats_.batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shed(txns);
+      }
+      return;
+    case OverloadPolicy::kShedNewest:
+      if (shard.queue.try_push(std::move(batch))) {
+        stats_.batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shed(txns);  // buffered traffic wins; the incoming batch is dropped
+      }
+      return;
+    case OverloadPolicy::kShedOldest:
+      // Fresh traffic wins: evict the oldest queued batch until the new one
+      // fits.  offer() leaves `batch` intact on failure, so no transaction
+      // is lost between the failed offer and the retry.
+      while (!shard.queue.offer(batch)) {
+        if (auto victim = shard.queue.try_pop()) {
+          shed(victim->size());
+          continue;
+        }
+        if (shard.queue.closed()) {
+          shed(txns);
+          return;
+        }
+        // Full but nothing poppable: the worker grabbed the victim first.
+        // Its slot frees imminently; retry the offer.
+      }
+      stats_.batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+      return;
+  }
+}
+
 void ShardedOnlineEngine::observe(dm::http::HttpTransaction txn) {
-  if (finished_) return;
+  if (finished_) {
+    // A post-finish observe is a caller bug (the workers are gone; the
+    // transaction can never be scored) — never silently lose it.
+    stats_.dropped_after_finish.fetch_add(1, std::memory_order_relaxed);
+    assert(!"ShardedOnlineEngine::observe() called after finish()");
+    return;
+  }
   Shard& shard = *shards_[shard_of(txn, shards_.size())];
   shard.pending.push_back(std::move(txn));
   stats_.transactions_in.fetch_add(1, std::memory_order_relaxed);
@@ -47,8 +125,7 @@ void ShardedOnlineEngine::observe(dm::http::HttpTransaction txn) {
     Batch batch;
     batch.reserve(options_.batch_size);
     std::swap(batch, shard.pending);
-    shard.queue.push(std::move(batch));
-    stats_.batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+    dispatch(shard, std::move(batch));
   }
 }
 
@@ -58,8 +135,7 @@ void ShardedOnlineEngine::flush() {
     if (shard->pending.empty()) continue;
     Batch batch;
     std::swap(batch, shard->pending);
-    shard->queue.push(std::move(batch));
-    stats_.batches_dispatched.fetch_add(1, std::memory_order_relaxed);
+    dispatch(*shard, std::move(batch));
   }
 }
 
@@ -97,6 +173,7 @@ dm::core::OnlineStats ShardedOnlineEngine::aggregated_stats() const {
     total.transactions_weeded += s.transactions_weeded;
     total.clues_fired += s.clues_fired;
     total.classifier_queries += s.classifier_queries;
+    total.classifier_failures += s.classifier_failures;
     total.alerts += s.alerts;
     total.sessions_opened += s.sessions_opened;
     total.sessions_expired += s.sessions_expired;
@@ -111,6 +188,13 @@ StatsSnapshot ShardedOnlineEngine::runtime_stats() const {
       stats_.transactions_out.load(std::memory_order_relaxed);
   snap.batches_dispatched =
       stats_.batches_dispatched.load(std::memory_order_relaxed);
+  snap.transactions_shed =
+      stats_.transactions_shed.load(std::memory_order_relaxed);
+  snap.batches_shed = stats_.batches_shed.load(std::memory_order_relaxed);
+  snap.dropped_after_finish =
+      stats_.dropped_after_finish.load(std::memory_order_relaxed);
+  snap.detector_failures =
+      stats_.detector_failures.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     snap.queue_highwater = std::max(snap.queue_highwater, shard->queue.highwater());
   }
@@ -119,10 +203,12 @@ StatsSnapshot ShardedOnlineEngine::runtime_stats() const {
   if (finished_) {
     snap.per_shard_transactions.reserve(shards_.size());
     snap.per_shard_alerts.reserve(shards_.size());
+    snap.per_shard_detector_failures.reserve(shards_.size());
     for (const auto& shard : shards_) {
       snap.per_shard_transactions.push_back(
           shard->detector.stats().transactions_seen);
       snap.per_shard_alerts.push_back(shard->detector.stats().alerts);
+      snap.per_shard_detector_failures.push_back(shard->detector_failures);
     }
   }
   return snap;

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -34,19 +35,41 @@
 
 namespace dm::runtime {
 
+/// What the dispatcher does when a shard's queue is full.
+enum class OverloadPolicy {
+  /// Block until the worker frees a slot — lossless backpressure (default).
+  kBlock,
+  /// Pop and discard the oldest queued batch to make room for the new one:
+  /// fresh traffic wins, stale buffered traffic is shed.  Right for live
+  /// deployments where detection value decays with age.
+  kShedOldest,
+  /// Discard the incoming batch: buffered traffic wins, new arrivals are
+  /// shed until the worker catches up.  Right when in-flight sessions must
+  /// finish scoring.
+  kShedNewest,
+};
+
 struct ShardedOptions {
   /// Number of shards (= worker threads); 0 -> hardware_concurrency.
   std::size_t num_shards = 0;
-  /// Bounded depth of each shard's queue, in batches.  Full queue blocks the
-  /// dispatcher — backpressure instead of unbounded buffering under burst.
+  /// Bounded depth of each shard's queue, in batches.  Full queue engages
+  /// the overload policy — backpressure or shedding, never unbounded
+  /// buffering under burst.
   std::size_t queue_capacity = 256;
   /// Transactions per dispatch batch.  Batching amortizes queue wakeups; a
   /// batch is flushed early whenever the stream ends or flush() is called,
   /// so it trades latency (bounded by batch_size transactions) for
   /// throughput.
   std::size_t batch_size = 64;
+  /// Behaviour at a full shard queue; shed counts land in StatsSnapshot.
+  OverloadPolicy overload = OverloadPolicy::kBlock;
   /// Options forwarded to every shard's core::OnlineDetector.
   dm::core::OnlineOptions online;
+  /// Fault-injection seam: invoked (when set) by the shard worker for each
+  /// transaction before the detector sees it, inside the worker's failure
+  /// isolation.  A throw here is recorded exactly like a real detector
+  /// failure; tests use it to prove workers survive mid-stream throws.
+  std::function<void(const dm::http::HttpTransaction&)> observe_fault_hook;
 };
 
 /// Parallel drop-in for core::OnlineDetector over a time-ordered stream:
@@ -69,8 +92,10 @@ class ShardedOnlineEngine {
 
   /// Dispatches one transaction to its shard.  Call from a single thread
   /// (or externally serialized): per-client order must match stream order,
-  /// which a single time-ordered dispatcher guarantees.  Blocks when the
-  /// target shard's queue is full.  No-op after finish().
+  /// which a single time-ordered dispatcher guarantees.  A full shard queue
+  /// engages ShardedOptions::overload (block or shed).  Calling after
+  /// finish() is a caller bug: the transaction is dropped, counted in
+  /// StatsSnapshot::dropped_after_finish, and asserts in debug builds.
   void observe(dm::http::HttpTransaction txn);
 
   /// Pushes any partially-filled batches to their shards.
@@ -107,7 +132,13 @@ class ShardedOnlineEngine {
     dm::core::OnlineDetector detector;  // touched only by `thread` after start
     Batch pending;                      // dispatcher-side partial batch
     std::thread thread;
+    /// Transactions whose observe() threw on this shard (fault hook or
+    /// detector).  Touched only by `thread`; read after join.
+    std::uint64_t detector_failures = 0;
   };
+
+  /// Hands a full batch to its shard under the configured overload policy.
+  void dispatch(Shard& shard, Batch&& batch);
 
   ShardedOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -18,18 +18,36 @@ struct StatsSnapshot {
   /// Deepest any shard queue has been, in batches — how close the engine
   /// came to exerting backpressure on the ingest stage.
   std::size_t queue_highwater = 0;
+  /// Transactions dropped by an overload policy (ShedOldest / ShedNewest)
+  /// instead of blocking the dispatcher.  Conservation law after finish():
+  /// transactions_in == transactions_out + transactions_shed.
+  std::uint64_t transactions_shed = 0;
+  std::uint64_t batches_shed = 0;
+  /// observe() calls after finish(): the transaction is dropped and counted,
+  /// never silently lost (and asserts in debug builds — it is a caller bug).
+  std::uint64_t dropped_after_finish = 0;
+  /// Transactions whose detector observe() threw; the worker quarantines the
+  /// failure and keeps consuming — a poisoned transaction costs itself, not
+  /// the shard.
+  std::uint64_t detector_failures = 0;
   std::vector<std::uint64_t> per_shard_transactions;
   std::vector<std::uint64_t> per_shard_alerts;
+  std::vector<std::uint64_t> per_shard_detector_failures;
 };
 
-/// Shared counter block.  transactions_in / batches_dispatched are written
-/// by the dispatching thread only; transactions_out is incremented by every
-/// worker; per-shard counts live with the shards and are folded into the
-/// snapshot by the engine.
+/// Shared counter block.  transactions_in / batches_dispatched /
+/// *_shed / dropped_after_finish are written by the dispatching thread only;
+/// transactions_out and detector_failures are incremented by workers;
+/// per-shard counts live with the shards and are folded into the snapshot
+/// by the engine.
 struct Stats {
   std::atomic<std::uint64_t> transactions_in{0};
   std::atomic<std::uint64_t> transactions_out{0};
   std::atomic<std::uint64_t> batches_dispatched{0};
+  std::atomic<std::uint64_t> transactions_shed{0};
+  std::atomic<std::uint64_t> batches_shed{0};
+  std::atomic<std::uint64_t> dropped_after_finish{0};
+  std::atomic<std::uint64_t> detector_failures{0};
 };
 
 }  // namespace dm::runtime

@@ -1,0 +1,80 @@
+#include "util/fault_stats.h"
+
+namespace dm::util {
+namespace {
+
+DecodeLayer layer_of(DecodeErrorCode code) noexcept {
+  switch (code) {
+    case DecodeErrorCode::kPcapTruncatedHeader:
+    case DecodeErrorCode::kPcapBadMagic:
+    case DecodeErrorCode::kPcapTruncatedRecord:
+    case DecodeErrorCode::kPcapOversizedRecord:
+      return DecodeLayer::kPcap;
+    case DecodeErrorCode::kFrameUndecodable:
+      return DecodeLayer::kFrame;
+    case DecodeErrorCode::kTcpPendingOverflow:
+    case DecodeErrorCode::kTcpStreamOverflow:
+      return DecodeLayer::kTcp;
+    case DecodeErrorCode::kHttpBadRequestLine:
+    case DecodeErrorCode::kHttpBadStatusLine:
+    case DecodeErrorCode::kHttpBadContentLength:
+    case DecodeErrorCode::kHttpBadChunk:
+    case DecodeErrorCode::kHttpTruncatedMessage:
+      return DecodeLayer::kHttp;
+    case DecodeErrorCode::kDetectorFailure:
+    case DecodeErrorCode::kOverloadShed:
+    case DecodeErrorCode::kObserveAfterFinish:
+    case DecodeErrorCode::kCount_:
+      return DecodeLayer::kRuntime;
+  }
+  return DecodeLayer::kRuntime;
+}
+
+}  // namespace
+
+std::uint64_t FaultStatsSnapshot::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto c : counts) sum += c;
+  return sum;
+}
+
+FaultStatsSnapshot& FaultStatsSnapshot::operator+=(
+    const FaultStatsSnapshot& other) noexcept {
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  return *this;
+}
+
+std::string FaultStatsSnapshot::summary() const {
+  std::string out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto code = static_cast<DecodeErrorCode>(i);
+    if (!out.empty()) out.push_back(' ');
+    out.append(decode_layer_name(layer_of(code)));
+    out.push_back('/');
+    out.append(decode_error_name(code));
+    out.push_back('=');
+    out.append(std::to_string(counts[i]));
+  }
+  return out.empty() ? "none" : out;
+}
+
+std::uint64_t FaultStats::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& c : counts_) sum += c.load(std::memory_order_relaxed);
+  return sum;
+}
+
+FaultStatsSnapshot FaultStats::snapshot() const {
+  FaultStatsSnapshot snap;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void FaultStats::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace dm::util

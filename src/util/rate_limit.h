@@ -1,0 +1,91 @@
+// Rate-limited logging for quarantine sites.  A flood of malformed packets
+// must never turn the logger (a mutex + stderr write per line) into the
+// pipeline bottleneck, so every quarantine site gates its warning through
+// one of these:
+//
+//   * EveryN   — fires on the 1st hit and every n-th after; lock-free, safe
+//     to share across threads (shard workers log through a static gate).
+//   * TokenBucket — classic rate/burst limiter over a caller-supplied clock
+//     (trace time, never wall clock — library code stays deterministic).
+//     Not thread-safe; give each thread its own bucket.
+//
+// log_every_n() combines an EveryN gate with the leveled logger and appends
+// the suppressed-line count so operators can see the true fault volume.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/log.h"
+
+namespace dm::util {
+
+/// Fires on hit 1, n+1, 2n+1, ...  hits() and suppressed() expose the true
+/// event volume for reports.
+class EveryN {
+ public:
+  explicit EveryN(std::uint64_t n) noexcept : n_(n == 0 ? 1 : n) {}
+
+  /// Counts one event; true when this event should be logged.
+  bool should_fire() noexcept {
+    return hits_.fetch_add(1, std::memory_order_relaxed) % n_ == 0;
+  }
+
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t suppressed() const noexcept {
+    const std::uint64_t h = hits();
+    return h - (h + n_ - 1) / n_;  // events minus fired lines
+  }
+
+ private:
+  const std::uint64_t n_;
+  std::atomic<std::uint64_t> hits_{0};
+};
+
+/// Deterministic token bucket: `rate_per_s` tokens accrue per second of the
+/// caller's clock, capped at `burst`.  try_acquire(now) spends one token.
+/// Timestamps must be non-decreasing per bucket; not thread-safe.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_s, double burst) noexcept
+      : rate_per_s_(rate_per_s > 0 ? rate_per_s : 1.0),
+        burst_(burst >= 1 ? burst : 1.0),
+        tokens_(burst_) {}
+
+  bool try_acquire(std::uint64_t now_micros) noexcept {
+    if (now_micros > last_micros_) {
+      const double elapsed_s =
+          static_cast<double>(now_micros - last_micros_) / 1e6;
+      tokens_ = tokens_ + elapsed_s * rate_per_s_;
+      if (tokens_ > burst_) tokens_ = burst_;
+      last_micros_ = now_micros;
+    }
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+ private:
+  const double rate_per_s_;
+  const double burst_;
+  double tokens_;
+  std::uint64_t last_micros_ = 0;
+};
+
+/// Logs every n-th event through `gate`, tagging the line with the event
+/// ordinal so suppressed volume is visible ("... [event 4097, 1/128 logged]").
+template <typename... Args>
+void log_every_n(EveryN& gate, LogLevel level, Args&&... args) {
+  const std::uint64_t ordinal = gate.hits() + 1;
+  if (!gate.should_fire()) return;
+  if (ordinal == 1) {
+    detail::log_fmt(level, std::forward<Args>(args)...);
+  } else {
+    detail::log_fmt(level, std::forward<Args>(args)..., " [event ", ordinal,
+                    "]");
+  }
+}
+
+}  // namespace dm::util

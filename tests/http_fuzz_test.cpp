@@ -145,6 +145,61 @@ TEST(SessionFuzzTest, HostileCookieStringsNeverCrash) {
   }
 }
 
+// Crash-regression corpus: explicit nasty byte sequences, one per mutator
+// class the fault harness exercises (tests/fault_inject.h), pinned here so
+// a parser change that reintroduces a crash or an unaccounted quarantine
+// fails loudly.  Every case must (a) not throw and (b) count each reported
+// error exactly once in FaultStats.
+TEST(HttpCrashCorpusTest, KnownNastyStreamsStayQuarantined) {
+  const char* corpus[] = {
+      // header garbage / bad request line
+      "\x00\x01\x02\x03 GET nothing\r\n\r\n",
+      "GET\r\n\r\n",
+      "/ HTTP/1.1 GET\r\n\r\n",
+      // bad status line
+      "HTTP/1.1 9999 Nope\r\n\r\n",
+      "HTTP/banana 200 OK\r\n\r\n",
+      // bad content length
+      "HTTP/1.1 200 OK\r\nContent-Length: 0x10\r\n\r\nbody",
+      "GET / HTTP/1.1\r\nContent-Length: 184467440737095516199\r\n\r\n",
+      // broken chunking
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "ffffffffffffffffffff\r\n",
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nab",
+      // mid-stream EOF
+      "GET / HTTP/1.1\r\nHost: cut.exam",
+      "HTTP/1.1 200 OK\r\nContent-Length: 50\r\n\r\nshort",
+      // resync bait: garbage then a valid message
+      "\xff\xfe\xfd\r\nGET /ok HTTP/1.1\r\nHost: x\r\n\r\n",
+  };
+  for (const char* bytes : corpus) {
+    dm::util::FaultStats faults;
+    const auto req = parse_requests_ex(stream_of(bytes), &faults);
+    const auto res = parse_responses_ex(stream_of(bytes), true, &faults);
+    EXPECT_EQ(faults.total(), req.errors.size() + res.errors.size()) << bytes;
+  }
+}
+
+TEST(HttpCrashCorpusTest, SeededMutationSweepAccountsEveryError) {
+  // Fixed seeds, byte corruption over a valid exchange: whatever the parser
+  // salvages, the quarantine ledger must balance.
+  for (const std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+    dm::util::Rng rng(seed);
+    for (int trial = 0; trial < 100; ++trial) {
+      std::string text = kValidExchange;
+      for (int i = 0; i < 12; ++i) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+        text[at] = static_cast<char>(rng.uniform_int(0, 255));
+      }
+      dm::util::FaultStats faults;
+      const auto result = parse_requests_ex(stream_of(text), &faults);
+      EXPECT_EQ(faults.total(), result.errors.size());
+      EXPECT_LE(result.requests.size(), 4u);
+    }
+  }
+}
+
 TEST(SessionFuzzTest, HostileUrisNeverCrash) {
   const char* cases[] = {
       "?", "??", "/a?#", "/a?sid", "/a?sid=#", "/a?&&&&", "/a?=x&=y",

@@ -3,6 +3,8 @@
 // on-the-wire deployment (§V-B) parses adversarial traffic by definition.
 #include <gtest/gtest.h>
 
+#include "fault_inject.h"
+#include "http/transaction_stream.h"
 #include "net/packet.h"
 #include "net/packet_builder.h"
 #include "net/pcap.h"
@@ -159,6 +161,109 @@ TEST(ReassemblyFuzzTest, ShuffledSegmentsReconstructExactly) {
     ASSERT_EQ(reassembler.flows().size(), 1u) << "seed " << seed;
     EXPECT_EQ(reassembler.flows()[0]->client_to_server.data, message)
         << "seed " << seed;
+  }
+}
+
+// Crash-regression corpus: explicit nasty capture bytes, pinned with fixed
+// content so a decoder change that reintroduces a crash — or starts
+// throwing where quarantine is required — fails loudly.
+TEST(PcapCrashCorpusTest, KnownNastyCapturesStayQuarantined) {
+  auto with_header = [](std::initializer_list<std::uint8_t> tail) {
+    // Valid LE usec global header, then the nasty bytes.
+    std::vector<std::uint8_t> bytes = {
+        0xd4, 0xc3, 0xb2, 0xa1, 0x02, 0x00, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0xff, 0xff, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00};
+    bytes.reserve(bytes.size() + tail.size());
+    for (const auto b : tail) bytes.push_back(b);
+    return bytes;
+  };
+  const std::vector<std::vector<std::uint8_t>> corpus = {
+      // incl_len = 0xFFFFFFFF: absurd length prefix, nothing addressable.
+      with_header({0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff,
+                   0xff, 0xff, 0xff, 0xff}),
+      // incl_len = 0 forever would be fine; here a zero record then a cut one.
+      with_header({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                   0, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 'x'}),
+      // 15-byte record header: one byte short of parseable.
+      with_header({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}),
+      // record claims 4 bytes, carries 2.
+      with_header({0, 0, 0, 0, 0, 0, 0, 0, 4, 0, 0, 0, 4, 0, 0, 0, 'a', 'b'}),
+  };
+  for (const auto& bytes : corpus) {
+    dm::util::FaultStats faults;
+    const auto result = decode_pcap(bytes, {}, &faults);
+    EXPECT_FALSE(result.fatal);
+    EXPECT_EQ(faults.total(), result.errors.size());
+    EXPECT_FALSE(result.errors.empty());
+    // The strict reader must not throw either: only header faults are fatal.
+    EXPECT_NO_THROW(read_pcap(bytes));
+  }
+}
+
+TEST(FrameCrashCorpusTest, KnownNastyFramesAreRejectedNotCrashed) {
+  // Ethernet/IPv4/TCP headers with hostile length fields: bad IHL, IP
+  // total_length larger than the buffer, TCP data offset past the segment.
+  auto frame_with = [](std::uint8_t ihl_version, std::uint8_t total_len_hi,
+                       std::uint8_t total_len_lo, std::uint8_t data_offset) {
+    std::vector<std::uint8_t> frame(60, 0);
+    frame[12] = 0x08;  // IPv4 ethertype
+    frame[13] = 0x00;
+    frame[14] = ihl_version;
+    frame[16] = total_len_hi;
+    frame[17] = total_len_lo;
+    frame[23] = 6;  // TCP
+    frame[14 + 20 + 12] = data_offset;
+    return frame;
+  };
+  const std::vector<std::vector<std::uint8_t>> corpus = {
+      frame_with(0x40, 0, 40, 0x50),  // IHL = 0: under minimum
+      frame_with(0x4f, 0, 40, 0x50),  // IHL = 60 > header room
+      frame_with(0x45, 0xff, 0xff, 0x50),  // total_length 65535 > buffer
+      frame_with(0x45, 0, 10, 0x50),       // total_length < IHL
+      frame_with(0x45, 0, 40, 0x10),       // TCP data offset 4 < 20 bytes
+      frame_with(0x45, 0, 40, 0xf0),       // TCP data offset 60 > segment
+  };
+  for (const auto& frame : corpus) {
+    EXPECT_EQ(parse_ethernet_ipv4_tcp(frame), std::nullopt);
+  }
+}
+
+TEST(MutatorCrashCorpusTest, EveryMutatorClassSurvivesFullReconstruction) {
+  // Fixed seeds x every fault_inject.h mutator class, through the whole
+  // Stage-1 stack.  Complements the harness's accounting tests: this one is
+  // purely the no-crash fence, kept in the fuzz suite.
+  for (const std::uint64_t seed : {7u, 8u, 9u}) {
+    dm::synth::TraceGenerator gen(seed);
+    const auto clean = dm::synth::episode_to_pcap(gen.benign());
+    const auto clean_bytes = write_pcap(clean);
+    for (int mutator = 0; mutator < 7; ++mutator) {
+      dm::util::Rng rng(seed * 31 + static_cast<std::uint64_t>(mutator));
+      dm::util::FaultStats faults;
+      PcapFile capture;
+      if (mutator == 0) {
+        auto bytes = clean_bytes;
+        dm::faultinject::corrupt_random_bytes(bytes, 100, rng);
+        capture = decode_pcap(bytes, {}, &faults).file;
+      } else if (mutator == 1) {
+        auto bytes = clean_bytes;
+        dm::faultinject::truncate_final_record(bytes, rng);
+        capture = decode_pcap(bytes, {}, &faults).file;
+      } else if (mutator == 2) {
+        auto bytes = clean_bytes;
+        dm::faultinject::cut_record_header(bytes, rng);
+        capture = decode_pcap(bytes, {}, &faults).file;
+      } else {
+        capture = clean;
+        if (mutator == 3) dm::faultinject::reorder_records(capture, rng);
+        if (mutator == 4) dm::faultinject::duplicate_segments(capture, 10, rng);
+        if (mutator == 5) dm::faultinject::overlap_segments(capture, 10, rng);
+        if (mutator == 6) dm::faultinject::garble_ethertype(capture, 10, rng);
+      }
+      const auto txns = dm::http::transactions_from_pcap(capture, &faults);
+      for (const auto& txn : txns) {
+        EXPECT_FALSE(txn.server_host.empty());
+      }
+    }
   }
 }
 

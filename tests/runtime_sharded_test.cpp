@@ -190,8 +190,9 @@ TEST(ShardedOnlineEngineTest, FinishIsIdempotentAndImpliedByDestructor) {
   for (const auto& txn : stream) engine.observe(txn);
   engine.finish();
   engine.finish();  // idempotent
-  engine.observe(stream.front());  // post-finish observe is a no-op
   EXPECT_EQ(engine.runtime_stats().transactions_out, stream.size());
+  // Post-finish observe is a caller bug: counted (and asserting in debug
+  // builds) — covered in fault_injection_test.
 }
 
 TEST(ParallelIngestTest, DetectTransactionsMatchesSequential) {
