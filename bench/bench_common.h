@@ -6,12 +6,22 @@
 //               own default to keep the default `for b in bench/*` sweep
 //               fast; set DM_SCALE=1 for paper-sized runs.
 //   DM_SEED   — base RNG seed (default 42).
+//
+// Benches with machine-readable results also take `--json <path>` (see
+// extract_json_path / JsonRecord): one result record is appended to <path>
+// as a JSON line, the machine-readable feed of a perf trajectory.  Currently
+// wired into bench_runtime (--metrics); new benches should reuse the same
+// plumbing rather than invent a format.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/detector.h"
@@ -64,6 +74,81 @@ inline Corpus build_corpus(std::uint64_t seed, double scale,
 inline dm::ml::Dataset corpus_dataset(const Corpus& corpus) {
   return dm::core::dataset_from_wcgs(corpus.infection_wcgs, corpus.benign_wcgs);
 }
+
+/// Finds `--json <path>` in argv, removes the pair (so downstream parsers —
+/// e.g. google-benchmark's — never see it) and returns the path.
+inline std::optional<std::string> extract_json_path(int& argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return path;
+    }
+  }
+  return std::nullopt;
+}
+
+/// One machine-readable bench result: ordered key/value pairs rendered as a
+/// single JSON object line (JSONL).  Values are numbers, strings, or
+/// pre-rendered JSON (set_raw — e.g. an obs::to_json snapshot).
+class JsonRecord {
+ public:
+  void set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    fields_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, std::uint64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, std::int64_t v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, int v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void set(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, quote(v));
+  }
+  void set(const std::string& key, const char* v) {
+    fields_.emplace_back(key, quote(v));
+  }
+  /// Embeds already-valid JSON (object/array/number) unquoted.
+  void set_raw(const std::string& key, std::string json) {
+    fields_.emplace_back(key, std::move(json));
+  }
+
+  std::string to_line() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += quote(fields_[i].first) + ":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Appends this record as one line to `path`; false on I/O failure.
+  bool append_to(const std::string& path) const {
+    std::ofstream out(path, std::ios::app);
+    if (!out) return false;
+    out << to_line() << "\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+    out += "\"";
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 inline void print_header(const std::string& title, double scale,
                          std::uint64_t seed) {

@@ -12,18 +12,30 @@
 // Client-sharding gives each shard a session table ~K× smaller, so the
 // per-transaction work drops by ~K even before true hardware parallelism —
 // which is why the ≥3× target at 8 shards holds on a single-core container.
+// `--metrics` additionally measures the instrumentation tax (same trace,
+// obs idle vs active — the acceptance budget is < 3%) and prints the full
+// per-stage latency panel including clue-to-verdict p50/p95/p99.
+// `--json <path>` appends the result record as one JSON line.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <memory>
 #include <tuple>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/online.h"
 #include "core/trainer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "runtime/sharded_online.h"
+#include "runtime/stats.h"
 #include "synth/dataset.h"
 
 namespace {
@@ -170,9 +182,129 @@ BENCHMARK(BM_ShardedOnline)
     ->UseRealTime()
     ->Iterations(1);
 
+// --- runtime::Stats false-sharing A/B --------------------------------------
+// The pre-padding layout: hot counters packed shoulder to shoulder, so the
+// dispatcher's transactions_in and the workers' transactions_out /
+// detector_failures share one cache line.  Kept here (not in src/) purely
+// as the "before" row of the padding delta.
+struct PackedStats {
+  std::atomic<std::uint64_t> transactions_in{0};
+  std::atomic<std::uint64_t> transactions_out{0};
+  std::atomic<std::uint64_t> batches_dispatched{0};
+  std::atomic<std::uint64_t> detector_failures{0};
+};
+
+void BM_StatsCountersPacked(benchmark::State& state) {
+  static PackedStats stats;
+  std::atomic<std::uint64_t>* slots[4] = {
+      &stats.transactions_in, &stats.transactions_out,
+      &stats.batches_dispatched, &stats.detector_failures};
+  auto* counter = slots[state.thread_index() % 4];
+  for (auto _ : state) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatsCountersPacked)->Threads(4)->UseRealTime();
+
+void BM_StatsCountersPadded(benchmark::State& state) {
+  static dm::runtime::Stats stats;  // each counter on its own line
+  dm::runtime::PaddedStatCounter* slots[4] = {
+      &stats.transactions_in, &stats.transactions_out,
+      &stats.batches_dispatched, &stats.detector_failures};
+  auto* counter = slots[state.thread_index() % 4];
+  for (auto _ : state) {
+    counter->fetch_add(1, std::memory_order_relaxed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatsCountersPadded)->Threads(4)->UseRealTime();
+
+// --- --metrics: instrumentation tax + latency panel ------------------------
+
+double timed_sharded_run_ms(std::size_t shards) {
+  const auto t0 = std::chrono::steady_clock::now();
+  run_sharded(shards);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void run_metrics_report(const std::optional<std::string>& json_path) {
+  const std::size_t txns = benchmark_trace().size();
+  constexpr std::size_t kShards = 8;
+
+  // Warm-up pass so no timed run pays first-touch/cold-cache costs —
+  // otherwise whichever mode runs first looks slower than it is.
+  dm::obs::set_enabled(false);
+  timed_sharded_run_ms(kShards);
+
+  // Oversubscribed shard workers make any single run noisy, so alternate
+  // idle/active runs and keep the minimum of each — the least-perturbed
+  // sample is the honest estimate of each mode's cost.
+  constexpr int kRounds = 3;
+  double idle_ms = std::numeric_limits<double>::infinity();
+  double active_ms = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < kRounds; ++round) {
+    // Before: metrics compiled in but idle (spans skip their clock reads).
+    dm::obs::set_enabled(false);
+    dm::obs::registry().reset();
+    idle_ms = std::min(idle_ms, timed_sharded_run_ms(kShards));
+    // After: instrumentation live; the last run also fills the latency panel.
+    dm::obs::set_enabled(true);
+    dm::obs::registry().reset();
+    active_ms = std::min(active_ms, timed_sharded_run_ms(kShards));
+  }
+  const double overhead_pct = (active_ms - idle_ms) / idle_ms * 100.0;
+
+  std::printf("\n--- instrumentation overhead (%zu shards, %zu txns) ---\n",
+              kShards, txns);
+  std::printf("metrics idle:    %8.1f ms  (%.0f txn/s)\n", idle_ms,
+              static_cast<double>(txns) / (idle_ms / 1e3));
+  std::printf("metrics active:  %8.1f ms  (%.0f txn/s)\n", active_ms,
+              static_cast<double>(txns) / (active_ms / 1e3));
+  std::printf("overhead:        %+7.2f %%  (budget: < 3%%)\n", overhead_pct);
+
+  const auto snap = dm::obs::snapshot();
+  std::printf("\n%s", dm::obs::to_table(snap).c_str());
+  if (const auto* h = snap.histogram("dm.detect.clue_to_verdict_ns")) {
+    std::printf(
+        "\nclue-to-verdict latency: n=%llu p50=%.1fus p95=%.1fus p99=%.1fus\n",
+        static_cast<unsigned long long>(h->count), h->p50() / 1e3,
+        h->p95() / 1e3, h->p99() / 1e3);
+  }
+
+  if (json_path) {
+    dm::bench::JsonRecord record;
+    record.set("bench", "bench_runtime");
+    record.set("transactions", static_cast<std::uint64_t>(txns));
+    record.set("shards", static_cast<std::uint64_t>(kShards));
+    record.set("metrics_idle_ms", idle_ms);
+    record.set("metrics_active_ms", active_ms);
+    record.set("metrics_overhead_pct", overhead_pct);
+    record.set_raw("obs", dm::obs::to_json(snap));
+    if (record.append_to(*json_path)) {
+      std::printf("result record appended to %s\n", json_path->c_str());
+    } else {
+      std::fprintf(stderr, "WARNING: could not write %s\n", json_path->c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool metrics_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_mode = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  const auto json_path = dm::bench::extract_json_path(argc, argv);
+
   std::printf("building benchmark trace (%zu-transaction target)...\n",
               target_transactions());
   const auto& trace = benchmark_trace();
@@ -195,5 +327,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  if (metrics_mode) run_metrics_report(json_path);
   return 0;
 }

@@ -3,12 +3,16 @@
 // detector — the deployment mode of §V-B where DynaMiner "sits at the edge
 // of a network or as a web proxy".
 //
-// Usage: live_proxy_monitor [--threads N]
+// Usage: live_proxy_monitor [--threads N] [--metrics]
 //   --threads 1 (default) replays through the sequential core engine;
 //   --threads N>1 runs the session-sharded concurrent runtime with N shard
 //   workers.  Both modes produce the same alert set on the same stream —
 //   that equivalence is the runtime's core invariant (see DESIGN.md,
 //   "Runtime architecture").
+//   --metrics turns on the observability panel: a periodic one-line
+//   reporter while the stream flows, then the full dm::obs snapshot
+//   (counters + per-stage latency histograms incl. clue-to-verdict) in
+//   human-table form.
 //
 // The monitor prints each alert as it fires, then a session summary.
 #include <algorithm>
@@ -20,6 +24,8 @@
 
 #include "core/online.h"
 #include "core/trainer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "runtime/sharded_online.h"
 #include "synth/dataset.h"
 
@@ -34,6 +40,42 @@ void print_alert(const dm::core::Alert& alert, std::uint64_t stream_start_micros
                   .c_str(),
               alert.score, alert.wcg_order, alert.wcg_size);
 }
+
+/// Periodic reporter (--metrics): one line every `every` transactions with
+/// the live counters and the p95 of the whole-observe stage — the at-a-
+/// glance view an operator watches while traffic flows.
+class MetricsReporter {
+ public:
+  explicit MetricsReporter(bool enabled, std::size_t every = 100)
+      : enabled_(enabled), every_(every) {}
+
+  void tick(std::size_t streamed, std::uint64_t ts_micros,
+            std::uint64_t stream_start_micros) {
+    if (!enabled_ || streamed == 0 || streamed % every_ != 0) return;
+    const auto snap = dm::obs::snapshot();
+    const auto* observe = snap.histogram("dm.stage.observe_ns");
+    std::printf(
+        "METRICS t=%.1fs streamed=%zu sessions=%lld clues=%llu verdicts=%llu "
+        "alerts=%llu p95(observe)=%.1fus\n",
+        ts_micros / 1e6 - stream_start_micros / 1e6, streamed,
+        static_cast<long long>(snap.gauge_value("dm.detect.active_sessions")),
+        static_cast<unsigned long long>(snap.counter_value("dm.detect.clues")),
+        static_cast<unsigned long long>(
+            snap.counter_value("dm.detect.verdicts")),
+        static_cast<unsigned long long>(snap.counter_value("dm.detect.alerts")),
+        (observe != nullptr ? observe->p95() : 0) / 1e3);
+  }
+
+  void final_panel() const {
+    if (!enabled_) return;
+    std::printf("\n--- observability snapshot (dm::obs) ---\n%s",
+                dm::obs::to_table(dm::obs::snapshot()).c_str());
+  }
+
+ private:
+  bool enabled_;
+  std::size_t every_;
+};
 
 void print_summary(const dm::core::OnlineStats& stats) {
   std::printf("\n--- proxy session summary ---\n");
@@ -50,6 +92,7 @@ void print_summary(const dm::core::OnlineStats& stats) {
 
 int main(int argc, char** argv) {
   std::size_t threads = 1;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const long long v = std::atoll(argv[++i]);
@@ -58,8 +101,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       threads = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--threads N] [--metrics]\n", argv[0]);
       return 2;
     }
   }
@@ -99,17 +144,22 @@ int main(int argc, char** argv) {
   dm::core::OnlineOptions options;
   options.redirect_chain_threshold = 2;
 
+  MetricsReporter reporter(metrics);
+
   if (threads <= 1) {
     // Sequential watch: alerts print the moment they fire.
     dm::core::OnlineDetector proxy(detector, options);
     std::printf("streaming %zu transactions through the proxy (sequential)...\n\n",
                 stream.size());
+    std::size_t streamed = 0;
     for (const auto& txn : stream) {
       if (const auto alert = proxy.observe(txn)) {
         print_alert(*alert, stream_start);
       }
+      reporter.tick(++streamed, txn.request.ts_micros, stream_start);
     }
     print_summary(proxy.stats());
+    reporter.final_panel();
     return 0;
   }
 
@@ -121,7 +171,11 @@ int main(int argc, char** argv) {
   dm::runtime::ShardedOnlineEngine proxy(detector, sharded);
   std::printf("streaming %zu transactions through the proxy (%zu shards)...\n\n",
               stream.size(), proxy.num_shards());
-  for (const auto& txn : stream) proxy.observe(txn);
+  std::size_t streamed = 0;
+  for (const auto& txn : stream) {
+    proxy.observe(txn);
+    reporter.tick(++streamed, txn.request.ts_micros, stream_start);
+  }
   proxy.finish();
   for (const auto& alert : proxy.merged_alerts()) {
     print_alert(alert, stream_start);
@@ -139,5 +193,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(runtime.per_shard_transactions[s]),
                 static_cast<unsigned long long>(runtime.per_shard_alerts[s]));
   }
+  reporter.final_panel();
   return 0;
 }

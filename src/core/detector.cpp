@@ -1,5 +1,8 @@
 #include "core/detector.h"
 
+#include "obs/pipeline.h"
+#include "obs/timer.h"
+
 namespace dm::core {
 
 Detector::Detector(dm::ml::RandomForest forest, FeatureExtractorOptions options,
@@ -7,8 +10,17 @@ Detector::Detector(dm::ml::RandomForest forest, FeatureExtractorOptions options,
     : forest_(std::move(forest)), options_(options), threshold_(threshold) {}
 
 double Detector::score(const Wcg& wcg) const {
+  // Inference is const and shared across shard workers; the histograms are
+  // sharded-concurrent, so timing here is thread-safe.
+  auto& obs = dm::obs::pipeline_metrics();
+  const dm::obs::StageTimer timer;
+  auto extract_span = timer.span(obs.stage_feature_extract_ns);
   const auto features = extract_features(wcg, options_);
-  return forest_.predict_proba(features);
+  extract_span.stop();
+  auto infer_span = timer.span(obs.stage_erf_infer_ns);
+  const double proba = forest_.predict_proba(features);
+  infer_span.stop();
+  return proba;
 }
 
 bool Detector::is_infection(const Wcg& wcg) const {

@@ -29,7 +29,12 @@ OnlineDetector::OnlineDetector(Detector detector, OnlineOptions options)
 
 OnlineDetector::OnlineDetector(std::shared_ptr<const Detector> detector,
                                OnlineOptions options)
-    : detector_(std::move(detector)), options_(std::move(options)) {}
+    : detector_(std::move(detector)),
+      options_(std::move(options)),
+      timer_(options_.clock),
+      obs_(options_.metrics != nullptr
+               ? dm::obs::PipelineMetrics::of(*options_.metrics)
+               : dm::obs::pipeline_metrics()) {}
 
 bool OnlineDetector::joinable(const Session& session,
                               std::uint64_t ts_micros) const noexcept {
@@ -81,12 +86,16 @@ OnlineDetector::Session& OnlineDetector::find_or_create_session(
   session.client = txn.client_host;
   session.builder = WcgBuilder(options_.builder);
   ++stats_.sessions_opened;
+  obs_.detect_active_sessions.add(1);
   auto [it, inserted] = sessions_.emplace(session.key, std::move(session));
   return it->second;
 }
 
 std::optional<Alert> OnlineDetector::observe(HttpTransaction txn) {
   ++stats_.transactions_seen;
+  obs_.detect_observed.add(1);
+  // RAII: records the whole observe() path on every return below.
+  auto observe_span = timer_.span(obs_.stage_observe_ns);
   const std::uint64_t now = txn.request.ts_micros;
 
   if (options_.builder.trusted.is_trusted(txn.server_host)) {
@@ -148,6 +157,9 @@ std::optional<Alert> OnlineDetector::observe(HttpTransaction txn) {
         session.clue_host = txn.server_host;
         session.clue_payload = payload;
         ++stats_.clues_fired;
+        obs_.detect_clues.add(1);
+        // Clue-to-verdict starts now; recorded at the first completed score.
+        if (dm::obs::enabled()) session.clue_fired_ns = timer_.now();
       }
     }
     session.current_redirect_run = 0;
@@ -195,8 +207,14 @@ Wcg OnlineDetector::potential_infection_wcg(const Session& session) const {
 std::optional<Alert> OnlineDetector::classify_session(Session& session,
                                                       const HttpTransaction& txn,
                                                       PayloadType trigger) {
+  auto verdict_span = timer_.span(obs_.stage_verdict_ns);
+  auto wcg_span = timer_.span(obs_.stage_wcg_build_ns);
   const Wcg wcg = potential_infection_wcg(session);
-  if (wcg.node_count() < 2) return std::nullopt;
+  wcg_span.stop();
+  if (wcg.node_count() < 2) {
+    verdict_span.cancel();  // nothing was classified
+    return std::nullopt;
+  }
   ++stats_.classifier_queries;
   // Failure isolation: a throwing classifier (or injected fault) quarantines
   // this one query — the session stays live and is re-scored on its next
@@ -218,6 +236,15 @@ std::optional<Alert> OnlineDetector::classify_session(Session& session,
                           "online: classifier failure quarantined");
     return std::nullopt;
   }
+  obs_.detect_verdicts.add(1);
+  // Headline metric: clue fired -> first completed ERF verdict, once per
+  // clue-bearing WCG ("operates as traffic flows", §V).
+  if (!session.clue_latency_recorded && session.clue_fired_ns != 0) {
+    session.clue_latency_recorded = true;
+    const std::uint64_t now_ns = timer_.now();
+    obs_.detect_clue_to_verdict_ns.record(
+        now_ns >= session.clue_fired_ns ? now_ns - session.clue_fired_ns : 0);
+  }
   if (score < options_.decision_threshold) return std::nullopt;
 
   Alert alert;
@@ -236,6 +263,7 @@ std::optional<Alert> OnlineDetector::classify_session(Session& session,
   alert.wcg_size = wcg.edge_count();
   session.alerted = true;  // paper: the corresponding session is terminated
   ++stats_.alerts;
+  obs_.detect_alerts.add(1);
   alerts_.push_back(alert);
   return alert;
 }
@@ -249,6 +277,7 @@ void OnlineDetector::expire_idle(std::uint64_t now_micros) {
             : 0.0;
     if (session.alerted || idle_s > options_.session_idle_timeout_s) {
       ++stats_.sessions_expired;
+      obs_.detect_active_sessions.add(-1);
       it = sessions_.erase(it);
     } else {
       ++it;

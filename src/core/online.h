@@ -25,6 +25,8 @@
 #include "core/detector.h"
 #include "core/wcg_builder.h"
 #include "http/session.h"
+#include "obs/pipeline.h"
+#include "obs/timer.h"
 
 namespace dm::core {
 
@@ -52,6 +54,12 @@ struct OnlineOptions {
   /// classifier_failure and the session keeps streaming; it never tears the
   /// engine down.  Tests use it to prove that property deterministically.
   std::function<void(const dm::http::HttpTransaction&)> classifier_fault_hook;
+  /// Observability: registry receiving this engine's stage spans and the
+  /// clue-to-verdict latency (null -> the process-wide obs::registry()),
+  /// and the clock stamping those spans (null -> steady clock).  Tests
+  /// inject both for deterministic, isolated latency assertions.
+  dm::obs::MetricsRegistry* metrics = nullptr;
+  dm::obs::ClockFn clock = nullptr;
 };
 
 struct Alert {
@@ -122,6 +130,11 @@ class OnlineDetector {
     std::set<std::string> hosts_before_clue;
     std::string clue_host;  // host serving the clue download
     dm::http::PayloadType clue_payload = dm::http::PayloadType::kNone;
+    /// Clock stamp of the moment the clue fired, and whether the headline
+    /// clue-to-verdict latency has been recorded (once per clue-bearing WCG,
+    /// at the first *completed* ERF verdict).
+    std::uint64_t clue_fired_ns = 0;
+    bool clue_latency_recorded = false;
   };
 
   /// Builds the potential-infection WCG for a clue-bearing session.
@@ -142,6 +155,8 @@ class OnlineDetector {
 
   std::shared_ptr<const Detector> detector_;
   OnlineOptions options_;
+  dm::obs::StageTimer timer_;      // options_.clock or the steady clock
+  dm::obs::PipelineMetrics obs_;   // handles into options_.metrics or global
   std::map<std::string, Session> sessions_;  // key -> state
   OnlineStats stats_;
   std::vector<Alert> alerts_;

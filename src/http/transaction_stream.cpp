@@ -5,11 +5,19 @@
 #include "http/parser.h"
 #include "net/packet.h"
 #include "net/tcp_reassembly.h"
+#include "obs/pipeline.h"
+#include "obs/timer.h"
 
 namespace dm::http {
 
 std::vector<HttpTransaction> transactions_from_pcap(
     const dm::net::PcapFile& capture, dm::util::FaultStats* faults) {
+  auto& obs = dm::obs::pipeline_metrics();
+  const dm::obs::StageTimer timer;
+
+  // Frame parse + TCP reassembly, timed per capture (a per-packet span would
+  // cost two clock reads per packet — more than the work it measures).
+  auto reassembly_span = timer.span(obs.stage_tcp_reassembly_ns);
   dm::net::TcpReassembler reassembler{dm::net::ReassemblyOptions{}, faults};
   for (const auto& pkt : capture.packets) {
     if (const auto parsed = dm::net::parse_ethernet_ipv4_tcp(pkt.data)) {
@@ -18,13 +26,18 @@ std::vector<HttpTransaction> transactions_from_pcap(
       faults->record(dm::util::DecodeErrorCode::kFrameUndecodable);
     }
   }
+  reassembly_span.stop();
+  obs.net_packets.add(capture.packets.size());
 
   std::vector<HttpTransaction> all;
   for (const dm::net::TcpFlow* flow : reassembler.flows()) {
+    auto parse_span = timer.span(obs.stage_http_parse_ns);
     auto txns = transactions_from_flow(*flow, faults);
+    parse_span.stop();
     all.insert(all.end(), std::make_move_iterator(txns.begin()),
                std::make_move_iterator(txns.end()));
   }
+  obs.http_transactions.add(all.size());
   std::stable_sort(all.begin(), all.end(),
                    [](const HttpTransaction& a, const HttpTransaction& b) {
                      return a.request.ts_micros < b.request.ts_micros;
@@ -33,12 +46,19 @@ std::vector<HttpTransaction> transactions_from_pcap(
 }
 
 std::vector<HttpTransaction> transactions_from_pcap_file(const std::string& path) {
-  return transactions_from_pcap(dm::net::read_pcap_file(path));
+  auto span = dm::obs::StageTimer{}.span(
+      dm::obs::pipeline_metrics().stage_pcap_decode_ns);
+  auto capture = dm::net::read_pcap_file(path);
+  span.stop();
+  return transactions_from_pcap(capture);
 }
 
 std::vector<HttpTransaction> transactions_from_pcap_file(
     const std::string& path, dm::util::FaultStats* faults) {
+  auto span = dm::obs::StageTimer{}.span(
+      dm::obs::pipeline_metrics().stage_pcap_decode_ns);
   const auto decoded = dm::net::decode_pcap_file(path, {}, faults);
+  span.stop();
   return transactions_from_pcap(decoded.file, faults);
 }
 

@@ -1,0 +1,166 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace dm::obs {
+namespace {
+
+/// Nanosecond quantity scaled to a readable unit ("1.42ms", "87.3us").
+std::string human_ns(double ns) {
+  char buf[48];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3gs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3gms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3gus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3gns", ns);
+  }
+  return buf;
+}
+
+/// True for histograms whose unit is nanoseconds (naming convention).
+bool is_ns(const std::string& name) {
+  return name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-' || c == '/') c = '_';
+  }
+  return out;
+}
+
+void json_escape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string to_table(const RegistrySnapshot& snap) {
+  std::ostringstream out;
+  char line[256];
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    out << "--- counters ---\n";
+    for (const auto& c : snap.counters) {
+      std::snprintf(line, sizeof(line), "%-36s %20" PRIu64 "\n", c.name.c_str(),
+                    c.value);
+      out << line;
+    }
+    for (const auto& g : snap.gauges) {
+      std::snprintf(line, sizeof(line), "%-36s %20" PRId64 " (gauge)\n",
+                    g.name.c_str(), g.value);
+      out << line;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out << "--- latency histograms ---\n";
+    std::snprintf(line, sizeof(line), "%-36s %10s %9s %9s %9s %9s %9s\n",
+                  "name", "count", "mean", "p50", "p95", "p99", "max");
+    out << line;
+    for (const auto& h : snap.histograms) {
+      if (is_ns(h.name)) {
+        std::snprintf(line, sizeof(line),
+                      "%-36s %10" PRIu64 " %9s %9s %9s %9s %9s\n",
+                      h.name.c_str(), h.count, human_ns(h.mean()).c_str(),
+                      human_ns(static_cast<double>(h.p50())).c_str(),
+                      human_ns(static_cast<double>(h.p95())).c_str(),
+                      human_ns(static_cast<double>(h.p99())).c_str(),
+                      human_ns(static_cast<double>(h.max_bound())).c_str());
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "%-36s %10" PRIu64 " %9.3g %9" PRIu64 " %9" PRIu64
+                      " %9" PRIu64 " %9" PRIu64 "\n",
+                      h.name.c_str(), h.count, h.mean(), h.p50(), h.p95(),
+                      h.p99(), h.max_bound());
+      }
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+std::string to_prometheus(const RegistrySnapshot& snap) {
+  std::ostringstream out;
+  for (const auto& c : snap.counters) {
+    const std::string name = sanitize(c.name);
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = sanitize(g.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << g.value << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = sanitize(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cum += h.buckets[i];
+      out << name << "_bucket{le=\"" << histogram_bucket_hi(i) << "\"} " << cum
+          << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string to_json(const RegistrySnapshot& snap) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    json_escape(out, c.name);
+    out << ":" << c.value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out << ",";
+    first = false;
+    json_escape(out, g.name);
+    out << ":" << g.value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out << ",";
+    first = false;
+    json_escape(out, h.name);
+    out << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"mean\":" << h.mean() << ",\"p50\":" << h.p50()
+        << ",\"p95\":" << h.p95() << ",\"p99\":" << h.p99()
+        << ",\"max\":" << h.max_bound() << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace dm::obs

@@ -1,0 +1,31 @@
+// Snapshot exporters: one RegistrySnapshot rendered three ways —
+//   to_table      human-readable fixed-width panel (operators, examples)
+//   to_prometheus Prometheus text exposition format 0.0.4 (scrapers)
+//   to_json       one-line JSON object (JSONL perf trajectories, BENCH_*.json)
+// All three render the *same* snapshot, so the numbers can never disagree
+// between the console and the machine record.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dm::obs {
+
+/// Counters/gauges as `name value` lines, histograms as a
+/// `name count mean p50 p95 p99 max` table (latencies scaled to readable
+/// units).
+std::string to_table(const RegistrySnapshot& snap);
+
+/// Prometheus text format: counters as `# TYPE c counter`, gauges as gauge,
+/// histograms as cumulative `_bucket{le="..."}` series (only non-empty
+/// buckets are emitted) plus `_sum` / `_count`.  Metric names are sanitized
+/// (`.`, `-`, `/` -> `_`).
+std::string to_prometheus(const RegistrySnapshot& snap);
+
+/// One-line JSON object:
+/// {"counters":{...},"gauges":{...},"histograms":{"x":{"count":..,"sum":..,
+/// "mean":..,"p50":..,"p95":..,"p99":..,"max":..}}}
+std::string to_json(const RegistrySnapshot& snap);
+
+}  // namespace dm::obs

@@ -1,0 +1,228 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dm::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+std::uint64_t histogram_bucket_lo(std::size_t idx) noexcept {
+  if (idx < 4) return idx;
+  const std::size_t octave = idx / 4 + 1;
+  const std::size_t sub = idx % 4;
+  return (std::uint64_t{1} << octave) +
+         (static_cast<std::uint64_t>(sub) << (octave - 2));
+}
+
+std::uint64_t histogram_bucket_hi(std::size_t idx) noexcept {
+  if (idx < 4) return idx;
+  const std::size_t octave = idx / 4 + 1;
+  const std::uint64_t width = std::uint64_t{1} << (octave - 2);
+  return histogram_bucket_lo(idx) + width - 1;
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th observation (1-based, nearest-rank definition).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cum + buckets[i] >= rank) {
+      // Linear interpolation inside the winning bucket.
+      const std::uint64_t lo = histogram_bucket_lo(i);
+      const std::uint64_t hi = histogram_bucket_hi(i);
+      const double within = static_cast<double>(rank - cum - 1) /
+                            static_cast<double>(buckets[i]);
+      return lo + static_cast<std::uint64_t>(
+                      std::llround(static_cast<double>(hi - lo) * within));
+    }
+    cum += buckets[i];
+  }
+  return histogram_bucket_hi(kHistogramBuckets - 1);
+}
+
+std::uint64_t HistogramSnapshot::max_bound() const noexcept {
+  for (std::size_t i = kHistogramBuckets; i-- > 0;) {
+    if (buckets[i] != 0) return histogram_bucket_hi(i);
+  }
+  return 0;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      const std::uint64_t n = shard.buckets[i].load(std::memory_order_relaxed);
+      snap.buckets[i] += n;
+      snap.count += n;
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+// --- snapshot lookups ------------------------------------------------------
+
+std::uint64_t RegistrySnapshot::counter_value(
+    std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::int64_t RegistrySnapshot::gauge_value(std::string_view name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* RegistrySnapshot::histogram(
+    std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+// --- CallbackHandle --------------------------------------------------------
+
+CallbackHandle::CallbackHandle(CallbackHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+CallbackHandle& CallbackHandle::operator=(CallbackHandle&& other) noexcept {
+  if (this != &other) {
+    release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+CallbackHandle::~CallbackHandle() { release(); }
+
+void CallbackHandle::release() {
+  if (registry_ != nullptr) {
+    registry_->unregister_callback(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+CallbackHandle MetricsRegistry::register_callback(
+    std::string_view name, std::function<std::uint64_t()> fn) {
+  std::scoped_lock lock(mutex_);
+  const std::uint64_t id = next_callback_id_++;
+  callbacks_.emplace(id, CallbackSource{std::string(name), std::move(fn)});
+  return CallbackHandle(this, id);
+}
+
+void MetricsRegistry::unregister_callback(std::uint64_t id) {
+  std::scoped_lock lock(mutex_);
+  callbacks_.erase(id);
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  std::scoped_lock lock(mutex_);
+  // Owned counters plus callback sources, summed per name (std::map keeps
+  // everything name-sorted for the exporters).
+  std::map<std::string, std::uint64_t> counter_values;
+  for (const auto& [name, counter] : counters_) {
+    counter_values[name] += counter->value();
+  }
+  for (const auto& [id, source] : callbacks_) {
+    counter_values[source.name] += source.fn();
+  }
+  snap.counters.reserve(counter_values.size());
+  for (auto& [name, value] : counter_values) {
+    snap.counters.push_back(CounterSnapshot{name, value});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back(GaugeSnapshot{name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h = histogram->snapshot();
+    h.name = name;
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mutex_);
+  // Metric references handed out earlier must stay valid: zero the stored
+  // objects in place instead of erasing them.
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->set(0);
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+RegistrySnapshot snapshot() { return registry().snapshot(); }
+
+}  // namespace dm::obs

@@ -1,0 +1,49 @@
+#include "obs/pipeline.h"
+
+#include <string>
+
+namespace dm::obs {
+
+PipelineMetrics PipelineMetrics::of(MetricsRegistry& reg) {
+  return PipelineMetrics{
+      reg.counter("dm.net.packets"),
+      reg.counter("dm.http.transactions"),
+      reg.histogram("dm.stage.pcap_decode_ns"),
+      reg.histogram("dm.stage.tcp_reassembly_ns"),
+      reg.histogram("dm.stage.http_parse_ns"),
+      reg.counter("dm.detect.observed"),
+      reg.counter("dm.detect.clues"),
+      reg.counter("dm.detect.verdicts"),
+      reg.counter("dm.detect.alerts"),
+      reg.gauge("dm.detect.active_sessions"),
+      reg.histogram("dm.stage.observe_ns"),
+      reg.histogram("dm.stage.wcg_build_ns"),
+      reg.histogram("dm.stage.feature_extract_ns"),
+      reg.histogram("dm.stage.erf_infer_ns"),
+      reg.histogram("dm.stage.verdict_ns"),
+      reg.histogram("dm.detect.clue_to_verdict_ns"),
+      reg.histogram("dm.runtime.dispatch_ns"),
+      reg.histogram("dm.runtime.queue_wait_ns"),
+      reg.histogram("dm.runtime.worker_batch_ns"),
+      reg.histogram("dm.ingest.reconstruct_ns"),
+  };
+}
+
+PipelineMetrics& pipeline_metrics() {
+  static PipelineMetrics* instance =
+      new PipelineMetrics(PipelineMetrics::of(registry()));  // never destroyed
+  return *instance;
+}
+
+void record_fault_counts(const dm::util::FaultStatsSnapshot& faults,
+                         MetricsRegistry& reg) {
+  for (std::size_t i = 0; i < dm::util::kDecodeErrorCodeCount; ++i) {
+    if (faults.counts[i] == 0) continue;
+    const auto code = static_cast<dm::util::DecodeErrorCode>(i);
+    reg.counter(std::string("dm.fault.") +
+                std::string(dm::util::decode_error_name(code)))
+        .add(faults.counts[i]);
+  }
+}
+
+}  // namespace dm::obs

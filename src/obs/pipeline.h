@@ -1,0 +1,67 @@
+// The instrument panel's wiring diagram: every metric the DynaMiner
+// pipelines emit, resolved once into wait-free handles.
+//
+// Naming scheme (`dm.<area>.<metric>[_<unit>]`, see DESIGN.md §8):
+//   dm.net.*      packet/frame counts (Stage-1 reconstruction)
+//   dm.http.*     reconstructed transaction counts
+//   dm.stage.*_ns per-stage latency histograms, pcap decode through verdict
+//   dm.detect.*   on-the-wire engine events and the headline
+//                 dm.detect.clue_to_verdict_ns latency
+//   dm.runtime.*  sharded-engine throughput/shed counters (callback-sourced
+//                 from runtime::Stats) and dispatcher/queue/worker timing
+//   dm.ingest.*   parallel-ingest reconstruction timing
+//   dm.fault.*    decode-fault counters folded from util::FaultStats
+//
+// Hot paths construct a PipelineMetrics once (a bundle of references into a
+// registry) and touch only the wait-free handles afterwards.
+#pragma once
+
+#include "obs/metrics.h"
+#include "util/fault_stats.h"
+
+namespace dm::obs {
+
+struct PipelineMetrics {
+  // Stage-1 reconstruction counters.
+  Counter& net_packets;           // pcap records offered to frame parsing
+  Counter& http_transactions;     // transactions reconstructed from captures
+  // Stage-1 latency (per capture / per flow).
+  Histogram& stage_pcap_decode_ns;     // capture bytes -> PcapFile records
+  Histogram& stage_tcp_reassembly_ns;  // frame parse + reassembly, per capture
+  Histogram& stage_http_parse_ns;      // flow bytes -> transactions, per flow
+  // Stage-2 detection counters.
+  Counter& detect_observed;   // transactions fed to OnlineDetector::observe
+  Counter& detect_clues;      // infection clues fired
+  Counter& detect_verdicts;   // completed ERF verdicts (scored, not failed)
+  Counter& detect_alerts;     // alerts issued
+  Gauge& detect_active_sessions;  // live sessions (additive across shards)
+  // Stage-2 latency (per transaction / per query).
+  Histogram& stage_observe_ns;          // whole observe() call
+  Histogram& stage_wcg_build_ns;        // potential-infection WCG construction
+  Histogram& stage_feature_extract_ns;  // 37-feature extraction
+  Histogram& stage_erf_infer_ns;        // ERF predict_proba
+  Histogram& stage_verdict_ns;          // classify_session end to end
+  /// The headline product metric: clue fired -> first completed ERF verdict,
+  /// recorded once per clue-bearing WCG.
+  Histogram& detect_clue_to_verdict_ns;
+  // Sharded-runtime timing.
+  Histogram& runtime_dispatch_ns;      // dispatcher: batch handoff (incl. backpressure)
+  Histogram& runtime_queue_wait_ns;    // batch enqueue -> worker pop
+  Histogram& runtime_worker_batch_ns;  // worker: one batch through the detector
+  Histogram& ingest_reconstruct_ns;    // parallel ingest: one capture file
+
+  /// Resolves (creating on first use) every handle in `reg`.  Cold path —
+  /// call once per component, keep the result.
+  static PipelineMetrics of(MetricsRegistry& reg);
+};
+
+/// Handles into the process-wide registry.
+PipelineMetrics& pipeline_metrics();
+
+/// Folds one completed run's decode-fault counts into `reg`'s
+/// `dm.fault.<layer/name>` counters (additive — call once per finished
+/// FaultStats, not per snapshot).
+void record_fault_counts(const dm::util::FaultStatsSnapshot& faults,
+                         MetricsRegistry& reg = registry());
+
+}  // namespace dm::obs

@@ -1,0 +1,14 @@
+#include "obs/timer.h"
+
+#include <chrono>
+
+namespace dm::obs {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace dm::obs

@@ -1,0 +1,87 @@
+// Stage timing: Span (RAII elapsed-time recorder) and StageTimer (a clock
+// bound to spans).  The clock is an injectable plain function pointer —
+// production uses the steady clock, tests install a deterministic counter
+// and assert exact latencies with no wall-clock sleeps.
+//
+// When obs::set_enabled(false), a Span is born inactive: no clock read, no
+// record — the "compiled in but idle" mode bench_runtime --metrics uses as
+// the overhead baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace dm::obs {
+
+/// Monotonic nanosecond clock signature.  A plain function pointer keeps a
+/// span's clock read un-virtualized; deterministic test clocks read a
+/// global atomic.
+using ClockFn = std::uint64_t (*)();
+
+/// std::chrono::steady_clock in nanoseconds (the default ClockFn).
+std::uint64_t steady_now_ns();
+
+/// Records elapsed clock ns into a Histogram when stopped (or destroyed).
+class Span {
+ public:
+  Span() = default;  // inactive
+  Span(Histogram* histogram, ClockFn clock) : histogram_(histogram), clock_(clock) {
+    if (histogram_ != nullptr && enabled()) {
+      start_ = clock_();
+    } else {
+      histogram_ = nullptr;
+    }
+  }
+  Span(Span&& other) noexcept
+      : histogram_(other.histogram_), clock_(other.clock_), start_(other.start_) {
+    other.histogram_ = nullptr;
+  }
+  Span& operator=(Span&& other) noexcept {
+    if (this != &other) {
+      stop();
+      histogram_ = other.histogram_;
+      clock_ = other.clock_;
+      start_ = other.start_;
+      other.histogram_ = nullptr;
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { stop(); }
+
+  /// Records once and deactivates; returns elapsed ns (0 if inactive).
+  std::uint64_t stop() {
+    if (histogram_ == nullptr) return 0;
+    const std::uint64_t now = clock_();
+    const std::uint64_t elapsed = now >= start_ ? now - start_ : 0;
+    histogram_->record(elapsed);
+    histogram_ = nullptr;
+    return elapsed;
+  }
+
+  /// Deactivates without recording (e.g. the stage aborted).
+  void cancel() noexcept { histogram_ = nullptr; }
+
+ private:
+  Histogram* histogram_ = nullptr;
+  ClockFn clock_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+/// A clock bound to span construction; one per instrumented component.
+/// Null clock -> steady_now_ns.
+class StageTimer {
+ public:
+  explicit StageTimer(ClockFn clock = nullptr)
+      : clock_(clock != nullptr ? clock : &steady_now_ns) {}
+
+  std::uint64_t now() const { return clock_(); }
+  Span span(Histogram& histogram) const { return Span(&histogram, clock_); }
+
+ private:
+  ClockFn clock_;
+};
+
+}  // namespace dm::obs

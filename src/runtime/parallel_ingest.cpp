@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "http/transaction_stream.h"
+#include "obs/pipeline.h"
+#include "obs/timer.h"
 #include "runtime/worker_pool.h"
 #include "util/log.h"
 
@@ -44,6 +46,7 @@ IngestResult detect_pcap(const dm::net::PcapFile& capture,
       dm::http::transactions_from_pcap(capture, &faults), std::move(detector),
       options);
   result.faults = faults.snapshot();
+  dm::obs::record_fault_counts(result.faults);
   return result;
 }
 
@@ -63,10 +66,13 @@ IngestResult detect_pcap_files(
     WorkerPool pool({options.ingest_workers, /*queue_capacity=*/64});
     for (std::size_t i = 0; i < paths.size(); ++i) {
       pool.submit([&, i] {
+        auto span = dm::obs::StageTimer{}.span(
+            dm::obs::pipeline_metrics().ingest_reconstruct_ns);
         try {
           per_file[i] = dm::http::transactions_from_pcap_file(paths[i], &faults);
         } catch (const std::exception& e) {
           errors[i] = e.what();
+          span.cancel();  // I/O failure, not a reconstruction latency
         }
       });
     }
@@ -99,6 +105,7 @@ IngestResult detect_pcap_files(
   IngestResult result =
       run_engine(std::move(merged), std::move(detector), options.sharded);
   result.faults = faults.snapshot();
+  dm::obs::record_fault_counts(result.faults);
   if (result.faults.total() > 0) {
     dm::util::log_warn("parallel ingest: quarantined decode faults: ",
                        result.faults.summary());

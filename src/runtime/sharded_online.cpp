@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/timer.h"
 #include "util/hash.h"
 #include "util/rate_limit.h"
 
@@ -10,19 +11,52 @@ namespace dm::runtime {
 
 ShardedOnlineEngine::ShardedOnlineEngine(
     std::shared_ptr<const dm::core::Detector> detector, ShardedOptions options)
-    : options_(options) {
+    : options_(options),
+      obs_(options.online.metrics != nullptr
+               ? dm::obs::PipelineMetrics::of(*options.online.metrics)
+               : dm::obs::pipeline_metrics()) {
   std::size_t n = options_.num_shards;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   if (options_.batch_size == 0) options_.batch_size = 1;
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(detector, options_));
-    shards_.back()->pending.reserve(options_.batch_size);
+    shards_.back()->pending.txns.reserve(options_.batch_size);
   }
+
+  // Fold the runtime counters into the metrics registry as callback
+  // sources: one obs::snapshot() then covers throughput, sheds and drops
+  // alongside the latency histograms.  Multiple engines sum per name.
+  auto& reg = options_.online.metrics != nullptr ? *options_.online.metrics
+                                                 : dm::obs::registry();
+  const auto expose = [&](const char* name, const PaddedStatCounter& c) {
+    obs_handles_.push_back(reg.register_callback(
+        name, [&c] { return c.load(std::memory_order_relaxed); }));
+  };
+  expose("dm.runtime.transactions_in", stats_.transactions_in);
+  expose("dm.runtime.transactions_out", stats_.transactions_out);
+  expose("dm.runtime.batches_dispatched", stats_.batches_dispatched);
+  expose("dm.runtime.transactions_shed", stats_.transactions_shed);
+  expose("dm.runtime.batches_shed", stats_.batches_shed);
+  expose("dm.runtime.dropped_after_finish", stats_.dropped_after_finish);
+  expose("dm.runtime.detector_failures", stats_.detector_failures);
+  obs_handles_.push_back(reg.register_callback("dm.runtime.queue_highwater", [this] {
+    std::size_t hw = 0;
+    for (const auto& shard : shards_) hw = std::max(hw, shard->queue.highwater());
+    return static_cast<std::uint64_t>(hw);
+  }));
+
   for (auto& shard : shards_) {
     shard->thread = std::thread([s = shard.get(), this] {
+      const dm::obs::StageTimer timer;  // worker-side steady clock
       while (auto batch = s->queue.pop()) {
-        for (auto& txn : *batch) {
+        if (batch->enqueue_ns != 0) {
+          const std::uint64_t now = timer.now();
+          obs_.runtime_queue_wait_ns.record(
+              now >= batch->enqueue_ns ? now - batch->enqueue_ns : 0);
+        }
+        auto batch_span = timer.span(obs_.runtime_worker_batch_ns);
+        for (auto& txn : batch->txns) {
           // Failure isolation: a transaction whose hook or detector throws
           // is quarantined and counted — it costs itself, never the shard.
           // The worker therefore always drains to queue close and finish()
@@ -45,10 +79,11 @@ ShardedOnlineEngine::ShardedOnlineEngine(
                                   "sharded: detector failure quarantined");
           }
         }
+        batch_span.stop();
         // Quarantined transactions still count as processed (transactions_out):
         // the conservation law in == out + shed holds with failures as a
         // separate, overlapping tally.
-        stats_.transactions_out.fetch_add(batch->size(),
+        stats_.transactions_out.fetch_add(batch->txns.size(),
                                           std::memory_order_relaxed);
       }
     });
@@ -64,7 +99,12 @@ std::size_t ShardedOnlineEngine::shard_of(const dm::http::HttpTransaction& txn,
 }
 
 void ShardedOnlineEngine::dispatch(Shard& shard, Batch&& batch) {
-  const std::uint64_t txns = batch.size();
+  // Times the whole handoff, including any backpressure block or shed-retry
+  // loop — dispatch_ns p99 is where an undersized queue shows up first.
+  auto dispatch_span =
+      dm::obs::Span(&obs_.runtime_dispatch_ns, &dm::obs::steady_now_ns);
+  if (dm::obs::enabled()) batch.enqueue_ns = dm::obs::steady_now_ns();
+  const std::uint64_t txns = batch.txns.size();
   const auto shed = [&](std::uint64_t t) {
     stats_.transactions_shed.fetch_add(t, std::memory_order_relaxed);
     stats_.batches_shed.fetch_add(1, std::memory_order_relaxed);
@@ -95,7 +135,7 @@ void ShardedOnlineEngine::dispatch(Shard& shard, Batch&& batch) {
       // is lost between the failed offer and the retry.
       while (!shard.queue.offer(batch)) {
         if (auto victim = shard.queue.try_pop()) {
-          shed(victim->size());
+          shed(victim->txns.size());
           continue;
         }
         if (shard.queue.closed()) {
@@ -119,12 +159,12 @@ void ShardedOnlineEngine::observe(dm::http::HttpTransaction txn) {
     return;
   }
   Shard& shard = *shards_[shard_of(txn, shards_.size())];
-  shard.pending.push_back(std::move(txn));
+  shard.pending.txns.push_back(std::move(txn));
   stats_.transactions_in.fetch_add(1, std::memory_order_relaxed);
-  if (shard.pending.size() >= options_.batch_size) {
+  if (shard.pending.txns.size() >= options_.batch_size) {
     Batch batch;
-    batch.reserve(options_.batch_size);
-    std::swap(batch, shard.pending);
+    batch.txns.reserve(options_.batch_size);
+    std::swap(batch.txns, shard.pending.txns);
     dispatch(shard, std::move(batch));
   }
 }
@@ -132,9 +172,9 @@ void ShardedOnlineEngine::observe(dm::http::HttpTransaction txn) {
 void ShardedOnlineEngine::flush() {
   if (finished_) return;
   for (auto& shard : shards_) {
-    if (shard->pending.empty()) continue;
+    if (shard->pending.txns.empty()) continue;
     Batch batch;
-    std::swap(batch, shard->pending);
+    std::swap(batch.txns, shard->pending.txns);
     dispatch(*shard, std::move(batch));
   }
 }

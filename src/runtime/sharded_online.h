@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/online.h"
+#include "obs/pipeline.h"
 #include "runtime/mpmc_queue.h"
 #include "runtime/stats.h"
 
@@ -121,7 +122,13 @@ class ShardedOnlineEngine {
   StatsSnapshot runtime_stats() const;
 
  private:
-  using Batch = std::vector<dm::http::HttpTransaction>;
+  /// A dispatch unit: the transactions plus the clock stamp taken at
+  /// enqueue, so the worker can record queue-wait latency
+  /// (dm.runtime.queue_wait_ns) without a side table.
+  struct Batch {
+    std::vector<dm::http::HttpTransaction> txns;
+    std::uint64_t enqueue_ns = 0;  // 0 when metrics were idle at dispatch
+  };
 
   struct Shard {
     explicit Shard(std::shared_ptr<const dm::core::Detector> detector,
@@ -144,6 +151,10 @@ class ShardedOnlineEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   Stats stats_;
   bool finished_ = false;
+  dm::obs::PipelineMetrics obs_;  // handles into online.metrics or global
+  /// Callback registrations exposing stats_ through obs snapshots; declared
+  /// after stats_/shards_ so they unregister first on destruction.
+  std::vector<dm::obs::CallbackHandle> obs_handles_;
 };
 
 }  // namespace dm::runtime

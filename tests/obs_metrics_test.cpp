@@ -1,0 +1,320 @@
+// Observability core: registry, counters, gauges, log-bucketed histograms,
+// callback sources, the three exporters — and the runtime conservation law
+// (transactions_in == transactions_out + transactions_shed) read through one
+// registry snapshot.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "obs/export.h"
+#include "runtime/sharded_online.h"
+#include "synth/dataset.h"
+
+namespace dm::obs {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdditiveDeltas) {
+  Gauge g;
+  g.set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.add(-3);
+  g.add(5);
+  EXPECT_EQ(g.value(), 12);
+  g.add(-20);
+  EXPECT_EQ(g.value(), -8);  // levels can go negative mid-merge; keep signed
+}
+
+TEST(HistogramBucketTest, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(histogram_bucket(v), v);
+    EXPECT_EQ(histogram_bucket_lo(v), v);
+    EXPECT_EQ(histogram_bucket_hi(v), v);
+  }
+}
+
+TEST(HistogramBucketTest, BoundsInvertTheMapping) {
+  // lo/hi are inclusive bounds of the bucket; consecutive buckets tile the
+  // value range with no gap and no overlap.
+  for (std::size_t idx = 0; idx + 1 < kHistogramBuckets; ++idx) {
+    const std::uint64_t lo = histogram_bucket_lo(idx);
+    const std::uint64_t hi = histogram_bucket_hi(idx);
+    ASSERT_LE(lo, hi) << "bucket " << idx;
+    EXPECT_EQ(histogram_bucket(lo), idx);
+    EXPECT_EQ(histogram_bucket(hi), idx);
+    EXPECT_EQ(histogram_bucket_lo(idx + 1), hi + 1) << "gap after bucket " << idx;
+  }
+}
+
+TEST(HistogramBucketTest, MonotoneInValue) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100000; v = v < 16 ? v + 1 : v + v / 7) {
+    const std::size_t b = histogram_bucket(v);
+    ASSERT_GE(b, prev) << "v=" << v;
+    ASSERT_LT(b, kHistogramBuckets);
+    prev = b;
+  }
+  EXPECT_LT(histogram_bucket(~std::uint64_t{0}), kHistogramBuckets);
+}
+
+TEST(HistogramTest, CountsSumAndExactSmallQuantiles) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    for (int i = 0; i < 25; ++i) h.record(v);  // 100 samples, uniform 0..3
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 25u * (0 + 1 + 2 + 3));
+  EXPECT_DOUBLE_EQ(snap.mean(), 1.5);
+  // Values < 4 land in exact buckets, so these quantiles are exact.
+  EXPECT_EQ(snap.quantile(0.10), 0u);
+  EXPECT_EQ(snap.quantile(0.30), 1u);
+  EXPECT_EQ(snap.p99(), 3u);
+  EXPECT_EQ(snap.max_bound(), 3u);
+}
+
+TEST(HistogramTest, QuantileWithinBucketResolution) {
+  Histogram h;
+  const std::uint64_t v = 123456789;
+  for (int i = 0; i < 10; ++i) h.record(v);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 10u);
+  EXPECT_EQ(snap.sum, 10u * v);  // sum is exact even when buckets are not
+  const std::size_t idx = histogram_bucket(v);
+  for (double q : {0.5, 0.95, 0.99}) {
+    const std::uint64_t est = snap.quantile(q);
+    EXPECT_GE(est, histogram_bucket_lo(idx));
+    EXPECT_LE(est, histogram_bucket_hi(idx));
+  }
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.quantile(0.5), 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+  EXPECT_EQ(snap.max_bound(), 0u);
+}
+
+TEST(RegistryTest, SameNameSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("dm.test.hits");
+  Counter& b = reg.counter("dm.test.hits");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(reg.snapshot().counter_value("dm.test.hits"), 7u);
+  EXPECT_EQ(&reg.histogram("dm.test.lat_ns"), &reg.histogram("dm.test.lat_ns"));
+  EXPECT_EQ(&reg.gauge("dm.test.level"), &reg.gauge("dm.test.level"));
+}
+
+TEST(RegistryTest, SnapshotIsNameSortedAndAbsentLookupsAreSafe) {
+  MetricsRegistry reg;
+  reg.counter("zz").add(1);
+  reg.counter("aa").add(2);
+  reg.counter("mm").add(3);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "aa");
+  EXPECT_EQ(snap.counters[1].name, "mm");
+  EXPECT_EQ(snap.counters[2].name, "zz");
+  EXPECT_EQ(snap.counter_value("nope"), 0u);
+  EXPECT_EQ(snap.gauge_value("nope"), 0);
+  EXPECT_EQ(snap.histogram("nope"), nullptr);
+}
+
+TEST(RegistryTest, CallbackSourcesSumPerNameAndUnregister) {
+  MetricsRegistry reg;
+  std::uint64_t a = 10;
+  std::uint64_t b = 32;
+  auto ha = reg.register_callback("dm.test.external", [&a] { return a; });
+  {
+    auto hb = reg.register_callback("dm.test.external", [&b] { return b; });
+    EXPECT_EQ(reg.snapshot().counter_value("dm.test.external"), 42u);
+  }  // hb unregisters
+  EXPECT_EQ(reg.snapshot().counter_value("dm.test.external"), 10u);
+  ha.release();
+  ha.release();  // idempotent
+  EXPECT_EQ(reg.snapshot().counter_value("dm.test.external"), 0u);
+}
+
+TEST(RegistryTest, CallbackMergesWithOwnedCounterOfSameName) {
+  MetricsRegistry reg;
+  reg.counter("dm.test.mixed").add(5);
+  auto h = reg.register_callback("dm.test.mixed", [] { return std::uint64_t{6}; });
+  EXPECT_EQ(reg.snapshot().counter_value("dm.test.mixed"), 11u);
+}
+
+TEST(RegistryTest, ResetZeroesInPlaceKeepingReferencesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Histogram& h = reg.histogram("h");
+  Gauge& g = reg.gauge("g");
+  c.add(9);
+  h.record(100);
+  g.set(4);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(g.value(), 0);
+  c.add(1);  // the old reference still points at the live instrument
+  EXPECT_EQ(reg.snapshot().counter_value("c"), 1u);
+}
+
+// --- exporters -------------------------------------------------------------
+
+MetricsRegistry& example_registry() {
+  static MetricsRegistry* reg = [] {
+    auto* r = new MetricsRegistry();  // registries are neither copyable nor movable
+    r->counter("dm.test.events").add(12);
+    r->gauge("dm.test.depth").set(-3);
+    auto& h = r->histogram("dm.test.wait_ns");
+    h.record(2);
+    h.record(1000);
+    h.record(1000000);
+    return r;
+  }();
+  return *reg;
+}
+
+TEST(ExportTest, TableListsEveryInstrument) {
+  const std::string table = to_table(example_registry().snapshot());
+  EXPECT_NE(table.find("dm.test.events"), std::string::npos);
+  EXPECT_NE(table.find("12"), std::string::npos);
+  EXPECT_NE(table.find("dm.test.depth"), std::string::npos);
+  EXPECT_NE(table.find("dm.test.wait_ns"), std::string::npos);
+  EXPECT_NE(table.find("p95"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusSanitizesNamesAndEmitsCumulativeBuckets) {
+  const std::string text = to_prometheus(example_registry().snapshot());
+  // Dots sanitized to underscores; counter/gauge/histogram types declared.
+  EXPECT_NE(text.find("# TYPE dm_test_events counter"), std::string::npos);
+  EXPECT_NE(text.find("dm_test_events 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dm_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("dm_test_depth -3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dm_test_wait_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("dm_test_wait_ns_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("dm_test_wait_ns_count 3"), std::string::npos);
+  EXPECT_NE(text.find("dm_test_wait_ns_sum 1001002"), std::string::npos);
+  EXPECT_EQ(text.find('.'), std::string::npos) << "unsanitized metric name";
+}
+
+TEST(ExportTest, JsonIsOneLineWithAllSections) {
+  const std::string json = to_json(example_registry().snapshot());
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"dm.test.events\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"dm.test.depth\":-3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+}
+
+// --- conservation law across the sharded runtime ---------------------------
+
+const std::shared_ptr<const dm::core::Detector>& tiny_detector() {
+  static const auto detector = [] {
+    const auto gt = dm::synth::generate_ground_truth(77, 0.05);
+    std::vector<dm::core::Wcg> infections;
+    std::vector<dm::core::Wcg> benign;
+    for (const auto& e : gt.infections) {
+      infections.push_back(dm::core::build_wcg(e.transactions));
+    }
+    for (const auto& e : gt.benign) {
+      benign.push_back(dm::core::build_wcg(e.transactions));
+    }
+    return std::make_shared<const dm::core::Detector>(dm::core::train_dynaminer(
+        dm::core::dataset_from_wcgs(infections, benign), 7));
+  }();
+  return detector;
+}
+
+std::vector<dm::http::HttpTransaction> small_stream() {
+  dm::synth::TraceGenerator gen(4242);
+  std::vector<dm::http::HttpTransaction> stream;
+  for (int i = 0; i < 6; ++i) {
+    for (const auto& txn : gen.benign().transactions) stream.push_back(txn);
+  }
+  for (const auto& txn :
+       gen.infection(dm::synth::family_by_name("Angler")).transactions) {
+    stream.push_back(txn);
+  }
+  return stream;
+}
+
+void check_conservation(dm::runtime::OverloadPolicy policy) {
+  MetricsRegistry reg;  // private registry: isolated from other tests
+  dm::runtime::ShardedOptions options;
+  options.num_shards = 4;
+  options.batch_size = 3;
+  options.queue_capacity = policy == dm::runtime::OverloadPolicy::kBlock ? 8 : 1;
+  options.overload = policy;
+  options.online.metrics = &reg;
+  if (policy != dm::runtime::OverloadPolicy::kBlock) {
+    // Slow the workers down so tiny queues actually overflow and shed.
+    options.online.redirect_chain_threshold = 2;
+  }
+
+  const auto stream = small_stream();
+  {
+    dm::runtime::ShardedOnlineEngine engine(tiny_detector(), options);
+    for (auto txn : stream) engine.observe(std::move(txn));
+    engine.finish();
+
+    // Workers are quiesced after finish(): the snapshot totals are exact and
+    // every dispatched transaction is accounted for — processed or shed,
+    // never lost.
+    const auto snap = reg.snapshot();
+    const std::uint64_t in = snap.counter_value("dm.runtime.transactions_in");
+    const std::uint64_t out = snap.counter_value("dm.runtime.transactions_out");
+    const std::uint64_t shed = snap.counter_value("dm.runtime.transactions_shed");
+    EXPECT_EQ(in, stream.size());
+    EXPECT_EQ(in, out + shed) << "conservation law violated: in=" << in
+                              << " out=" << out << " shed=" << shed;
+    if (policy == dm::runtime::OverloadPolicy::kBlock) {
+      EXPECT_EQ(shed, 0u) << "backpressure mode must never shed";
+    }
+    // The same law must hold through every exporter (same snapshot).
+    const std::string json = to_json(snap);
+    EXPECT_NE(json.find("dm.runtime.transactions_in"), std::string::npos);
+    EXPECT_NE(to_prometheus(snap).find("dm_runtime_transactions_in"),
+              std::string::npos);
+    EXPECT_NE(to_table(snap).find("dm.runtime.transactions_in"),
+              std::string::npos);
+  }
+  // Engine destroyed -> its CallbackHandles unregistered; the registry no
+  // longer reports the runtime counters.
+  EXPECT_EQ(reg.snapshot().counter_value("dm.runtime.transactions_in"), 0u);
+}
+
+TEST(ConservationTest, BlockingBackpressureLosesNothing) {
+  check_conservation(dm::runtime::OverloadPolicy::kBlock);
+}
+
+TEST(ConservationTest, ShedOldestAccountsForEveryTransaction) {
+  check_conservation(dm::runtime::OverloadPolicy::kShedOldest);
+}
+
+TEST(ConservationTest, ShedNewestAccountsForEveryTransaction) {
+  check_conservation(dm::runtime::OverloadPolicy::kShedNewest);
+}
+
+}  // namespace
+}  // namespace dm::obs
