@@ -7,11 +7,29 @@ namespace dm::core {
 
 Detector::Detector(dm::ml::RandomForest forest, FeatureExtractorOptions options,
                    double threshold)
-    : forest_(std::move(forest)), options_(options), threshold_(threshold) {}
+    : forest_(std::move(forest)),
+      flat_(dm::ml::FlatForest::compile(forest_)),
+      options_(options),
+      threshold_(threshold) {}
 
-double Detector::score(const Wcg& wcg) const {
+double Detector::score(const Wcg& wcg) const { return score(wcg, nullptr); }
+
+double Detector::score(const Wcg& wcg, FeatureCache* cache) const {
   // Inference is const and shared across shard workers; the histograms are
-  // sharded-concurrent, so timing here is thread-safe.
+  // sharded-concurrent, so timing here is thread-safe.  (The cache itself
+  // is caller-owned, per-session state.)
+  auto& obs = dm::obs::pipeline_metrics();
+  const dm::obs::StageTimer timer;
+  auto extract_span = timer.span(obs.stage_feature_extract_ns);
+  const auto features = extract_features(wcg, options_, cache);
+  extract_span.stop();
+  auto infer_span = timer.span(obs.stage_erf_infer_ns);
+  const double proba = flat_.predict_proba(features);
+  infer_span.stop();
+  return proba;
+}
+
+double Detector::score_from_scratch(const Wcg& wcg) const {
   auto& obs = dm::obs::pipeline_metrics();
   const dm::obs::StageTimer timer;
   auto extract_span = timer.span(obs.stage_feature_extract_ns);

@@ -2,12 +2,18 @@
 #pragma once
 
 #include "core/features.h"
+#include "ml/flat_forest.h"
 #include "ml/random_forest.h"
 
 namespace dm::core {
 
 /// Wraps a trained forest with the feature extractor and a decision
 /// threshold; the unit the on-the-wire engine queries after each WCG update.
+///
+/// Inference runs through a FlatForest compiled from the trained ensemble
+/// at construction (bit-identical scores, cache-resident layout); the
+/// pointer-based RandomForest is kept as the training/serialization
+/// representation and stays reachable via forest().
 class Detector {
  public:
   Detector(dm::ml::RandomForest forest, FeatureExtractorOptions options = {},
@@ -16,14 +22,25 @@ class Detector {
   /// Ensemble infection score in [0, 1].
   double score(const Wcg& wcg) const;
 
+  /// Cache-aware variant for the incremental hot path: graph metrics are
+  /// reused from `cache` when the WCG topology is unchanged.  `cache` may
+  /// be null.  Output is identical to score(wcg) in all cases.
+  double score(const Wcg& wcg, FeatureCache* cache) const;
+
+  /// Reference path: uncached extraction + the pointer-based forest.  Used
+  /// by the equivalence tests and the A/B bench; same result as score().
+  double score_from_scratch(const Wcg& wcg) const;
+
   /// Hard verdict at the configured threshold.
   bool is_infection(const Wcg& wcg) const;
 
   double threshold() const noexcept { return threshold_; }
   const dm::ml::RandomForest& forest() const noexcept { return forest_; }
+  const dm::ml::FlatForest& flat_forest() const noexcept { return flat_; }
 
  private:
   dm::ml::RandomForest forest_;
+  dm::ml::FlatForest flat_;
   FeatureExtractorOptions options_;
   double threshold_;
 };

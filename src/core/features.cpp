@@ -82,8 +82,34 @@ std::vector<std::size_t> all_feature_indices() {
 
 std::vector<double> extract_features(const Wcg& wcg,
                                      const FeatureExtractorOptions& options) {
+  return extract_features(wcg, options, nullptr);
+}
+
+std::vector<double> extract_features(const Wcg& wcg,
+                                     const FeatureExtractorOptions& options,
+                                     FeatureCache* cache) {
   const auto& ann = wcg.annotations();
-  const auto metrics = dm::graph::compute_metrics(wcg.graph(), options.metrics);
+
+  // Graph features are a pure function of the structure, so an unchanged
+  // topology version on the same live graph guarantees identical metrics.
+  dm::graph::GraphMetrics local_metrics;
+  const dm::graph::GraphMetrics* metrics_ptr = nullptr;
+  if (cache != nullptr) {
+    if (cache->wcg == &wcg &&
+        cache->topology_version == wcg.topology_version()) {
+      ++cache->hits;
+    } else {
+      cache->metrics = dm::graph::compute_metrics(wcg.graph(), options.metrics);
+      cache->wcg = &wcg;
+      cache->topology_version = wcg.topology_version();
+      ++cache->misses;
+    }
+    metrics_ptr = &cache->metrics;
+  } else {
+    local_metrics = dm::graph::compute_metrics(wcg.graph(), options.metrics);
+    metrics_ptr = &local_metrics;
+  }
+  const dm::graph::GraphMetrics& metrics = *metrics_ptr;
 
   // f4: unique hosts participating in the conversation (exclude the
   // synthetic origin node).
@@ -94,12 +120,10 @@ std::vector<double> extract_features(const Wcg& wcg,
   const double hosts = std::max<double>(1.0, conversation_length);
   const double avg_uris_per_host = static_cast<double>(total_uris) / hosts;
 
-  double total_uri_length = 0.0;
-  for (const auto& node : wcg.nodes()) {
-    for (const auto& uri : node.uris) {
-      total_uri_length += static_cast<double>(uri.size());
-    }
-  }
+  // Exact under 2^53: the Wcg maintains the integer total as URIs are
+  // added, so this matches the old per-URI double accumulation bitwise.
+  const double total_uri_length =
+      static_cast<double>(wcg.total_uri_length());
   const double avg_uri_length =
       total_uris == 0 ? 0.0 : total_uri_length / static_cast<double>(total_uris);
 

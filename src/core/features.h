@@ -35,8 +35,36 @@ struct FeatureExtractorOptions {
   dm::graph::MetricsOptions metrics;
 };
 
+/// Memoizes the expensive part of feature extraction — the 19 graph
+/// features (f7–f25), which cost a full metrics pass (betweenness, load,
+/// closeness, PageRank, ...) but depend only on the graph's *structure*.
+/// Keyed by (Wcg identity, topology version): attribute-only updates
+/// (payload tallies, header counters, URIs, node retyping) leave the
+/// version untouched and hit the cache; a new node or edge misses.
+///
+/// A cache is only meaningful against one live Wcg evolved in place (the
+/// incremental builder's) and one MetricsOptions value; reuse across
+/// different graphs is detected via the pointer key and simply misses.
+struct FeatureCache {
+  const Wcg* wcg = nullptr;
+  std::uint64_t topology_version = 0;
+  dm::graph::GraphMetrics metrics;
+  // Diagnostics for tests/bench.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  void invalidate() noexcept { wcg = nullptr; }
+};
+
 /// Extracts the full 37-dimensional feature vector from a WCG.
 std::vector<double> extract_features(const Wcg& wcg,
                                      const FeatureExtractorOptions& options = {});
+
+/// Cache-aware variant: identical output, but graph metrics are reused from
+/// `cache` when the WCG's topology is unchanged since the previous call.
+/// `cache` may be null (plain extraction).
+std::vector<double> extract_features(const Wcg& wcg,
+                                     const FeatureExtractorOptions& options,
+                                     FeatureCache* cache);
 
 }  // namespace dm::core

@@ -21,6 +21,21 @@ std::string referrer_host_of(const HttpTransaction& txn) {
   return {};
 }
 
+/// Whether a transaction belongs to the potential-infection scope: it
+/// touches an implicated host as server or referrer.  The single
+/// relatedness rule shared by the from-scratch rebuild and the incremental
+/// scope maintenance — identical filters are what make the two modes'
+/// scoped WCGs (and hence alerts) bit-identical.
+bool clue_related(const HttpTransaction& txn,
+                  const std::set<std::string>& suspicious_hosts) {
+  if (suspicious_hosts.count(txn.server_host) > 0) return true;
+  if (const auto ref = txn.request.referrer()) {
+    const std::string host = dm::http::host_of_url(*ref);
+    return !host.empty() && suspicious_hosts.count(host) > 0;
+  }
+  return false;
+}
+
 }  // namespace
 
 OnlineDetector::OnlineDetector(Detector detector, OnlineOptions options)
@@ -85,6 +100,7 @@ OnlineDetector::Session& OnlineDetector::find_or_create_session(
       txn.client_host + "#" + std::to_string(next_session_seq_[txn.client_host]++);
   session.client = txn.client_host;
   session.builder = WcgBuilder(options_.builder);
+  session.scoped = WcgBuilder(options_.builder);
   ++stats_.sessions_opened;
   obs_.detect_active_sessions.add(1);
   auto [it, inserted] = sessions_.emplace(session.key, std::move(session));
@@ -178,6 +194,11 @@ std::optional<Alert> OnlineDetector::observe(HttpTransaction txn) {
     }
   }
 
+  // Keep the scoped (clue-related) builder in lockstep with the stream so
+  // the first post-clue verdict only folds a delta, never the whole
+  // session history.
+  if (options_.scoring == ScoringMode::kIncremental) maintain_scope(session);
+
   // --- Classification -----------------------------------------------------
   // Once a clue has fired, every update re-extracts features and queries
   // the classifier (§V-B "each update ... triggers feature extraction and
@@ -192,26 +213,70 @@ std::optional<Alert> OnlineDetector::observe(HttpTransaction txn) {
 Wcg OnlineDetector::potential_infection_wcg(const Session& session) const {
   WcgBuilder scoped(options_.builder);
   for (const auto& txn : session.builder.transactions()) {
-    bool related = session.suspicious_hosts.count(txn.server_host) > 0;
-    if (!related) {
-      if (const auto ref = txn.request.referrer()) {
-        const std::string host = dm::http::host_of_url(*ref);
-        related = !host.empty() && session.suspicious_hosts.count(host) > 0;
-      }
-    }
-    if (related) scoped.add(txn);
+    if (clue_related(txn, session.suspicious_hosts)) scoped.add(txn);
   }
   return scoped.build();
+}
+
+void OnlineDetector::maintain_scope(Session& session) {
+  const auto& txns = session.builder.transactions();
+  if (session.scope_suspicious_seen != session.suspicious_hosts.size()) {
+    // A host became suspicious retroactively: transactions already rejected
+    // may be related now.  Refilter from the start — the only O(n) event,
+    // and it happens at most once per new implicated host.
+    session.scoped = WcgBuilder(options_.builder);
+    session.scope_consumed = 0;
+    session.scope_suspicious_seen = session.suspicious_hosts.size();
+    // The rebuilt scoped WCG lives at the same address with a restarted
+    // topology version, so the (pointer, version) cache key cannot detect
+    // the swap on its own.
+    session.feature_cache.invalidate();
+    session.scope_eval_valid = false;
+    ++stats_.scope_rescans;
+  }
+  for (; session.scope_consumed < txns.size(); ++session.scope_consumed) {
+    const auto& txn = txns[session.scope_consumed];
+    if (clue_related(txn, session.suspicious_hosts)) session.scoped.add(txn);
+  }
 }
 
 std::optional<Alert> OnlineDetector::classify_session(Session& session,
                                                       const HttpTransaction& txn,
                                                       PayloadType trigger) {
+  const bool incremental = options_.scoring == ScoringMode::kIncremental;
   auto verdict_span = timer_.span(obs_.stage_verdict_ns);
+
+  // Short-circuit: the scoped WCG is a pure function of the scoped
+  // transaction list, so if nothing joined the scope since the last
+  // completed evaluation the verdict cannot change — and a changed verdict
+  // below threshold is the only way this path continues (at or above it
+  // the session was terminated).  Skipping is therefore alert-equivalent
+  // to re-scoring.  Failed queries clear scope_eval_valid, so a faulting
+  // classifier is retried on every update, never silently skipped.
+  if (incremental && session.scope_eval_valid &&
+      session.scoped.transaction_count() == session.scope_eval_txns) {
+    ++stats_.queries_skipped_unchanged;
+    verdict_span.cancel();
+    return std::nullopt;
+  }
+
   auto wcg_span = timer_.span(obs_.stage_wcg_build_ns);
-  const Wcg wcg = potential_infection_wcg(session);
+  Wcg rebuilt;  // from-scratch mode only
+  const Wcg* wcg = nullptr;
+  if (incremental) {
+    wcg = &session.scoped.current();  // folds the pending delta
+  } else {
+    rebuilt = potential_infection_wcg(session);
+    wcg = &rebuilt;
+  }
   wcg_span.stop();
-  if (wcg.node_count() < 2) {
+
+  const auto mark_evaluated = [&] {
+    session.scope_eval_txns = session.scoped.transaction_count();
+    session.scope_eval_valid = true;
+  };
+  if (wcg->node_count() < 2) {
+    if (incremental) mark_evaluated();  // deterministic outcome: no query
     verdict_span.cancel();  // nothing was classified
     return std::nullopt;
   }
@@ -222,20 +287,22 @@ std::optional<Alert> OnlineDetector::classify_session(Session& session,
   double score = 0.0;
   try {
     if (options_.classifier_fault_hook) options_.classifier_fault_hook(txn);
-    score = detector_->score(wcg);
+    score = incremental ? detector_->score(*wcg, &session.feature_cache)
+                        : detector_->score_from_scratch(*wcg);
   } catch (const std::exception& e) {
     ++stats_.classifier_failures;
-    static dm::util::EveryN gate(128);
-    dm::util::log_every_n(gate, dm::util::LogLevel::kWarn,
+    session.scope_eval_valid = false;  // retry on the next update
+    dm::util::log_every_n(classifier_failure_gate_, dm::util::LogLevel::kWarn,
                           "online: classifier failure quarantined: ", e.what());
     return std::nullopt;
   } catch (...) {
     ++stats_.classifier_failures;
-    static dm::util::EveryN gate(128);
-    dm::util::log_every_n(gate, dm::util::LogLevel::kWarn,
+    session.scope_eval_valid = false;  // retry on the next update
+    dm::util::log_every_n(classifier_failure_gate_, dm::util::LogLevel::kWarn,
                           "online: classifier failure quarantined");
     return std::nullopt;
   }
+  if (incremental) mark_evaluated();
   obs_.detect_verdicts.add(1);
   // Headline metric: clue fired -> first completed ERF verdict, once per
   // clue-bearing WCG ("operates as traffic flows", §V).
@@ -259,8 +326,8 @@ std::optional<Alert> OnlineDetector::classify_session(Session& session,
   alert.trigger_payload = session.clue_payload != dm::http::PayloadType::kNone
                               ? session.clue_payload
                               : trigger;
-  alert.wcg_order = wcg.node_count();
-  alert.wcg_size = wcg.edge_count();
+  alert.wcg_order = wcg->node_count();
+  alert.wcg_size = wcg->edge_count();
   session.alerted = true;  // paper: the corresponding session is terminated
   ++stats_.alerts;
   obs_.detect_alerts.add(1);

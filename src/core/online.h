@@ -27,8 +27,22 @@
 #include "http/session.h"
 #include "obs/pipeline.h"
 #include "obs/timer.h"
+#include "util/rate_limit.h"
 
 namespace dm::core {
+
+/// How classify_session obtains the potential-infection WCG and its score.
+enum class ScoringMode {
+  /// Hot path: per-session scoped builder appended as clue-related
+  /// transactions arrive (full rescan only when suspicious_hosts grows),
+  /// graph metrics cached on topology version, flattened ERF.  Produces
+  /// bit-identical scores and alerts to kFromScratch.
+  kIncremental,
+  /// Reference path: rebuild the scoped WCG from all session transactions,
+  /// uncached extraction, pointer-based forest — on every update.  Kept for
+  /// equivalence tests and the bench_online_hotpath A/B.
+  kFromScratch,
+};
 
 struct OnlineOptions {
   BuilderOptions builder;
@@ -47,6 +61,8 @@ struct OnlineOptions {
   /// the WCG under test is far from the corpus prior; the clue gate, not
   /// the threshold, carries the false-positive control (§V-B).
   double decision_threshold = 0.4;
+  /// Scoring implementation; both modes yield identical alert sets.
+  ScoringMode scoring = ScoringMode::kIncremental;
   FeatureExtractorOptions features;
   /// Fault-injection seam: invoked (when set) right before every classifier
   /// query, inside the engine's failure isolation.  An exception thrown here
@@ -85,6 +101,13 @@ struct OnlineStats {
   std::size_t alerts = 0;
   std::size_t sessions_opened = 0;
   std::size_t sessions_expired = 0;
+  // Incremental-mode diagnostics (zero under ScoringMode::kFromScratch):
+  /// Scope refilters forced by suspicious_hosts growing (a host implicated
+  /// retroactively re-admits earlier transactions).
+  std::size_t scope_rescans = 0;
+  /// Classifier queries skipped because the scoped WCG was unchanged since
+  /// the last completed evaluation (identical input -> identical verdict).
+  std::size_t queries_skipped_unchanged = 0;
 };
 
 class OnlineDetector {
@@ -135,10 +158,41 @@ class OnlineDetector {
     /// at the first *completed* ERF verdict).
     std::uint64_t clue_fired_ns = 0;
     bool clue_latency_recorded = false;
+
+    // --- Incremental-scoring state (ScoringMode::kIncremental only) ------
+    /// Delta-maintained scoped builder: exactly the clue-related subsequence
+    /// of `builder`'s transactions, appended as they arrive so the first
+    /// post-clue verdict needs no O(n) backfill.
+    WcgBuilder scoped;
+    /// How many of `builder`'s transactions have been filtered into
+    /// `scoped`; the suffix beyond it is the pending delta.
+    std::size_t scope_consumed = 0;
+    /// |suspicious_hosts| when the scope was last filtered.  Growth means a
+    /// host was implicated retroactively, so earlier transactions may now
+    /// be related: maintain_scope() refilters from the start (the only
+    /// full-rescan trigger).
+    std::size_t scope_suspicious_seen = 0;
+    /// Graph-metrics memo for the scoped WCG; explicitly invalidated on
+    /// scope rescans (the rebuilt WCG reuses the same storage address, so
+    /// the (pointer, version) key alone cannot see the swap).
+    FeatureCache feature_cache;
+    /// Scoped transaction count at the last *completed* evaluation, and
+    /// whether one completed: lets classify_session skip the query when the
+    /// scoped WCG is provably unchanged.  A failed (throwing) query clears
+    /// the flag so faults are retried on the next update, preserving the
+    /// quarantine semantics of the fault harness.
+    std::size_t scope_eval_txns = 0;
+    bool scope_eval_valid = false;
   };
 
   /// Builds the potential-infection WCG for a clue-bearing session.
   Wcg potential_infection_wcg(const Session& session) const;
+
+  /// Incremental mode: folds new transactions into `session.scoped`,
+  /// refiltering from scratch when suspicious_hosts grew.  Called on every
+  /// observe() so the work is amortized across the stream instead of
+  /// landing on the first post-clue verdict.
+  void maintain_scope(Session& session);
 
   Session& find_or_create_session(const dm::http::HttpTransaction& txn,
                                   const std::optional<std::string>& sid);
@@ -157,6 +211,11 @@ class OnlineDetector {
   OnlineOptions options_;
   dm::obs::StageTimer timer_;      // options_.clock or the steady clock
   dm::obs::PipelineMetrics obs_;   // handles into options_.metrics or global
+  /// Rate limit for quarantined-classifier warnings.  Per instance — a
+  /// process-wide (function-local static) gate would let one noisy shard
+  /// consume the log budget of every other detector.  Makes the class
+  /// non-movable, which is fine: shards construct their detector in place.
+  dm::util::EveryN classifier_failure_gate_{128};
   std::map<std::string, Session> sessions_;  // key -> state
   OnlineStats stats_;
   std::vector<Alert> alerts_;

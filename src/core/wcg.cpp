@@ -31,6 +31,7 @@ dm::graph::NodeId Wcg::add_host(const std::string& host) {
   node.host = host;
   nodes_.push_back(std::move(node));
   host_index_.emplace(host, id);
+  ++topology_version_;
   return id;
 }
 
@@ -38,18 +39,20 @@ dm::graph::EdgeId Wcg::add_edge(dm::graph::NodeId src, dm::graph::NodeId dst,
                                 WcgEdge attributes) {
   const auto id = graph_.add_edge(src, dst);
   edges_.push_back(std::move(attributes));
+  ++topology_version_;
   return id;
+}
+
+bool Wcg::add_uri(dm::graph::NodeId id, const std::string& uri) {
+  if (!nodes_.at(id).uris.insert(uri).second) return false;
+  ++total_uris_;
+  total_uri_length_ += uri.size();
+  return true;
 }
 
 dm::graph::NodeId Wcg::find_host(const std::string& host) const noexcept {
   const auto it = host_index_.find(host);
   return it == host_index_.end() ? dm::graph::kInvalidNode : it->second;
-}
-
-std::size_t Wcg::total_unique_uris() const noexcept {
-  std::size_t total = 0;
-  for (const auto& node : nodes_) total += node.uris.size();
-  return total;
 }
 
 }  // namespace dm::core

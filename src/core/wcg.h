@@ -108,6 +108,13 @@ class Wcg {
   dm::graph::EdgeId add_edge(dm::graph::NodeId src, dm::graph::NodeId dst,
                              WcgEdge attributes);
 
+  /// Records `uri` against a node, keeping the graph-wide unique-URI count
+  /// and total URI length in sync.  This is the only sanctioned way to grow
+  /// a node's `uris` set — inserting into WcgNode::uris directly desyncs
+  /// total_unique_uris()/total_uri_length().  Returns true if the URI was
+  /// new for that node.
+  bool add_uri(dm::graph::NodeId id, const std::string& uri);
+
   /// Looks up a host's node; kInvalidNode when absent.
   dm::graph::NodeId find_host(const std::string& host) const noexcept;
 
@@ -133,8 +140,28 @@ class Wcg {
   dm::graph::NodeId origin() const noexcept { return origin_; }
   void set_origin(dm::graph::NodeId v) noexcept { origin_ = v; }
 
-  /// Total unique URIs across all nodes.
-  std::size_t total_unique_uris() const noexcept;
+  /// Total unique URIs across all nodes.  O(1): maintained by add_uri().
+  std::size_t total_unique_uris() const noexcept { return total_uris_; }
+
+  /// Sum of the lengths of every unique URI (feature f6's numerator).
+  /// O(1): maintained by add_uri().
+  std::uint64_t total_uri_length() const noexcept { return total_uri_length_; }
+
+  /// Monotone counter bumped by every *structural* mutation — a new node or
+  /// a new edge.  Attribute updates (URIs, payload tallies, node typing) do
+  /// not bump it.  The graph features f7–f25 depend only on structure, so
+  /// this is the invalidation key for FeatureCache: equal versions on the
+  /// same live Wcg object imply bit-identical graph metrics.
+  std::uint64_t topology_version() const noexcept { return topology_version_; }
+
+  /// Forces the version strictly above `version`.  Used by WcgBuilder when
+  /// a full re-fold replaces the graph in place: the rebuilt graph's
+  /// naturally-counted version could coincide with one a cache already
+  /// observed on the old structure, so the builder carries the old
+  /// generation's version forward to keep the key monotone.
+  void ensure_topology_version_above(std::uint64_t version) noexcept {
+    if (topology_version_ <= version) topology_version_ = version + 1;
+  }
 
  private:
   dm::graph::Digraph graph_;
@@ -144,6 +171,9 @@ class Wcg {
   WcgAnnotations annotations_;
   dm::graph::NodeId victim_ = dm::graph::kInvalidNode;
   dm::graph::NodeId origin_ = dm::graph::kInvalidNode;
+  std::size_t total_uris_ = 0;
+  std::uint64_t total_uri_length_ = 0;
+  std::uint64_t topology_version_ = 0;
 };
 
 }  // namespace dm::core

@@ -1,13 +1,13 @@
 #include "core/wcg_builder.h"
 
 #include <algorithm>
-#include <set>
 
 #include "util/strings.h"
 
 namespace dm::core {
 namespace {
 
+using detail::WcgBuildState;
 using dm::http::HttpTransaction;
 using dm::http::PayloadType;
 using dm::util::registrable_domain;
@@ -26,46 +26,32 @@ std::string referrer_host(std::string_view referrer) {
   return {};
 }
 
-struct DownloadTimeline {
-  std::uint64_t first_exploit_ts = 0;  // 0 = none
-  std::uint64_t last_exploit_ts = 0;
-  std::set<std::string> exploit_hosts;  // hosts that served exploit payloads
-};
-
-DownloadTimeline scan_downloads(const std::vector<HttpTransaction>& txns) {
-  DownloadTimeline timeline;
-  for (const auto& txn : txns) {
-    if (!txn.response) continue;
-    const auto type = dm::http::classify_payload(
-        txn.response->content_type().value_or(""), txn.request.uri);
-    if (dm::http::is_exploit_type(type)) {
-      const std::uint64_t ts = txn.response->ts_micros;
-      if (timeline.first_exploit_ts == 0 || ts < timeline.first_exploit_ts) {
-        timeline.first_exploit_ts = ts;
-      }
-      timeline.last_exploit_ts = std::max(timeline.last_exploit_ts, ts);
-      timeline.exploit_hosts.insert(txn.server_host);
-    }
-  }
-  return timeline;
+bool is_exploit_transaction(const HttpTransaction& txn) {
+  if (!txn.response) return false;
+  const auto type = dm::http::classify_payload(
+      txn.response->content_type().value_or(""), txn.request.uri);
+  return dm::http::is_exploit_type(type);
 }
 
 /// Stage assignment per §III-C: GET with no prior exploit download and a
 /// 30x answer -> pre-download; POST to a non-exploit host answered 200/40x
 /// after the first download -> post-download; everything else -> download.
-Stage stage_of(const HttpTransaction& txn, const DownloadTimeline& timeline) {
+/// The download timeline lives in the build state and is *frozen* between
+/// re-folds: a transaction that would change it forces a full re-fold, so
+/// incremental stage assignment always sees the same timeline build() would.
+Stage stage_of(const HttpTransaction& txn, const WcgBuildState& s) {
   const std::uint64_t ts = txn.request.ts_micros;
   const int code = txn.response ? txn.response->status_code : 0;
   const bool before_first_download =
-      timeline.first_exploit_ts == 0 || ts < timeline.first_exploit_ts;
+      s.first_exploit_ts == 0 || ts < s.first_exploit_ts;
 
   if (txn.request.method == "GET" && before_first_download &&
       code >= 300 && code < 400) {
     return Stage::kPreDownload;
   }
   if (txn.request.method == "POST" &&
-      timeline.exploit_hosts.find(txn.server_host) == timeline.exploit_hosts.end() &&
-      timeline.first_exploit_ts != 0 && ts > timeline.last_exploit_ts &&
+      s.exploit_hosts.find(txn.server_host) == s.exploit_hosts.end() &&
+      s.first_exploit_ts != 0 && ts > s.last_exploit_ts &&
       (code == 200 || (code >= 400 && code < 500))) {
     return Stage::kPostDownload;
   }
@@ -106,6 +92,275 @@ std::uint32_t longest_chain(const std::map<std::string, std::set<std::string>>& 
   return best;
 }
 
+void add_redirect_edge(WcgBuildState& s, const std::string& from_host,
+                       const std::string& to_host, std::uint64_t ts) {
+  if (from_host.empty() || to_host.empty() || from_host == to_host) return;
+  auto& ann = s.wcg.annotations();
+  const auto from_id = s.wcg.add_host(from_host);
+  const auto to_id = s.wcg.add_host(to_host);
+  WcgEdge edge;
+  edge.kind = EdgeKind::kRedirect;
+  edge.ts_micros = ts;
+  edge.stage = (s.first_exploit_ts == 0 || ts < s.first_exploit_ts)
+                   ? Stage::kPreDownload
+                   : Stage::kDownload;
+  s.wcg.add_edge(from_id, to_id, edge);
+  s.redirect_adj[from_host].insert(to_host);
+
+  // Running avg-delay total: as long as timestamps arrive in order, each
+  // append performs exactly the next iteration of the from-scratch
+  // sort-then-accumulate loop (same operand order, so bit-identical).  An
+  // out-of-order timestamp flips the dirty flag; finalize() then re-sorts
+  // and replays the whole loop.
+  if (!s.redirect_ts.empty()) {
+    if (ts < s.redirect_ts.back()) {
+      s.redirect_ts_unsorted = true;
+    } else if (!s.redirect_ts_unsorted) {
+      s.redirect_delay_total_s +=
+          static_cast<double>(ts - s.redirect_ts.back()) / 1e6;
+    }
+  }
+  s.redirect_ts.push_back(ts);
+
+  for (const std::string* host : {&from_host, &to_host}) {
+    if (s.redirect_hosts.insert(*host).second) {
+      const auto tld = top_level_domain(*host);
+      if (!tld.empty()) s.redirect_tlds.insert(std::string(tld));
+    }
+  }
+  ++ann.total_redirects;
+  if (registrable_domain(from_host) != registrable_domain(to_host)) {
+    ++ann.cross_domain_redirects;
+  }
+}
+
+/// One-time setup for a (re-)fold: download timeline, conversation hosts,
+/// origin and victim nodes, entice edge.  Precondition: at least one
+/// transaction, `s` freshly default-constructed.
+void prologue(WcgBuildState& s, const std::vector<HttpTransaction>& txns) {
+  auto& ann = s.wcg.annotations();
+
+  // Download timeline (fixed for this fold; see stage_of).
+  for (const auto& txn : txns) {
+    if (!is_exploit_transaction(txn)) continue;
+    const std::uint64_t ts = txn.response->ts_micros;
+    if (s.first_exploit_ts == 0 || ts < s.first_exploit_ts) {
+      s.first_exploit_ts = ts;
+    }
+    s.last_exploit_ts = std::max(s.last_exploit_ts, ts);
+    s.exploit_hosts.insert(txn.server_host);
+  }
+
+  // ---- Origin node -------------------------------------------------------
+  // The enticement source is the referrer of the earliest transaction whose
+  // referrer host is outside the conversation (§III-B "origin node").
+  for (const auto& txn : txns) s.conversation_hosts.insert(txn.server_host);
+  for (const auto& txn : txns) {
+    if (const auto ref = txn.request.referrer()) {
+      const std::string host = referrer_host(*ref);
+      if (!host.empty() &&
+          s.conversation_hosts.find(host) == s.conversation_hosts.end()) {
+        s.origin_name = host;
+        break;
+      }
+    }
+  }
+  ann.origin_known = s.origin_name != "empty";
+  s.origin_id = s.wcg.add_host(s.origin_name);
+  s.wcg.node(s.origin_id).type = NodeType::kOrigin;
+  s.wcg.set_origin(s.origin_id);
+
+  // ---- Victim node -------------------------------------------------------
+  s.victim_id = s.wcg.add_host(txns.front().client_host);
+  s.wcg.node(s.victim_id).type = NodeType::kVictim;
+  s.wcg.node(s.victim_id).ip = txns.front().client_host;
+  s.wcg.set_victim(s.victim_id);
+
+  // Origin enticed the victim into the conversation.
+  if (ann.origin_known) {
+    WcgEdge entice;
+    entice.kind = EdgeKind::kRedirect;
+    entice.stage = Stage::kPreDownload;
+    entice.ts_micros = txns.front().request.ts_micros;
+    s.wcg.add_edge(s.origin_id, s.victim_id, entice);
+  }
+
+  s.first_ts = txns.front().request.ts_micros;
+  s.last_ts = s.first_ts;
+}
+
+/// Extends the state by one transaction.  The single per-transaction code
+/// path shared by build() and current() — equivalence by construction.
+void fold(const BuilderOptions& options, WcgBuildState& s,
+          const HttpTransaction& txn) {
+  Wcg& wcg = s.wcg;
+  auto& ann = wcg.annotations();
+
+  const auto server_id = wcg.add_host(txn.server_host);
+  if (wcg.node(server_id).ip.empty()) wcg.node(server_id).ip = txn.server_ip;
+  wcg.add_uri(server_id, txn.request.uri);
+
+  const Stage stage = stage_of(txn, s);
+  const std::uint64_t req_ts = txn.request.ts_micros;
+  if (stage == Stage::kPostDownload) ann.has_post_download_stage = true;
+
+  // Running inter-transaction total; same dirty-flag scheme as redirects.
+  if (!s.txn_times.empty()) {
+    if (req_ts < s.txn_times.back()) {
+      s.txn_times_unsorted = true;
+    } else if (!s.txn_times_unsorted) {
+      s.inter_txn_total_s +=
+          static_cast<double>(req_ts - s.txn_times.back()) / 1e6;
+    }
+  }
+  s.txn_times.push_back(req_ts);
+  s.first_ts = std::min(s.first_ts, req_ts);
+  s.last_ts = std::max(s.last_ts, req_ts);
+
+  // Request edge: victim -> server.
+  WcgEdge req;
+  req.kind = EdgeKind::kRequest;
+  req.stage = stage;
+  req.ts_micros = req_ts;
+  req.method = txn.request.method;
+  req.uri_length = static_cast<std::uint32_t>(txn.request.uri.size());
+  req.has_referrer = txn.request.referrer().has_value();
+  wcg.add_edge(s.victim_id, server_id, req);
+
+  // Header tallies.
+  if (txn.request.method == "GET") ++ann.get_count;
+  else if (txn.request.method == "POST") ++ann.post_count;
+  else ++ann.other_method_count;
+  if (req.has_referrer) ++ann.referrer_count;
+  else ++ann.no_referrer_count;
+  if (const auto dnt = txn.request.headers.get("DNT");
+      dnt && *dnt == "1") {
+    ann.do_not_track = true;
+  }
+  if (const auto xf = txn.request.headers.get("X-Flash-Version")) {
+    ann.x_flash_version_set = true;
+    ann.x_flash_version = std::string(*xf);
+  }
+
+  // Response edge: server -> victim.
+  if (txn.response) {
+    const auto& res = *txn.response;
+    const std::uint64_t res_ts = res.ts_micros ? res.ts_micros : req_ts;
+    s.last_ts = std::max(s.last_ts, res_ts);
+    WcgEdge resp;
+    resp.kind = EdgeKind::kResponse;
+    resp.stage = stage;
+    resp.ts_micros = res_ts;
+    resp.response_code = res.status_code;
+    resp.payload_type = dm::http::classify_payload(
+        res.content_type().value_or(""), txn.request.uri);
+    resp.payload_size = res.body.size();
+    wcg.add_edge(server_id, s.victim_id, resp);
+
+    const int cls = res.status_code / 100;
+    if (cls >= 1 && cls <= 5) ++ann.response_class_counts[cls - 1];
+    if (resp.payload_type != PayloadType::kNone && !res.body.empty()) {
+      ++ann.payload_count;
+      ann.total_payload_bytes += resp.payload_size;
+      ++ann.payload_type_counts[resp.payload_type];
+      ++wcg.node(server_id).payloads_served[resp.payload_type];
+    }
+    s.last_response_ts[txn.server_host] = res_ts;
+
+    // Explicit redirect evidence: Location header / meta / iframe / JS,
+    // including the de-obfuscated layers.
+    for (const auto& evidence : dm::http::mine_redirects(txn, options.miner)) {
+      if (options.trusted.is_trusted(evidence.target_host)) continue;
+      add_redirect_edge(s, txn.server_host, evidence.target_host, res_ts);
+    }
+  }
+
+  // Referer-chain redirect: the referrer names another conversation host
+  // and this request followed that host's response almost immediately.
+  // Needs the *full* conversation-host set, so enabling it forces current()
+  // into refold-per-call mode (see BuilderOptions).
+  if (const auto ref = txn.request.referrer();
+      ref && options.referrer_timing_redirects) {
+    const std::string ref_host = referrer_host(*ref);
+    if (!ref_host.empty() && ref_host != txn.server_host &&
+        s.conversation_hosts.find(ref_host) != s.conversation_hosts.end()) {
+      const auto it = s.last_response_ts.find(ref_host);
+      if (it != s.last_response_ts.end() && req_ts >= it->second) {
+        const double delay_s =
+            static_cast<double>(req_ts - it->second) / 1e6;
+        if (delay_s <= options.referrer_redirect_max_delay_s &&
+            !wcg.graph().has_edge(wcg.find_host(ref_host), server_id)) {
+          add_redirect_edge(s, ref_host, txn.server_host, req_ts);
+        }
+      }
+    }
+  }
+
+  ++s.folded;
+}
+
+/// Derives every annotation that depends on the whole state.  Idempotent —
+/// current() re-runs it after each incremental fold.  Cost is O(nodes +
+/// redirect subgraph), independent of the transaction count.
+void finalize(WcgBuildState& s) {
+  Wcg& wcg = s.wcg;
+  auto& ann = wcg.annotations();
+
+  // Node typing: a pure function of (uris, redirect participation, exploit
+  // hosts), re-applied from scratch each time so that e.g. an intermediary
+  // that later receives a direct request reverts to remote exactly as a
+  // from-scratch build would type it.
+  for (dm::graph::NodeId id = 0; id < wcg.node_count(); ++id) {
+    WcgNode& node = wcg.node(id);
+    if (node.type == NodeType::kVictim || node.type == NodeType::kOrigin) continue;
+    if (s.exploit_hosts.find(node.host) != s.exploit_hosts.end()) {
+      node.type = NodeType::kMalicious;
+    } else if (node.uris.empty() &&
+               s.redirect_hosts.find(node.host) != s.redirect_hosts.end()) {
+      node.type = NodeType::kIntermediary;  // only chains, never queried
+    } else {
+      node.type = NodeType::kRemote;
+    }
+  }
+
+  ann.transaction_count = static_cast<std::uint32_t>(s.folded);
+  ann.longest_redirect_chain = longest_chain(s.redirect_adj);
+  ann.tld_diversity = static_cast<std::uint32_t>(s.redirect_tlds.size());
+
+  if (s.redirect_ts_unsorted) {
+    std::sort(s.redirect_ts.begin(), s.redirect_ts.end());
+    s.redirect_delay_total_s = 0.0;
+    for (std::size_t i = 1; i < s.redirect_ts.size(); ++i) {
+      s.redirect_delay_total_s +=
+          static_cast<double>(s.redirect_ts[i] - s.redirect_ts[i - 1]) / 1e6;
+    }
+    s.redirect_ts_unsorted = false;
+  }
+  ann.avg_redirect_delay_s =
+      s.redirect_ts.size() >= 2
+          ? s.redirect_delay_total_s /
+                static_cast<double>(s.redirect_ts.size() - 1)
+          : 0.0;
+
+  ann.duration_s = static_cast<double>(s.last_ts - s.first_ts) / 1e6;
+
+  if (s.txn_times_unsorted) {
+    std::sort(s.txn_times.begin(), s.txn_times.end());
+    s.inter_txn_total_s = 0.0;
+    for (std::size_t i = 1; i < s.txn_times.size(); ++i) {
+      s.inter_txn_total_s +=
+          static_cast<double>(s.txn_times[i] - s.txn_times[i - 1]) / 1e6;
+    }
+    s.txn_times_unsorted = false;
+  }
+  ann.avg_inter_transaction_s =
+      s.txn_times.size() >= 2
+          ? s.inter_txn_total_s / static_cast<double>(s.txn_times.size() - 1)
+          : 0.0;
+
+  ann.has_download_stage = s.first_exploit_ts != 0;
+}
+
 }  // namespace
 
 WcgBuilder::WcgBuilder(BuilderOptions options) : options_(std::move(options)) {}
@@ -118,229 +373,78 @@ bool WcgBuilder::add(HttpTransaction transaction) {
 }
 
 Wcg WcgBuilder::build() const {
-  Wcg wcg;
-  if (transactions_.empty()) return wcg;
+  detail::WcgBuildState state;
+  if (transactions_.empty()) return std::move(state.wcg);
+  prologue(state, transactions_);
+  for (const auto& txn : transactions_) fold(options_, state, txn);
+  finalize(state);
+  return std::move(state.wcg);
+}
 
-  const DownloadTimeline timeline = scan_downloads(transactions_);
-  auto& ann = wcg.annotations();
+bool WcgBuilder::requires_refold() const {
+  // The referrer-timing rule lets a late transaction create an edge whose
+  // existence depends on hosts seen even later; incremental folding cannot
+  // honor that, so the option pins current() to refold-per-call.
+  if (options_.referrer_timing_redirects) return true;
 
-  // ---- Origin node -------------------------------------------------------
-  // The enticement source is the referrer of the earliest transaction whose
-  // referrer host is outside the conversation (§III-B "origin node").
-  std::set<std::string> conversation_hosts;
-  for (const auto& txn : transactions_) conversation_hosts.insert(txn.server_host);
-
-  std::string origin_name = "empty";
-  for (const auto& txn : transactions_) {
-    if (const auto ref = txn.request.referrer()) {
-      const std::string host = referrer_host(*ref);
-      if (!host.empty() &&
-          conversation_hosts.find(host) == conversation_hosts.end()) {
-        origin_name = host;
-        break;
-      }
+  for (std::size_t i = state_.folded; i < transactions_.size(); ++i) {
+    const auto& txn = transactions_[i];
+    // A new exploit download moves the timeline: stages (and node typing)
+    // of already-folded transactions may change.
+    if (is_exploit_transaction(txn)) return true;
+    // The chosen origin's referrer host just joined the conversation, so
+    // the origin scan would now pick a different source (or "empty").
+    if (state_.origin_name != "empty" &&
+        txn.server_host == state_.origin_name) {
+      return true;
     }
   }
-  ann.origin_known = origin_name != "empty";
-  const auto origin_id = wcg.add_host(origin_name);
-  wcg.node(origin_id).type = NodeType::kOrigin;
-  wcg.set_origin(origin_id);
 
-  // ---- Victim node -------------------------------------------------------
-  const auto victim_id = wcg.add_host(transactions_.front().client_host);
-  wcg.node(victim_id).type = NodeType::kVictim;
-  wcg.node(victim_id).ip = transactions_.front().client_host;
-  wcg.set_victim(victim_id);
-
-  // Origin enticed the victim into the conversation.
-  if (ann.origin_known) {
-    WcgEdge entice;
-    entice.kind = EdgeKind::kRedirect;
-    entice.stage = Stage::kPreDownload;
-    entice.ts_micros = transactions_.front().request.ts_micros;
-    wcg.add_edge(origin_id, victim_id, entice);
-  }
-
-  // ---- Transaction edges -------------------------------------------------
-  // Redirect bookkeeping: adjacency between hosts, timestamps in order, and
-  // hosts involved (for TLD diversity / cross-domain counting).
-  std::map<std::string, std::set<std::string>> redirect_adj;
-  std::vector<std::uint64_t> redirect_ts;
-  std::set<std::string> redirect_hosts;
-  std::uint32_t redirect_edges = 0;
-  std::uint32_t cross_domain = 0;
-
-  auto add_redirect_edge = [&](const std::string& from_host,
-                               const std::string& to_host, std::uint64_t ts) {
-    if (from_host.empty() || to_host.empty() || from_host == to_host) return;
-    const auto from_id = wcg.add_host(from_host);
-    const auto to_id = wcg.add_host(to_host);
-    WcgEdge edge;
-    edge.kind = EdgeKind::kRedirect;
-    edge.ts_micros = ts;
-    edge.stage = (timeline.first_exploit_ts == 0 || ts < timeline.first_exploit_ts)
-                     ? Stage::kPreDownload
-                     : Stage::kDownload;
-    wcg.add_edge(from_id, to_id, edge);
-    redirect_adj[from_host].insert(to_host);
-    redirect_ts.push_back(ts);
-    redirect_hosts.insert(from_host);
-    redirect_hosts.insert(to_host);
-    ++redirect_edges;
-    if (registrable_domain(from_host) != registrable_domain(to_host)) {
-      ++cross_domain;
+  if (state_.origin_name == "empty") {
+    // No enticement source so far: does any pending transaction carry a
+    // referrer that stays outside the *grown* conversation-host set?
+    std::set<std::string> pending_hosts;
+    for (std::size_t i = state_.folded; i < transactions_.size(); ++i) {
+      pending_hosts.insert(transactions_[i].server_host);
     }
-  };
-
-  // Track the most recent response per host for the referrer-delay rule.
-  std::map<std::string, std::uint64_t> last_response_ts;
-
-  std::uint64_t first_ts = transactions_.front().request.ts_micros;
-  std::uint64_t last_ts = first_ts;
-  std::vector<std::uint64_t> txn_times;
-
-  for (const auto& txn : transactions_) {
-    const auto server_id = wcg.add_host(txn.server_host);
-    WcgNode& server = wcg.node(server_id);
-    if (server.ip.empty()) server.ip = txn.server_ip;
-    server.uris.insert(txn.request.uri);
-
-    const Stage stage = stage_of(txn, timeline);
-    const std::uint64_t req_ts = txn.request.ts_micros;
-    txn_times.push_back(req_ts);
-    first_ts = std::min(first_ts, req_ts);
-    last_ts = std::max(last_ts, req_ts);
-
-    // Request edge: victim -> server.
-    WcgEdge req;
-    req.kind = EdgeKind::kRequest;
-    req.stage = stage;
-    req.ts_micros = req_ts;
-    req.method = txn.request.method;
-    req.uri_length = static_cast<std::uint32_t>(txn.request.uri.size());
-    req.has_referrer = txn.request.referrer().has_value();
-    wcg.add_edge(victim_id, server_id, req);
-
-    // Header tallies.
-    if (txn.request.method == "GET") ++ann.get_count;
-    else if (txn.request.method == "POST") ++ann.post_count;
-    else ++ann.other_method_count;
-    if (req.has_referrer) ++ann.referrer_count;
-    else ++ann.no_referrer_count;
-    if (const auto dnt = txn.request.headers.get("DNT");
-        dnt && *dnt == "1") {
-      ann.do_not_track = true;
-    }
-    if (const auto xf = txn.request.headers.get("X-Flash-Version")) {
-      ann.x_flash_version_set = true;
-      ann.x_flash_version = std::string(*xf);
-    }
-
-    // Response edge: server -> victim.
-    if (txn.response) {
-      const auto& res = *txn.response;
-      const std::uint64_t res_ts = res.ts_micros ? res.ts_micros : req_ts;
-      last_ts = std::max(last_ts, res_ts);
-      WcgEdge resp;
-      resp.kind = EdgeKind::kResponse;
-      resp.stage = stage;
-      resp.ts_micros = res_ts;
-      resp.response_code = res.status_code;
-      resp.payload_type = dm::http::classify_payload(
-          res.content_type().value_or(""), txn.request.uri);
-      resp.payload_size = res.body.size();
-      wcg.add_edge(server_id, victim_id, resp);
-
-      const int cls = res.status_code / 100;
-      if (cls >= 1 && cls <= 5) ++ann.response_class_counts[cls - 1];
-      if (resp.payload_type != PayloadType::kNone && !res.body.empty()) {
-        ++ann.payload_count;
-        ann.total_payload_bytes += resp.payload_size;
-        ++ann.payload_type_counts[resp.payload_type];
-        ++server.payloads_served[resp.payload_type];
-      }
-      last_response_ts[txn.server_host] = res_ts;
-
-      // Explicit redirect evidence: Location header / meta / iframe / JS,
-      // including the de-obfuscated layers.
-      for (const auto& evidence : dm::http::mine_redirects(txn, options_.miner)) {
-        if (options_.trusted.is_trusted(evidence.target_host)) continue;
-        add_redirect_edge(txn.server_host, evidence.target_host, res_ts);
-      }
-    }
-
-    // Referer-chain redirect: the referrer names another conversation host
-    // and this request followed that host's response almost immediately.
-    if (const auto ref = txn.request.referrer();
-        ref && options_.referrer_timing_redirects) {
-      const std::string ref_host = referrer_host(*ref);
-      if (!ref_host.empty() && ref_host != txn.server_host &&
-          conversation_hosts.find(ref_host) != conversation_hosts.end()) {
-        const auto it = last_response_ts.find(ref_host);
-        if (it != last_response_ts.end() && req_ts >= it->second) {
-          const double delay_s =
-              static_cast<double>(req_ts - it->second) / 1e6;
-          if (delay_s <= options_.referrer_redirect_max_delay_s &&
-              !wcg.graph().has_edge(wcg.find_host(ref_host), server_id)) {
-            add_redirect_edge(ref_host, txn.server_host, req_ts);
-          }
+    for (std::size_t i = state_.folded; i < transactions_.size(); ++i) {
+      if (const auto ref = transactions_[i].request.referrer()) {
+        const std::string host = referrer_host(*ref);
+        if (!host.empty() &&
+            state_.conversation_hosts.find(host) ==
+                state_.conversation_hosts.end() &&
+            pending_hosts.find(host) == pending_hosts.end()) {
+          return true;
         }
       }
     }
   }
+  return false;
+}
 
-  // ---- Node typing -------------------------------------------------------
-  for (dm::graph::NodeId id = 0; id < wcg.node_count(); ++id) {
-    WcgNode& node = wcg.node(id);
-    if (node.type == NodeType::kVictim || node.type == NodeType::kOrigin) continue;
-    if (timeline.exploit_hosts.find(node.host) != timeline.exploit_hosts.end()) {
-      node.type = NodeType::kMalicious;
-    } else if (node.uris.empty() &&
-               redirect_hosts.find(node.host) != redirect_hosts.end()) {
-      node.type = NodeType::kIntermediary;  // only chains, never queried
+const Wcg& WcgBuilder::current() {
+  const std::size_t n = transactions_.size();
+  if (state_.folded == n) return state_.wcg;  // finalized by the last call
+
+  if (state_.folded == 0 || requires_refold()) {
+    if (state_.folded > 0) ++full_refolds_;
+    const std::uint64_t prev_version = state_.wcg.topology_version();
+    state_ = detail::WcgBuildState{};
+    prologue(state_, transactions_);
+    for (const auto& txn : transactions_) fold(options_, state_, txn);
+    // The graph object kept its address but was rebuilt; keep the version
+    // strictly increasing so (pointer, version) cache keys stay sound.
+    state_.wcg.ensure_topology_version_above(prev_version);
+  } else {
+    for (std::size_t i = state_.folded; i < n; ++i) {
+      state_.conversation_hosts.insert(transactions_[i].server_host);
+    }
+    for (std::size_t i = state_.folded; i < n; ++i) {
+      fold(options_, state_, transactions_[i]);
     }
   }
-
-  // ---- Graph-level annotations --------------------------------------------
-  ann.transaction_count = static_cast<std::uint32_t>(transactions_.size());
-  ann.total_redirects = redirect_edges;
-  ann.longest_redirect_chain = longest_chain(redirect_adj);
-  ann.cross_domain_redirects = cross_domain;
-
-  std::set<std::string> tlds;
-  for (const auto& host : redirect_hosts) {
-    const auto tld = top_level_domain(host);
-    if (!tld.empty()) tlds.insert(std::string(tld));
-  }
-  ann.tld_diversity = static_cast<std::uint32_t>(tlds.size());
-
-  if (redirect_ts.size() >= 2) {
-    std::sort(redirect_ts.begin(), redirect_ts.end());
-    double total = 0.0;
-    for (std::size_t i = 1; i < redirect_ts.size(); ++i) {
-      total += static_cast<double>(redirect_ts[i] - redirect_ts[i - 1]) / 1e6;
-    }
-    ann.avg_redirect_delay_s = total / static_cast<double>(redirect_ts.size() - 1);
-  }
-
-  ann.duration_s = static_cast<double>(last_ts - first_ts) / 1e6;
-  if (txn_times.size() >= 2) {
-    std::sort(txn_times.begin(), txn_times.end());
-    double total = 0.0;
-    for (std::size_t i = 1; i < txn_times.size(); ++i) {
-      total += static_cast<double>(txn_times[i] - txn_times[i - 1]) / 1e6;
-    }
-    ann.avg_inter_transaction_s = total / static_cast<double>(txn_times.size() - 1);
-  }
-
-  ann.has_download_stage = timeline.first_exploit_ts != 0;
-  for (const auto& edge : wcg.edges()) {
-    if (edge.stage == Stage::kPostDownload) {
-      ann.has_post_download_stage = true;
-      break;
-    }
-  }
-  return wcg;
+  finalize(state_);
+  return state_.wcg;
 }
 
 Wcg build_wcg(std::vector<dm::http::HttpTransaction> transactions,

@@ -11,8 +11,22 @@
 //  * assigns each edge a conversation stage — pre-download / download /
 //    post-download — using the paper's §III-C heuristics, and
 //  * fills the graph-level annotations that the 37 features consume.
+//
+// Two evaluation modes share one fold engine (see wcg_builder.cpp):
+//
+//  * build() — the from-scratch reference: materializes a fresh WCG from
+//    every transaction added so far.  Pure, repeatable, O(n) per call.
+//  * current() — the incremental hot path: maintains a persistent WCG and
+//    folds only the transactions added since the previous call.  A small
+//    set of retroactive events (a new exploit download re-staging earlier
+//    edges, the origin node being invalidated by a new conversation host)
+//    trigger a transparent full re-fold, so current() is always
+//    bit-identical to build() — the property the on-the-wire engine's
+//    incremental-vs-rebuild determinism guarantee rests on.
 #pragma once
 
+#include <map>
+#include <set>
 #include <vector>
 
 #include "core/wcg.h"
@@ -31,21 +45,71 @@ struct BuilderOptions {
   /// referrer within milliseconds, so the bare timing rule manufactures
   /// redirect structure in benign graphs; explicit evidence (Location,
   /// meta-refresh, iframe, mined JavaScript) is the reliable signal.
+  /// Enabling it also disables incremental folding (the rule makes early
+  /// edges depend on hosts seen later), so current() degrades to a full
+  /// re-fold per call.
   bool referrer_timing_redirects = false;
   double referrer_redirect_max_delay_s = 2.0;
   dm::http::RedirectMinerOptions miner;
 };
 
+namespace detail {
+
+/// Everything the per-transaction fold engine needs, beyond the Wcg itself,
+/// to extend a WCG by one transaction and keep every annotation consistent.
+/// Internal to WcgBuilder; a plain value type so builders stay copyable.
+struct WcgBuildState {
+  Wcg wcg;
+  std::size_t folded = 0;  // transactions folded into `wcg` so far
+
+  // Download timeline (§III-C stage assignment).  Fixed between re-folds:
+  // a transaction that would change it forces a full re-fold instead.
+  std::uint64_t first_exploit_ts = 0;  // 0 = none
+  std::uint64_t last_exploit_ts = 0;
+  std::set<std::string> exploit_hosts;
+
+  // Origin / victim bookkeeping.
+  std::string origin_name = "empty";
+  dm::graph::NodeId origin_id = dm::graph::kInvalidNode;
+  dm::graph::NodeId victim_id = dm::graph::kInvalidNode;
+  std::set<std::string> conversation_hosts;
+
+  // Redirect bookkeeping.
+  std::map<std::string, std::set<std::string>> redirect_adj;
+  std::set<std::string> redirect_hosts;
+  std::set<std::string> redirect_tlds;
+  /// Redirect timestamps; kept sorted unless `redirect_ts_unsorted`, in
+  /// which case finalize() re-sorts and re-accumulates.  The running delay
+  /// total accumulates left-to-right exactly like the from-scratch loop so
+  /// the derived annotation is bit-identical in both modes.
+  std::vector<std::uint64_t> redirect_ts;
+  double redirect_delay_total_s = 0.0;
+  bool redirect_ts_unsorted = false;
+
+  // Conversation timing.
+  std::uint64_t first_ts = 0;
+  std::uint64_t last_ts = 0;
+  std::vector<std::uint64_t> txn_times;  // request timestamps, see above
+  double inter_txn_total_s = 0.0;
+  bool txn_times_unsorted = false;
+
+  /// Most recent response per host, for the referrer-delay redirect rule.
+  std::map<std::string, std::uint64_t> last_response_ts;
+};
+
+}  // namespace detail
+
 /// Accumulates transactions (time order expected) and materializes the
-/// annotated WCG.  `build()` may be called repeatedly as the conversation
-/// grows — the on-the-wire detector does exactly that (§V-B "each update of
-/// a WCG then triggers feature extraction").
+/// annotated WCG.  `build()`/`current()` may be called repeatedly as the
+/// conversation grows — the on-the-wire detector does exactly that (§V-B
+/// "each update of a WCG then triggers feature extraction").
 class WcgBuilder {
  public:
   explicit WcgBuilder(BuilderOptions options = {});
 
   /// Appends one transaction; returns false if it was weeded out
-  /// (trusted vendor) or malformed.
+  /// (trusted vendor) or malformed.  Cheap: folding into the incremental
+  /// graph is deferred to the next current() call.
   bool add(dm::http::HttpTransaction transaction);
 
   std::size_t transaction_count() const noexcept { return transactions_.size(); }
@@ -53,12 +117,30 @@ class WcgBuilder {
     return transactions_;
   }
 
-  /// Builds the full annotated WCG from everything added so far.
+  /// Builds the full annotated WCG from scratch from everything added so
+  /// far.  The reference implementation; current() must match it bitwise.
   Wcg build() const;
 
+  /// Incremental view: folds transactions added since the last call into a
+  /// persistent WCG and returns it.  Falls back to a full re-fold when a
+  /// new transaction retroactively changes earlier structure (new exploit
+  /// download, origin invalidation) — callers never observe the difference,
+  /// only the amortized O(delta) cost.  The reference lives until the next
+  /// add()/current() call.
+  const Wcg& current();
+
+  /// Number of full re-folds current() has performed (diagnostics/tests).
+  std::uint64_t full_refolds() const noexcept { return full_refolds_; }
+
  private:
+  /// True when the pending suffix [state_.folded, n) cannot be folded
+  /// incrementally onto state_ without changing already-built structure.
+  bool requires_refold() const;
+
   BuilderOptions options_;
   std::vector<dm::http::HttpTransaction> transactions_;
+  detail::WcgBuildState state_;  // incremental graph for current()
+  std::uint64_t full_refolds_ = 0;
 };
 
 /// One-shot convenience.

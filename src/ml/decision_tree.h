@@ -51,14 +51,6 @@ class DecisionTree {
     return predict(std::span<const double>(features.begin(), features.size()));
   }
 
-  std::size_t node_count() const noexcept { return nodes_.size(); }
-  std::size_t depth() const noexcept { return depth_; }
-
-  /// Persistence (format documented in ml/serialization.h).
-  void serialize(std::ostream& out) const;
-  static DecisionTree deserialize(std::istream& in);
-
- private:
   struct Node {
     // Internal nodes: feature/threshold and child links; leaves: left == -1.
     std::int32_t left = -1;
@@ -68,6 +60,18 @@ class DecisionTree {
     double positive_probability = 0.0;
   };
 
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Read-only view of the node storage (root at index 0); lets
+  /// ml/flat_forest.h compile the tree into its contiguous SoA arena.
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+  /// Persistence (format documented in ml/serialization.h).
+  void serialize(std::ostream& out) const;
+  static DecisionTree deserialize(std::istream& in);
+
+ private:
   struct SplitCandidate {
     std::size_t feature = 0;
     double threshold = 0.0;

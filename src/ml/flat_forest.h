@@ -1,0 +1,69 @@
+// Flattened, cache-friendly inference form of the Ensemble Random Forest.
+//
+// RandomForest/DecisionTree remain the training and serialization
+// representation: per-tree vectors of 32-byte nodes with explicit
+// left/right links, walked by pointer-chasing.  For the on-the-wire hot
+// path — thousands of predict_proba calls per session — FlatForest
+// compiles the trained ensemble once into a single contiguous
+// structure-of-arrays arena shared by all trees:
+//
+//        slot:      0      1      2      3      4     ...
+//   feature_ :  [  f0  |  f1  |  -1  |  -1  |  f4  | ... ]  int32, -1 = leaf
+//   threshold_: [  t0  |  t1  |  --  |  --  |  t4  | ... ]  double
+//   left_     : [   1  |   3  |  --  |  --  |   7  | ... ]  uint32 arena slot
+//   prob_     : [  --  |  --  |  p2  |  p3  |  --  | ... ]  leaf probability
+//
+// Each tree is laid out breadth-first, so the two children of any internal
+// node occupy adjacent slots: right == left + 1, and the branch direction
+// becomes an arithmetic index increment instead of a second pointer load.
+// The first few levels of every tree — the slots nearly every query
+// touches — sit in a handful of consecutive cache lines.
+//
+// Equivalence contract: predict_proba() is bit-identical to
+// RandomForest::predict_proba() for every input, including NaN features
+// (both send NaN to the right child) — enforced by ml_flat_forest_test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/random_forest.h"
+
+namespace dm::ml {
+
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  /// Compiles a trained forest into the flat arena.  The source forest is
+  /// not referenced afterwards.
+  static FlatForest compile(const RandomForest& forest);
+
+  /// Ensemble positive-class score; bit-identical to the source forest's
+  /// RandomForest::predict_proba (same per-tree leaves, same summation
+  /// order, same combination rule).
+  double predict_proba(std::span<const double> features) const;
+  double predict_proba(std::initializer_list<double> features) const {
+    return predict_proba(std::span<const double>(features.begin(), features.size()));
+  }
+
+  /// Hard decision at `threshold` on the ensemble score.
+  int predict(std::span<const double> features, double threshold = 0.5) const;
+
+  std::size_t num_trees() const noexcept { return roots_.size(); }
+  std::size_t node_count() const noexcept { return feature_.size(); }
+
+ private:
+  double tree_proba(std::uint32_t root, std::span<const double> features) const;
+
+  // Parallel SoA arrays, indexed by arena slot.
+  std::vector<std::int32_t> feature_;    // split feature; -1 marks a leaf
+  std::vector<double> threshold_;        // split threshold (internal nodes)
+  std::vector<std::uint32_t> left_;      // left-child slot; right = left + 1
+  std::vector<double> prob_;             // positive probability (leaves)
+  std::vector<std::uint32_t> roots_;     // root slot of each tree, in order
+  Combination combination_ = Combination::kProbabilityAveraging;
+};
+
+}  // namespace dm::ml

@@ -55,6 +55,7 @@ class RandomForest {
   }
 
   std::size_t num_trees() const noexcept { return trees_.size(); }
+  const std::vector<DecisionTree>& trees() const noexcept { return trees_; }
   const ForestOptions& options() const noexcept { return options_; }
 
   /// Persistence (format documented in ml/serialization.h).

@@ -43,12 +43,33 @@ TEST(WcgTest, NodeAttributesMutable) {
   Wcg wcg;
   const auto a = wcg.add_host("a");
   wcg.node(a).type = NodeType::kMalicious;
-  wcg.node(a).uris.insert("/x");
-  wcg.node(a).uris.insert("/x");  // dedup via set
-  wcg.node(a).uris.insert("/y");
+  EXPECT_TRUE(wcg.add_uri(a, "/x"));
+  EXPECT_FALSE(wcg.add_uri(a, "/x"));  // dedup via set
+  EXPECT_TRUE(wcg.add_uri(a, "/y"));
   EXPECT_EQ(wcg.node(a).type, NodeType::kMalicious);
   EXPECT_EQ(wcg.node(a).uris.size(), 2u);
   EXPECT_EQ(wcg.total_unique_uris(), 2u);
+  EXPECT_EQ(wcg.total_uri_length(), 4u);  // "/x" + "/y"
+}
+
+TEST(WcgTest, TopologyVersionTracksStructureOnly) {
+  Wcg wcg;
+  EXPECT_EQ(wcg.topology_version(), 0u);
+  const auto a = wcg.add_host("a");
+  const auto b = wcg.add_host("b");
+  EXPECT_EQ(wcg.topology_version(), 2u);
+  wcg.add_host("a");  // existing host: no structural change
+  EXPECT_EQ(wcg.topology_version(), 2u);
+  wcg.add_edge(a, b, WcgEdge{});
+  EXPECT_EQ(wcg.topology_version(), 3u);
+  // Attribute updates do not bump the version.
+  wcg.add_uri(a, "/x");
+  wcg.node(b).type = NodeType::kMalicious;
+  EXPECT_EQ(wcg.topology_version(), 3u);
+  wcg.ensure_topology_version_above(10);
+  EXPECT_EQ(wcg.topology_version(), 11u);
+  wcg.ensure_topology_version_above(5);  // never moves backwards
+  EXPECT_EQ(wcg.topology_version(), 11u);
 }
 
 TEST(WcgTest, VictimAndOriginTracking) {
