@@ -3,10 +3,15 @@
 // and renders a verdict — the paper's §VI-C workflow.
 //
 // Usage:
-//   forensic_pcap_scan [capture.pcap]
-// Without an argument, a demonstration infection capture is generated on the
-// fly, written next to the binary, and then scanned like any foreign pcap.
+//   forensic_pcap_scan [--train-threads N] [capture.pcap]
+// Without a capture argument, a demonstration infection capture is generated
+// on the fly, written next to the binary, and then scanned like any foreign
+// pcap.  --train-threads N fans Stage-1 feature extraction and ERF tree
+// building over N workers when the model cache is cold; the trained model
+// is bit-identical at any thread count, so the cache artifact is too.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -25,7 +30,7 @@ constexpr const char* kModelCache = "dynaminer.model";
 /// Loads a previously trained forest if one is cached next to the binary;
 /// otherwise trains on the ground-truth corpus and caches the artifact —
 /// the Stage-1-offline / Stage-2-deploy split of the paper.
-dm::core::Detector train_detector() {
+dm::core::Detector train_detector(std::size_t train_threads) {
   try {
     auto forest = dm::ml::load_forest_file(kModelCache);
     std::printf("loaded cached model from %s (%zu trees)\n", kModelCache,
@@ -43,8 +48,10 @@ dm::core::Detector train_detector() {
   for (const auto& e : gt.benign) {
     benign.push_back(dm::core::build_wcg(e.transactions));
   }
-  auto forest =
-      dm::core::train_dynaminer(dm::core::dataset_from_wcgs(infections, benign), 42);
+  const dm::ml::TrainerOptions trainer{.threads = train_threads};
+  auto forest = dm::core::train_dynaminer(
+      dm::core::dataset_from_wcgs(infections, benign, {}, trainer),
+      dm::ml::kDefaultTrainingSeed, trainer);
   dm::ml::save_forest_file(forest, kModelCache);
   std::printf("trained and cached model to %s\n", kModelCache);
   return dm::core::Detector(std::move(forest));
@@ -54,9 +61,24 @@ dm::core::Detector train_detector() {
 
 int main(int argc, char** argv) {
   std::string path;
-  if (argc > 1) {
-    path = argv[1];
-  } else {
+  std::size_t train_threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--train-threads") == 0 && i + 1 < argc) {
+      const long long v = std::atoll(argv[++i]);
+      if (v < 1) {
+        std::fprintf(stderr, "--train-threads wants a positive integer\n");
+        return 2;
+      }
+      train_threads = static_cast<std::size_t>(v);
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--train-threads N] [capture.pcap]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
     // Produce a demo capture: a Nuclear-EK infection episode as real pcap.
     path = "demo_infection.pcap";
     dm::synth::TraceGenerator gen(1234);
@@ -67,7 +89,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("training detector on the ground-truth corpus...\n");
-  const auto detector = train_detector();
+  const auto detector = train_detector(train_threads);
 
   std::printf("scanning %s\n", path.c_str());
   const auto transactions = dm::http::transactions_from_pcap_file(path);

@@ -3,12 +3,16 @@
 // detector — the deployment mode of §V-B where DynaMiner "sits at the edge
 // of a network or as a web proxy".
 //
-// Usage: live_proxy_monitor [--threads N] [--metrics]
+// Usage: live_proxy_monitor [--threads N] [--train-threads N] [--metrics]
 //   --threads 1 (default) replays through the sequential core engine;
 //   --threads N>1 runs the session-sharded concurrent runtime with N shard
 //   workers.  Both modes produce the same alert set on the same stream —
 //   that equivalence is the runtime's core invariant (see DESIGN.md,
 //   "Runtime architecture").
+//   --train-threads N fans the Stage-1 offline training (WCG feature
+//   extraction + ERF tree building) over N workers before the stream
+//   starts; the model is bit-identical at any count (DESIGN.md,
+//   "Training at scale").
 //   --metrics turns on the observability panel: a periodic one-line
 //   reporter while the stream flows, then the full dm::obs snapshot
 //   (counters + per-stage latency histograms incl. clue-to-verdict) in
@@ -92,6 +96,7 @@ void print_summary(const dm::core::OnlineStats& stats) {
 
 int main(int argc, char** argv) {
   std::size_t threads = 1;
+  std::size_t train_threads = 1;
   bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -101,10 +106,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       threads = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--train-threads") == 0 && i + 1 < argc) {
+      const long long v = std::atoll(argv[++i]);
+      if (v < 1) {
+        std::fprintf(stderr, "--train-threads wants a positive integer\n");
+        return 2;
+      }
+      train_threads = static_cast<std::size_t>(v);
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N] [--metrics]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--train-threads N] [--metrics]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -121,8 +135,11 @@ int main(int argc, char** argv) {
   for (const auto& e : gt.benign) {
     benign.push_back(dm::core::build_wcg(e.transactions));
   }
+  const dm::ml::TrainerOptions trainer{.threads = train_threads};
   const auto detector = std::make_shared<const dm::core::Detector>(
-      dm::core::train_dynaminer(dm::core::dataset_from_wcgs(infections, benign), 42));
+      dm::core::train_dynaminer(
+          dm::core::dataset_from_wcgs(infections, benign, {}, trainer),
+          dm::ml::kDefaultTrainingSeed, trainer));
 
   // Assemble the live mix: 12 benign sessions, 3 infections, interleaved.
   dm::synth::TraceGenerator live(/*seed=*/9001);

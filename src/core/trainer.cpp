@@ -1,17 +1,71 @@
 #include "core/trainer.h"
 
+#include "runtime/worker_pool.h"
+
 namespace dm::core {
+namespace {
+
+/// Extracts one collection's feature vectors into `out` (pre-sized,
+/// slot i <- wcgs[i]), inline or fanned over `pool`.
+void extract_collection(std::span<const Wcg> wcgs,
+                        const FeatureExtractorOptions& options,
+                        dm::runtime::WorkerPool* pool,
+                        const dm::obs::StageTimer& timer,
+                        dm::ml::TrainerMetrics& obs,
+                        std::vector<std::vector<double>>& out) {
+  out.resize(wcgs.size());
+  for (std::size_t i = 0; i < wcgs.size(); ++i) {
+    // Pool tasks outlive this frame (the caller drains after submitting
+    // both collections), so the task captures the span by value and only
+    // caller-owned state by reference — nothing local to this function.
+    auto task = [wcgs, &options, &timer, &obs, &out, i] {
+      auto span = timer.span(obs.extract_ns);
+      out[i] = extract_features(wcgs[i], options);
+      span.stop();
+      obs.wcgs_extracted.add(1);
+    };
+    if (pool != nullptr) {
+      pool->submit(std::move(task));
+    } else {
+      task();
+    }
+  }
+}
+
+}  // namespace
 
 dm::ml::Dataset dataset_from_wcgs(std::span<const Wcg> infections,
                                   std::span<const Wcg> benign,
-                                  const FeatureExtractorOptions& options) {
+                                  const FeatureExtractorOptions& options,
+                                  const dm::ml::TrainerOptions& trainer) {
+  dm::ml::TrainerMetrics obs = dm::ml::trainer_metrics(trainer);
+  const dm::obs::StageTimer timer(trainer.clock);
+
+  // Feature vectors land in per-collection slots; rows are appended from
+  // the slots afterwards, so the dataset is identical at any thread count.
+  std::vector<std::vector<double>> infection_rows;
+  std::vector<std::vector<double>> benign_rows;
+  const std::size_t threads = dm::ml::resolve_trainer_threads(trainer.threads);
+  if (threads <= 1 || infections.size() + benign.size() <= 1) {
+    extract_collection(infections, options, nullptr, timer, obs, infection_rows);
+    extract_collection(benign, options, nullptr, timer, obs, benign_rows);
+  } else {
+    dm::runtime::WorkerPool pool(
+        {.workers = threads,
+         .queue_capacity =
+             std::max<std::size_t>(1, infections.size() + benign.size())});
+    extract_collection(infections, options, &pool, timer, obs, infection_rows);
+    extract_collection(benign, options, &pool, timer, obs, benign_rows);
+    pool.drain();  // latch barrier: every slot written and visible
+  }
+
   const auto& names = feature_names();
   dm::ml::Dataset data(std::vector<std::string>(names.begin(), names.end()));
-  for (const Wcg& wcg : infections) {
-    data.add_row(extract_features(wcg, options), dm::ml::kInfection);
+  for (auto& row : infection_rows) {
+    data.add_row(std::move(row), dm::ml::kInfection);
   }
-  for (const Wcg& wcg : benign) {
-    data.add_row(extract_features(wcg, options), dm::ml::kBenign);
+  for (auto& row : benign_rows) {
+    data.add_row(std::move(row), dm::ml::kBenign);
   }
   return data;
 }
@@ -27,9 +81,10 @@ dm::ml::ForestOptions paper_forest_options(std::size_t num_features,
 }
 
 dm::ml::RandomForest train_dynaminer(const dm::ml::Dataset& data,
-                                     std::uint64_t seed) {
-  return dm::ml::RandomForest::train(
-      data, paper_forest_options(data.num_features(), seed));
+                                     std::uint64_t seed,
+                                     const dm::ml::TrainerOptions& trainer) {
+  return dm::ml::train_forest_parallel(
+      data, paper_forest_options(data.num_features(), seed), trainer);
 }
 
 }  // namespace dm::core

@@ -1,27 +1,41 @@
 // Stage-1 training glue: WCG collections -> feature Dataset -> the paper's
 // ERF configuration (Nt = 20 trees, Nf = log2(37)+1 features per split,
 // probability averaging).
+//
+// Both legs scale across threads via dm::ml::TrainerOptions without
+// changing the learned model: feature extraction fans the per-WCG work
+// over a runtime::WorkerPool into order-preserving slots, and forest
+// training uses counter-based per-tree RNG streams (ml/parallel_trainer.h)
+// — the dataset and the forest are bit-identical at every thread count.
 #pragma once
 
 #include <span>
 
 #include "core/features.h"
+#include "ml/parallel_trainer.h"
 #include "ml/random_forest.h"
 
 namespace dm::core {
 
 /// Extracts features from labeled WCG collections into one Dataset
-/// (label 1 = infection, 0 = benign).
+/// (label 1 = infection, 0 = benign).  Row order is infections then benign,
+/// each in input order, regardless of trainer.threads.
 dm::ml::Dataset dataset_from_wcgs(std::span<const Wcg> infections,
                                   std::span<const Wcg> benign,
-                                  const FeatureExtractorOptions& options = {});
+                                  const FeatureExtractorOptions& options = {},
+                                  const dm::ml::TrainerOptions& trainer = {});
 
-/// The paper's ERF configuration for a given feature count.
-dm::ml::ForestOptions paper_forest_options(std::size_t num_features = kNumFeatures,
-                                           std::uint64_t seed = 42);
+/// The paper's ERF configuration for a given feature count.  The default
+/// seed is the single documented training seed, ml::kDefaultTrainingSeed —
+/// paper_forest_options(n).seed == ForestOptions{}.seed by construction.
+dm::ml::ForestOptions paper_forest_options(
+    std::size_t num_features = kNumFeatures,
+    std::uint64_t seed = dm::ml::kDefaultTrainingSeed);
 
 /// Trains the ERF on a prepared dataset with the paper's configuration.
-dm::ml::RandomForest train_dynaminer(const dm::ml::Dataset& data,
-                                     std::uint64_t seed = 42);
+dm::ml::RandomForest train_dynaminer(
+    const dm::ml::Dataset& data,
+    std::uint64_t seed = dm::ml::kDefaultTrainingSeed,
+    const dm::ml::TrainerOptions& trainer = {});
 
 }  // namespace dm::core

@@ -5,12 +5,16 @@ namespace dm::ml {
 CrossValidationResult cross_validate(const Dataset& data, std::size_t k,
                                      const ForestOptions& options,
                                      std::uint64_t seed,
-                                     double decision_threshold) {
+                                     double decision_threshold,
+                                     const TrainerOptions& trainer) {
   dm::util::Rng rng(seed);
   const auto folds = stratified_folds(data, k, rng);
+  TrainerMetrics obs = trainer_metrics(trainer);
+  const dm::obs::StageTimer timer(trainer.clock);
 
   CrossValidationResult result;
   for (std::size_t fold = 0; fold < k; ++fold) {
+    auto fold_span = timer.span(obs.fold_ns);
     std::vector<std::size_t> train_rows;
     for (std::size_t other = 0; other < k; ++other) {
       if (other == fold) continue;
@@ -19,7 +23,7 @@ CrossValidationResult cross_validate(const Dataset& data, std::size_t k,
     ForestOptions fold_options = options;
     fold_options.seed = seed ^ (0x9e3779b97f4a7c15ULL * (fold + 1));
     const Dataset train = data.subset(train_rows);
-    const RandomForest forest = RandomForest::train(train, fold_options);
+    const RandomForest forest = train_forest_parallel(train, fold_options, trainer);
 
     std::vector<int> fold_labels;
     std::vector<int> fold_predictions;

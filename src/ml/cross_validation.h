@@ -4,6 +4,7 @@
 #pragma once
 
 #include "ml/metrics.h"
+#include "ml/parallel_trainer.h"
 #include "ml/random_forest.h"
 
 namespace dm::ml {
@@ -23,10 +24,14 @@ struct CrossValidationResult {
 
 /// Runs stratified k-fold CV: trains a forest on k-1 folds, scores the held
 /// out fold, pools results.  `decision_threshold` converts scores to hard
-/// predictions for the confusion matrix.
+/// predictions for the confusion matrix.  `trainer` controls the per-fold
+/// forest training (threads, dm.train.* metrics incl. the per-fold
+/// dm.train.fold_ns latency); the result is identical for every thread
+/// count.
 CrossValidationResult cross_validate(const Dataset& data, std::size_t k,
                                      const ForestOptions& options,
                                      std::uint64_t seed,
-                                     double decision_threshold = 0.5);
+                                     double decision_threshold = 0.5,
+                                     const TrainerOptions& trainer = {});
 
 }  // namespace dm::ml

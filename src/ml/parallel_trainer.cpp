@@ -1,0 +1,78 @@
+#include "ml/parallel_trainer.h"
+
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/worker_pool.h"
+
+namespace dm::ml {
+
+TrainerMetrics TrainerMetrics::of(dm::obs::MetricsRegistry& reg) {
+  return TrainerMetrics{
+      .trees_built = reg.counter("dm.train.trees_built"),
+      .forests_trained = reg.counter("dm.train.forests_trained"),
+      .wcgs_extracted = reg.counter("dm.train.wcgs_extracted"),
+      .tree_build_ns = reg.histogram("dm.train.tree_build_ns"),
+      .forest_train_ns = reg.histogram("dm.train.forest_train_ns"),
+      .extract_ns = reg.histogram("dm.train.extract_ns"),
+      .fold_ns = reg.histogram("dm.train.fold_ns"),
+  };
+}
+
+TrainerMetrics trainer_metrics(const TrainerOptions& trainer) {
+  return TrainerMetrics::of(trainer.metrics != nullptr ? *trainer.metrics
+                                                       : dm::obs::registry());
+}
+
+std::size_t resolve_trainer_threads(std::size_t threads) noexcept {
+  if (threads != 0) return threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+RandomForest train_forest_parallel(const Dataset& data,
+                                   const ForestOptions& options,
+                                   const TrainerOptions& trainer) {
+  if (data.empty()) {
+    throw std::invalid_argument("train_forest_parallel: empty dataset");
+  }
+  TrainerMetrics obs = trainer_metrics(trainer);
+  const dm::obs::StageTimer timer(trainer.clock);
+  auto forest_span = timer.span(obs.forest_train_ns);
+
+  TreeOptions tree_options = options.tree;
+  tree_options.features_per_split =
+      options.features_per_split > 0
+          ? options.features_per_split
+          : default_features_per_split(data.num_features());
+
+  // Slot t is written only by tree t's task, so assembly is a plain move —
+  // execution order cannot leak into the ensemble.
+  std::vector<DecisionTree> trees(options.num_trees);
+  const auto build_tree = [&](std::size_t t) {
+    auto span = timer.span(obs.tree_build_ns);
+    dm::util::Rng tree_rng(tree_stream_seed(options.seed, t));
+    const auto bootstrap = bootstrap_sample(data.size(), options, tree_rng);
+    trees[t] = DecisionTree::train(data, bootstrap, tree_options, tree_rng);
+    span.stop();
+    obs.trees_built.add(1);
+  };
+
+  const std::size_t threads = resolve_trainer_threads(trainer.threads);
+  if (threads <= 1 || options.num_trees <= 1) {
+    for (std::size_t t = 0; t < options.num_trees; ++t) build_tree(t);
+  } else {
+    dm::runtime::WorkerPool pool(
+        {.workers = std::min(threads, options.num_trees),
+         .queue_capacity = std::max<std::size_t>(1, options.num_trees)});
+    for (std::size_t t = 0; t < options.num_trees; ++t) {
+      pool.submit(t, [&build_tree, t] { build_tree(t); });
+    }
+    pool.drain();  // latch barrier: all slots written and visible
+  }
+
+  forest_span.stop();
+  obs.forests_trained.add(1);
+  return RandomForest::assemble(std::move(trees), options);
+}
+
+}  // namespace dm::ml

@@ -9,6 +9,23 @@ std::size_t default_features_per_split(std::size_t num_features) noexcept {
   return static_cast<std::size_t>(std::log2(static_cast<double>(num_features))) + 1;
 }
 
+std::uint64_t tree_stream_seed(std::uint64_t seed, std::size_t tree) noexcept {
+  return dm::util::stream_seed(seed, static_cast<std::uint64_t>(tree));
+}
+
+std::vector<std::size_t> bootstrap_sample(std::size_t dataset_size,
+                                          const ForestOptions& options,
+                                          dm::util::Rng& tree_rng) {
+  const auto sample_size = static_cast<std::size_t>(
+      static_cast<double>(dataset_size) * options.bootstrap_fraction);
+  std::vector<std::size_t> bootstrap(std::max<std::size_t>(1, sample_size));
+  for (auto& idx : bootstrap) {
+    idx = static_cast<std::size_t>(
+        tree_rng.uniform_int(0, static_cast<std::int64_t>(dataset_size) - 1));
+  }
+  return bootstrap;
+}
+
 RandomForest RandomForest::train(const Dataset& data, const ForestOptions& options) {
   if (data.empty()) throw std::invalid_argument("RandomForest::train: empty dataset");
   RandomForest forest;
@@ -20,21 +37,21 @@ RandomForest RandomForest::train(const Dataset& data, const ForestOptions& optio
           ? options.features_per_split
           : default_features_per_split(data.num_features());
 
-  dm::util::Rng rng(options.seed);
-  const auto sample_size = static_cast<std::size_t>(
-      static_cast<double>(data.size()) * options.bootstrap_fraction);
-
   forest.trees_.reserve(options.num_trees);
   for (std::size_t t = 0; t < options.num_trees; ++t) {
-    dm::util::Rng tree_rng = rng.fork();
-    std::vector<std::size_t> bootstrap(std::max<std::size_t>(1, sample_size));
-    for (auto& idx : bootstrap) {
-      idx = static_cast<std::size_t>(
-          tree_rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
-    }
+    dm::util::Rng tree_rng(tree_stream_seed(options.seed, t));
+    const auto bootstrap = bootstrap_sample(data.size(), options, tree_rng);
     forest.trees_.push_back(
         DecisionTree::train(data, bootstrap, tree_options, tree_rng));
   }
+  return forest;
+}
+
+RandomForest RandomForest::assemble(std::vector<DecisionTree> trees,
+                                    const ForestOptions& options) {
+  RandomForest forest;
+  forest.options_ = options;
+  forest.trees_ = std::move(trees);
   return forest;
 }
 

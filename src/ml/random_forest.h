@@ -20,6 +20,12 @@ enum class Combination {
   kMajorityVote,          // ablation baseline
 };
 
+/// The one documented default training seed.  Every option path that ends
+/// in a trained ERF — ForestOptions{}, core::paper_forest_options(),
+/// core::train_dynaminer()'s default argument — resolves to this constant,
+/// so "the model trained with defaults" means exactly one forest.
+inline constexpr std::uint64_t kDefaultTrainingSeed = 42;
+
 struct ForestOptions {
   std::size_t num_trees = 20;  // paper's Nt
   /// Candidate features per split; 0 -> log2(num_features) + 1 (paper's Nf).
@@ -28,16 +34,39 @@ struct ForestOptions {
   Combination combination = Combination::kProbabilityAveraging;
   /// Bootstrap sample size as a fraction of the training set.
   double bootstrap_fraction = 1.0;
-  std::uint64_t seed = 42;
+  std::uint64_t seed = kDefaultTrainingSeed;
 };
 
 /// Returns the paper's default Nf for a feature count.
 std::size_t default_features_per_split(std::size_t num_features) noexcept;
 
+/// Seed of tree `tree`'s private RNG stream: util::stream_seed(seed, tree).
+/// Tree identity alone determines the stream — not training order, not
+/// thread — which is what makes parallel and sequential training produce
+/// bit-identical forests (see ml/parallel_trainer.h).
+std::uint64_t tree_stream_seed(std::uint64_t seed, std::size_t tree) noexcept;
+
+/// The bootstrap sample (row indices, duplicates expected) tree `tree`
+/// trains on; consumes the leading draws of that tree's RNG stream.  Shared
+/// by the sequential and parallel trainers so both paths sample identically.
+std::vector<std::size_t> bootstrap_sample(std::size_t dataset_size,
+                                          const ForestOptions& options,
+                                          dm::util::Rng& tree_rng);
+
 class RandomForest {
  public:
-  /// Trains Nt trees on bootstrap samples of `data`.
+  /// Trains Nt trees on bootstrap samples of `data`.  Tree i draws its
+  /// bootstrap and split randomness from the counter-based stream
+  /// tree_stream_seed(options.seed, i), so the result is a pure function of
+  /// (data, options) — ml::train_forest_parallel produces the same forest
+  /// from any thread count.
   static RandomForest train(const Dataset& data, const ForestOptions& options);
+
+  /// Assembly seam for the parallel trainer: wraps already-trained trees
+  /// (tree i trained exactly as train() would have) into a forest carrying
+  /// `options`.
+  static RandomForest assemble(std::vector<DecisionTree> trees,
+                               const ForestOptions& options);
 
   /// Ensemble positive-class score in [0, 1]: mean per-tree probability
   /// under kProbabilityAveraging, or the fraction of positive votes under

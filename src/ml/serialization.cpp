@@ -10,7 +10,8 @@ namespace dm::ml {
 namespace {
 
 constexpr std::string_view kMagic = "dynaminer-forest";
-constexpr std::string_view kVersion = "v1";
+constexpr std::string_view kVersionV1 = "v1";  // pre-options legacy, read-only
+constexpr std::string_view kVersion = "v2";
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::runtime_error("forest serialization: " + what);
@@ -56,6 +57,18 @@ double read_double(std::istream& in, const char* context) {
     fail(std::string("bad double for ") + context);
   }
   return value;
+}
+
+std::uint64_t read_u64(std::istream& in, const char* context) {
+  const std::string token = next_token(in, context);
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(token, &consumed);
+    if (consumed != token.size()) fail(std::string("bad integer for ") + context);
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::exception&) {
+    fail(std::string("bad integer for ") + context);
+  }
 }
 
 }  // namespace
@@ -104,12 +117,23 @@ void RandomForest::serialize(std::ostream& out) const {
       << (options_.combination == Combination::kProbabilityAveraging ? "avg"
                                                                      : "vote")
       << '\n';
+  // v2: every remaining ForestOptions field, so nothing about the training
+  // configuration is silently dropped on the way to the Stage-2 deployment.
+  out << "options features-per-split " << options_.features_per_split
+      << " bootstrap-fraction " << format_double(options_.bootstrap_fraction)
+      << " seed " << options_.seed << '\n';
+  out << "tree-options max-depth " << options_.tree.max_depth
+      << " min-samples-split " << options_.tree.min_samples_split
+      << " min-samples-leaf " << options_.tree.min_samples_leaf << '\n';
   for (const DecisionTree& tree : trees_) tree.serialize(out);
 }
 
 RandomForest RandomForest::deserialize(std::istream& in) {
   expect_token(in, kMagic);
-  expect_token(in, kVersion);
+  const std::string version = next_token(in, "version");
+  if (version != kVersion && version != kVersionV1) {
+    fail("expected '" + std::string(kVersion) + "', got '" + version + "'");
+  }
   expect_token(in, "trees");
   const long count = read_long(in, "tree count");
   if (count < 0 || count > 100000) fail("implausible tree count");
@@ -125,6 +149,26 @@ RandomForest RandomForest::deserialize(std::istream& in) {
     fail("unknown combination '" + combination + "'");
   }
   forest.options_.num_trees = static_cast<std::size_t>(count);
+  if (version == kVersion) {
+    expect_token(in, "options");
+    expect_token(in, "features-per-split");
+    forest.options_.features_per_split =
+        static_cast<std::size_t>(read_u64(in, "features-per-split"));
+    expect_token(in, "bootstrap-fraction");
+    forest.options_.bootstrap_fraction = read_double(in, "bootstrap-fraction");
+    expect_token(in, "seed");
+    forest.options_.seed = read_u64(in, "seed");
+    expect_token(in, "tree-options");
+    expect_token(in, "max-depth");
+    forest.options_.tree.max_depth =
+        static_cast<std::size_t>(read_u64(in, "max-depth"));
+    expect_token(in, "min-samples-split");
+    forest.options_.tree.min_samples_split =
+        static_cast<std::size_t>(read_u64(in, "min-samples-split"));
+    expect_token(in, "min-samples-leaf");
+    forest.options_.tree.min_samples_leaf =
+        static_cast<std::size_t>(read_u64(in, "min-samples-leaf"));
+  }
   forest.trees_.reserve(static_cast<std::size_t>(count));
   for (long i = 0; i < count; ++i) {
     forest.trees_.push_back(DecisionTree::deserialize(in));

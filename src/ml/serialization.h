@@ -5,12 +5,18 @@
 // format that is stable across platforms (doubles are round-tripped via
 // hex-float formatting).
 //
-// Format sketch:
-//   dynaminer-forest v1
-//   trees <N> combination <avg|vote> threshold-features <Nf>
+// Format sketch (v2 — current writer):
+//   dynaminer-forest v2
+//   trees <N> combination <avg|vote>
+//   options features-per-split <Nf> bootstrap-fraction <hexfloat> seed <u64>
+//   tree-options max-depth <D> min-samples-split <S> min-samples-leaf <L>
 //   tree <node-count> <depth>
 //   node <left> <right> <feature> <threshold-hexfloat> <prob-hexfloat>
 //   ...
+// v1 (no `options` / `tree-options` lines) is still readable; its dropped
+// ForestOptions fields load as the ForestOptions defaults.  v2 round-trips
+// every ForestOptions field, so a reloaded forest can be retrained or
+// compared under exactly the configuration that produced it.
 #pragma once
 
 #include <iosfwd>

@@ -11,6 +11,9 @@
 //                 from runtime::Stats) and dispatcher/queue/worker timing
 //   dm.ingest.*   parallel-ingest reconstruction timing
 //   dm.fault.*    decode-fault counters folded from util::FaultStats
+//   dm.train.*    Stage-1 training: per-tree build / per-WCG extract /
+//                 per-CV-fold latency + throughput counters (handles live
+//                 in ml::TrainerMetrics, see ml/parallel_trainer.h)
 //
 // Hot paths construct a PipelineMetrics once (a bundle of references into a
 // registry) and touch only the wait-free handles afterwards.

@@ -109,4 +109,14 @@ std::size_t Rng::weighted_index(std::initializer_list<double> weights) noexcept 
 
 Rng Rng::fork() noexcept { return Rng(next_u64()); }
 
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // splitmix64 finalizer over the stream index; +1 keeps stream 0 from
+  // mapping to mix(0)'s fixed point at the golden-ratio increment alone.
+  std::uint64_t z = stream + 1;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return seed ^ z;
+}
+
 }  // namespace dm::util

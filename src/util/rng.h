@@ -78,10 +78,24 @@ class Rng {
 
   /// Returns a child generator seeded from this one; use to give each
   /// sub-task an independent stream without coupling their consumption.
+  ///
+  /// NOTE: fork() chains — child i's seed depends on how many forks came
+  /// before it, so forked sub-tasks can only reproduce when created in one
+  /// fixed order on one thread.  Work that is fanned out concurrently should
+  /// derive its streams with stream_seed() below instead.
   Rng fork() noexcept;
 
  private:
   std::uint64_t s_[4];
 };
+
+/// Counter-based stream derivation: the seed for sub-task `stream` of a job
+/// seeded with `seed`, computed as seed ^ mix(stream) where mix is the
+/// splitmix64 finalizer.  Unlike Rng::fork(), the result depends only on
+/// (seed, stream) — not on how many streams were derived before it or on
+/// which thread derives it — so N workers can each build Rng(stream_seed(s,
+/// i)) in any order and the ensemble is bit-identical to a sequential loop.
+/// This is the determinism contract the parallel ERF trainer rests on.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) noexcept;
 
 }  // namespace dm::util

@@ -2,10 +2,16 @@
 // determinism and stability on randomly generated datasets.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <sstream>
+
 #include "ml/cross_validation.h"
 #include "ml/feature_ranking.h"
+#include "ml/flat_forest.h"
 #include "ml/metrics.h"
+#include "ml/parallel_trainer.h"
 #include "ml/random_forest.h"
+#include "ml/serialization.h"
 #include "util/rng.h"
 
 namespace dm::ml {
@@ -139,6 +145,65 @@ TEST(MetricsPropertyTest, AucSymmetry) {
                std::count(labels.begin(), labels.end(), kBenign) > 0;
     if (!has_both) continue;
     EXPECT_NEAR(roc_auc(labels, scores) + roc_auc(labels, reversed), 1.0, 1e-9);
+  }
+}
+
+// --- counter-based per-tree RNG streams (the parallel-trainer contract) ----
+
+std::string serialized(const RandomForest& forest) {
+  std::stringstream out;
+  save_forest(forest, out);
+  return out.str();
+}
+
+TEST(RngStreamPropertyTest, TreeStreamSeedsDistinctWithinAndAcrossSeeds) {
+  std::set<std::uint64_t> seen;
+  for (const std::uint64_t seed : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    for (std::size_t tree = 0; tree < 256; ++tree) {
+      EXPECT_TRUE(seen.insert(tree_stream_seed(seed, tree)).second)
+          << "collision at seed " << seed << " tree " << tree;
+    }
+    // The stream of tree 0 must not alias the raw seed either, or a
+    // caller's own Rng(seed) would correlate with the first tree.
+    EXPECT_NE(tree_stream_seed(seed, 0), seed);
+  }
+}
+
+TEST_P(RandomDatasetTest, SeededForestsReproducibleAcrossRunsAndThreads) {
+  const auto data = random_dataset(GetParam(), 200, 5, 1.5);
+  ForestOptions options;
+  options.seed = GetParam();
+  const auto first = train_forest_parallel(data, options, {.threads = 4});
+  const auto second = train_forest_parallel(data, options, {.threads = 4});
+  const auto sequential = RandomForest::train(data, options);
+  EXPECT_EQ(serialized(first), serialized(second));
+  EXPECT_EQ(serialized(first), serialized(sequential));
+}
+
+TEST_P(RandomDatasetTest, DistinctSeedsGiveDistinctBootstraps) {
+  ForestOptions options;
+  // Across seeds: tree 0's bootstrap sample differs.
+  dm::util::Rng a(tree_stream_seed(GetParam(), 0));
+  dm::util::Rng b(tree_stream_seed(GetParam() ^ 0x5a5aULL, 0));
+  EXPECT_NE(bootstrap_sample(500, options, a), bootstrap_sample(500, options, b));
+  // Within one seed: consecutive trees draw different bootstraps.
+  dm::util::Rng t0(tree_stream_seed(GetParam(), 0));
+  dm::util::Rng t1(tree_stream_seed(GetParam(), 1));
+  EXPECT_NE(bootstrap_sample(500, options, t0),
+            bootstrap_sample(500, options, t1));
+}
+
+TEST_P(RandomDatasetTest, FlatForestBitIdenticalToParallelTrainedForest) {
+  const auto data = random_dataset(GetParam(), 200, 5, 2.0);
+  ForestOptions options;
+  options.seed = GetParam();
+  const auto forest = train_forest_parallel(data, options, {.threads = 8});
+  const auto flat = FlatForest::compile(forest);
+  dm::util::Rng rng(GetParam() ^ 0xff);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> x;
+    for (int f = 0; f < 5; ++f) x.push_back(rng.uniform(-8, 8));
+    EXPECT_EQ(flat.predict_proba(x), forest.predict_proba(x));
   }
 }
 

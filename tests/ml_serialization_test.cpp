@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "ml/parallel_trainer.h"
 #include "util/rng.h"
 
 namespace dm::ml {
@@ -60,6 +61,73 @@ TEST(SerializationTest, FileRoundTrip) {
   EXPECT_EQ(forest.predict_proba({5.0, 0.0, 0.0}),
             loaded.predict_proba({5.0, 0.0, 0.0}));
   std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RoundTripPreservesEveryForestOption) {
+  // Regression for the v1 format silently dropping ForestOptions fields:
+  // v2 must round-trip every one of them.
+  const auto data = training_data(6);
+  ForestOptions options;
+  options.num_trees = 7;
+  options.features_per_split = 2;
+  options.combination = Combination::kMajorityVote;
+  options.bootstrap_fraction = 0.75;
+  options.seed = 0xfeedfacecafeULL;
+  options.tree.max_depth = 9;
+  options.tree.min_samples_split = 4;
+  options.tree.min_samples_leaf = 2;
+  const auto forest = RandomForest::train(data, options);
+
+  std::stringstream buffer;
+  save_forest(forest, buffer);
+  const auto loaded = load_forest(buffer);
+  EXPECT_EQ(loaded.options().num_trees, options.num_trees);
+  EXPECT_EQ(loaded.options().features_per_split, options.features_per_split);
+  EXPECT_EQ(loaded.options().combination, options.combination);
+  EXPECT_EQ(loaded.options().bootstrap_fraction, options.bootstrap_fraction);
+  EXPECT_EQ(loaded.options().seed, options.seed);
+  EXPECT_EQ(loaded.options().tree.max_depth, options.tree.max_depth);
+  EXPECT_EQ(loaded.options().tree.min_samples_split,
+            options.tree.min_samples_split);
+  EXPECT_EQ(loaded.options().tree.min_samples_leaf,
+            options.tree.min_samples_leaf);
+}
+
+TEST(SerializationTest, ParallelTrainedForestRoundTripsByteIdentically) {
+  const auto data = training_data(7);
+  ForestOptions options;
+  options.seed = 31337;
+  const auto forest = train_forest_parallel(data, options, {.threads = 8});
+
+  std::stringstream buffer;
+  save_forest(forest, buffer);
+  const auto loaded = load_forest(buffer);
+
+  // Identical scores on random vectors...
+  dm::util::Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> x{rng.uniform(-10, 10), rng.uniform(-5, 5),
+                                rng.uniform(-10, 10)};
+    EXPECT_EQ(forest.predict_proba(x), loaded.predict_proba(x));
+  }
+  // ...and a byte-identical second serialization (options included).
+  std::stringstream again;
+  save_forest(loaded, again);
+  EXPECT_EQ(again.str(), buffer.str());
+}
+
+TEST(SerializationTest, LegacyV1LoadsWithDefaultOptions) {
+  // v1 carried only tree count + combination; the remaining options load
+  // as ForestOptions defaults.
+  std::stringstream buffer(
+      "dynaminer-forest v1\ntrees 1 combination vote\n"
+      "tree 1 0\nnode -1 -1 0 0x0p+0 0x1p-1\n");
+  const auto loaded = load_forest(buffer);
+  EXPECT_EQ(loaded.num_trees(), 1u);
+  EXPECT_EQ(loaded.options().combination, Combination::kMajorityVote);
+  EXPECT_EQ(loaded.options().seed, kDefaultTrainingSeed);
+  EXPECT_EQ(loaded.options().features_per_split, ForestOptions{}.features_per_split);
+  EXPECT_EQ(loaded.options().bootstrap_fraction, ForestOptions{}.bootstrap_fraction);
 }
 
 TEST(SerializationTest, MissingFileThrows) {
