@@ -21,6 +21,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -119,14 +120,44 @@ class JsonRecord {
     fields_.emplace_back(key, std::move(json));
   }
 
+  bool has(const std::string& key) const {
+    for (const auto& [k, v] : fields_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
   std::string to_line() const {
     std::string out = "{";
     for (std::size_t i = 0; i < fields_.size(); ++i) {
       if (i > 0) out += ",";
       out += quote(fields_[i].first) + ":" + fields_[i].second;
     }
+    // Machine/build provenance, stamped into every record so a baseline is
+    // always interpretable after the fact: parallel-speedup numbers are
+    // meaningless without the hardware-thread count they ran on, and perf
+    // trajectories need the commit that produced each line.  Explicit set()
+    // calls win over the automatic values.
+    if (!has("hardware_threads")) {
+      if (!fields_.empty()) out += ",";
+      out += quote("hardware_threads") + ":" +
+             std::to_string(std::thread::hardware_concurrency());
+    }
+    if (!has("git")) {
+      out += "," + quote("git") + ":" + quote(git_describe());
+    }
     out += "}";
     return out;
+  }
+
+  /// The `git describe` of the build that produced this record (configure-
+  /// time snapshot, "unknown" outside a git checkout).
+  static const char* git_describe() {
+#ifdef DM_GIT_DESCRIBE
+    return DM_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
   }
 
   /// Appends this record as one line to `path`; false on I/O failure.
@@ -149,6 +180,55 @@ class JsonRecord {
   }
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Max "hardware_threads" value across the records already in a --json
+/// baseline file (0 when the file is absent, empty, or unstamped).
+inline std::uint64_t baseline_max_hardware_threads(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::uint64_t max_threads = 0;
+  std::string line;
+  static constexpr const char* kKey = "\"hardware_threads\":";
+  while (std::getline(in, line)) {
+    for (std::size_t pos = line.find(kKey); pos != std::string::npos;
+         pos = line.find(kKey, pos + 1)) {
+      const std::uint64_t v =
+          std::strtoull(line.c_str() + pos + std::strlen(kKey), nullptr, 10);
+      if (v > max_threads) max_threads = v;
+    }
+  }
+  return max_threads;
+}
+
+/// Refuses to extend a baseline captured on a wider machine: a record from a
+/// 1-thread container appended after an 8-thread baseline would read as a
+/// massive regression in any trajectory diff.  Returns false (with a
+/// diagnostic) when `path` holds records stamped with more hardware threads
+/// than this run has; DM_BASELINE_FORCE=1 overrides (e.g. deliberately
+/// re-baselining onto a smaller machine — delete the file or force).
+inline bool check_baseline_hardware(const std::string& path) {
+  const std::uint64_t baseline = baseline_max_hardware_threads(path);
+  const std::uint64_t current = std::thread::hardware_concurrency();
+  if (baseline <= current) return true;
+  if (const char* force = std::getenv("DM_BASELINE_FORCE");
+      force != nullptr && std::strcmp(force, "1") == 0) {
+    std::fprintf(stderr,
+                 "WARNING: appending a %llu-hardware-thread record to a "
+                 "baseline captured at %llu (DM_BASELINE_FORCE=1)\n",
+                 static_cast<unsigned long long>(current),
+                 static_cast<unsigned long long>(baseline));
+    return true;
+  }
+  std::fprintf(stderr,
+               "REFUSING to append to %s: existing records were captured "
+               "with hardware_threads=%llu, this machine has %llu.\n"
+               "Perf ratios across machine sizes are not comparable — delete "
+               "the baseline to re-baseline on this machine, or set "
+               "DM_BASELINE_FORCE=1 to append anyway.\n",
+               path.c_str(), static_cast<unsigned long long>(baseline),
+               static_cast<unsigned long long>(current));
+  return false;
+}
 
 inline void print_header(const std::string& title, double scale,
                          std::uint64_t seed) {

@@ -94,6 +94,9 @@ void print_phase(const char* phase, std::size_t threads,
 
 int main(int argc, char** argv) {
   const auto json_path = dm::bench::extract_json_path(argc, argv);
+  // Baseline sanity before any work: never extend a baseline captured on a
+  // wider machine (see check_baseline_hardware).
+  if (json_path && !dm::bench::check_baseline_hardware(*json_path)) return 1;
   const double scale = dm::bench::scale_from_env(0.25);
   const std::uint64_t seed = dm::bench::seed_from_env();
   const std::size_t threads = threads_from_env(8);

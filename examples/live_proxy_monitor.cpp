@@ -4,6 +4,7 @@
 // of a network or as a web proxy".
 //
 // Usage: live_proxy_monitor [--threads N] [--train-threads N] [--metrics]
+//                           [--retrain-every N] [--shadow]
 //   --threads 1 (default) replays through the sequential core engine;
 //   --threads N>1 runs the session-sharded concurrent runtime with N shard
 //   workers.  Both modes produce the same alert set on the same stream —
@@ -17,8 +18,17 @@
 //   reporter while the stream flows, then the full dm::obs snapshot
 //   (counters + per-stage latency histograms incl. clue-to-verdict) in
 //   human-table form.
+//   --retrain-every N turns on the continual-learning serving layer
+//   (DESIGN.md, "Model lifecycle"): every completed verdict feeds the
+//   retraining reservoir, and every N admissions a candidate forest is
+//   retrained in the background and hot-swapped into the live engine —
+//   the stream never pauses.
+//   --shadow (with --retrain-every) gates each candidate behind shadow
+//   scoring: it rides along on live queries and is published only once
+//   its decisions agree with the incumbent's.
 //
-// The monitor prints each alert as it fires, then a session summary.
+// The monitor prints each alert as it fires, then a session summary (and,
+// with --retrain-every, the model-lifecycle panel).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +41,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "runtime/sharded_online.h"
+#include "serve/retrain.h"
 #include "synth/dataset.h"
 
 namespace {
@@ -92,11 +103,34 @@ void print_summary(const dm::core::OnlineStats& stats) {
               stats.alerts);
 }
 
+void print_model_panel(const dm::serve::RetrainDriver& driver) {
+  std::printf("\n--- model lifecycle (dm.model.*) ---\n");
+  std::printf("published version:      %llu\n",
+              static_cast<unsigned long long>(driver.version()));
+  std::printf("reservoir:              %zu infection + %zu benign samples "
+              "(%llu offered, %llu admitted)\n",
+              driver.reservoir().infection_count(),
+              driver.reservoir().benign_count(),
+              static_cast<unsigned long long>(driver.reservoir().offered()),
+              static_cast<unsigned long long>(driver.reservoir().admitted()));
+  std::printf("retrains:               %llu\n",
+              static_cast<unsigned long long>(driver.retrains()));
+  std::printf("hot swaps:              %llu\n",
+              static_cast<unsigned long long>(driver.swaps()));
+  std::printf("candidates rejected:    %llu\n",
+              static_cast<unsigned long long>(driver.candidates_rejected()));
+  std::printf("shadow agreement:       %.3f%s\n",
+              driver.shadow_agreement_rate(),
+              driver.shadow_active() ? " (candidate still shadowing)" : "");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::size_t train_threads = 1;
+  std::size_t retrain_every = 0;
+  bool shadow = false;
   bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -113,14 +147,28 @@ int main(int argc, char** argv) {
         return 2;
       }
       train_threads = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--retrain-every") == 0 && i + 1 < argc) {
+      const long long v = std::atoll(argv[++i]);
+      if (v < 1) {
+        std::fprintf(stderr, "--retrain-every wants a positive integer\n");
+        return 2;
+      }
+      retrain_every = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--shadow") == 0) {
+      shadow = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--train-threads N] [--metrics]\n",
+                   "usage: %s [--threads N] [--train-threads N] [--metrics] "
+                   "[--retrain-every N] [--shadow]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (shadow && retrain_every == 0) {
+    std::fprintf(stderr, "--shadow only matters with --retrain-every N\n");
+    return 2;
   }
 
   // Train on the offline corpus (Stage 1).  One read-only model is shared
@@ -161,10 +209,31 @@ int main(int argc, char** argv) {
   dm::core::OnlineOptions options;
   options.redirect_chain_threshold = 2;
 
+  // Continual learning (--retrain-every): the serving layer taps every
+  // completed verdict into its reservoir and hot-swaps retrained candidates
+  // into the live engine while the stream flows.
+  std::unique_ptr<dm::serve::RetrainDriver> serving;
+  if (retrain_every > 0) {
+    dm::serve::ServeOptions serve;
+    serve.retrain_every_admissions = retrain_every;
+    serve.shadow_before_cutover = shadow;
+    serve.shadow.min_queries = 16;
+    serve.shadow.agreement_threshold = 0.9;
+    serve.forest = dm::core::paper_forest_options();
+    serve.train_threads = train_threads;
+    serve.decision_threshold = options.decision_threshold;
+    serving = std::make_unique<dm::serve::RetrainDriver>(detector, serve);
+    options.verdict_tap = serving->verdict_tap();
+    std::printf("continual learning on: retrain every %zu reservoir "
+                "admissions%s\n",
+                retrain_every, shadow ? ", shadow-gated cutover" : "");
+  }
+
   MetricsReporter reporter(metrics);
 
   if (threads <= 1) {
     // Sequential watch: alerts print the moment they fire.
+    if (serving) options.scorer = serving->make_scorer();
     dm::core::OnlineDetector proxy(detector, options);
     std::printf("streaming %zu transactions through the proxy (sequential)...\n\n",
                 stream.size());
@@ -176,6 +245,10 @@ int main(int argc, char** argv) {
       reporter.tick(++streamed, txn.request.ts_micros, stream_start);
     }
     print_summary(proxy.stats());
+    if (serving) {
+      serving->drain();
+      print_model_panel(*serving);
+    }
     reporter.final_panel();
     return 0;
   }
@@ -185,6 +258,13 @@ int main(int argc, char** argv) {
   dm::runtime::ShardedOptions sharded;
   sharded.num_shards = threads;
   sharded.online = options;
+  if (serving) {
+    // One epoch-pinned scorer per shard: each worker refreshes onto a newly
+    // published model at its own query boundary, never mid-score.
+    sharded.scorer_factory = [&serving](std::size_t) {
+      return serving->make_scorer();
+    };
+  }
   dm::runtime::ShardedOnlineEngine proxy(detector, sharded);
   std::printf("streaming %zu transactions through the proxy (%zu shards)...\n\n",
               stream.size(), proxy.num_shards());
@@ -209,6 +289,10 @@ int main(int argc, char** argv) {
     std::printf("shard %zu:                %llu txns, %llu alert(s)\n", s,
                 static_cast<unsigned long long>(runtime.per_shard_transactions[s]),
                 static_cast<unsigned long long>(runtime.per_shard_alerts[s]));
+  }
+  if (serving) {
+    serving->drain();
+    print_model_panel(*serving);
   }
   reporter.final_panel();
   return 0;

@@ -287,8 +287,16 @@ std::optional<Alert> OnlineDetector::classify_session(Session& session,
   double score = 0.0;
   try {
     if (options_.classifier_fault_hook) options_.classifier_fault_hook(txn);
-    score = incremental ? detector_->score(*wcg, &session.feature_cache)
-                        : detector_->score_from_scratch(*wcg);
+    if (options_.scorer) {
+      // Serving seam: the installed scorer replaces the bound detector (it
+      // may swap models between queries).  The cache stays valid across
+      // swaps — graph-metric extraction is model-independent.
+      score = options_.scorer->score(
+          *wcg, incremental ? &session.feature_cache : nullptr);
+    } else {
+      score = incremental ? detector_->score(*wcg, &session.feature_cache)
+                          : detector_->score_from_scratch(*wcg);
+    }
   } catch (const std::exception& e) {
     ++stats_.classifier_failures;
     session.scope_eval_valid = false;  // retry on the next update
@@ -312,7 +320,13 @@ std::optional<Alert> OnlineDetector::classify_session(Session& session,
     obs_.detect_clue_to_verdict_ns.record(
         now_ns >= session.clue_fired_ns ? now_ns - session.clue_fired_ns : 0);
   }
-  if (score < options_.decision_threshold) return std::nullopt;
+  // Feed the serving layer's retraining loop: every completed verdict is an
+  // observation of (WCG, label-as-classified).
+  const bool infection = score >= options_.decision_threshold;
+  if (options_.verdict_tap) {
+    options_.verdict_tap(*wcg, score, infection, txn.request.ts_micros);
+  }
+  if (!infection) return std::nullopt;
 
   Alert alert;
   alert.ts_micros = txn.request.ts_micros;

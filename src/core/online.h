@@ -44,6 +44,22 @@ enum class ScoringMode {
   kFromScratch,
 };
 
+/// Classifier seam for the scoring hot path.  The engine's default is the
+/// constructor-bound Detector; a serving layer (src/serve) installs an
+/// implementation that scores through an RCU-pinned, hot-swappable model
+/// instead.  Implementations must be deterministic in the WCG — identical
+/// graphs must yield identical scores, the property every alert-identity
+/// fence (sharded determinism, incremental-vs-rebuild, no-op swap) rests on.
+class WcgScorer {
+ public:
+  virtual ~WcgScorer() = default;
+  /// Infection score in [0, 1] for a potential-infection WCG.  `cache` (may
+  /// be null) memoizes graph-metric extraction exactly like
+  /// Detector::score(wcg, cache).  Called from the owning detector's thread
+  /// only; a sharded engine gives each shard its own scorer instance.
+  virtual double score(const Wcg& wcg, FeatureCache* cache) = 0;
+};
+
 struct OnlineOptions {
   BuilderOptions builder;
   /// Redirect-chain threshold l for the infection clue (the paper's
@@ -76,6 +92,22 @@ struct OnlineOptions {
   /// inject both for deterministic, isolated latency assertions.
   dm::obs::MetricsRegistry* metrics = nullptr;
   dm::obs::ClockFn clock = nullptr;
+  /// When set, classify_session queries this scorer instead of the
+  /// constructor-bound detector (both ScoringModes; the scorer decides how
+  /// to use the cache).  Exceptions it throws are quarantined exactly like
+  /// detector failures.
+  std::shared_ptr<WcgScorer> scorer;
+  /// Verdict tap: invoked after every *completed* classifier query with the
+  /// scored WCG, its score, the hard decision at decision_threshold, and
+  /// the trace timestamp of the triggering transaction (for time-window
+  /// sampling).  This is where the serving layer streams verdict-labeled
+  /// WCGs into its retraining reservoir.  Runs on the scoring thread —
+  /// implementations must be cheap on the common path and thread-safe when
+  /// the options are shared across shards.  Never invoked for failed
+  /// (thrown) queries or skipped (unchanged-WCG) updates.
+  std::function<void(const Wcg& wcg, double score, bool alert,
+                     std::uint64_t ts_micros)>
+      verdict_tap;
 };
 
 struct Alert {

@@ -87,6 +87,19 @@ class RandomForest {
   const std::vector<DecisionTree>& trees() const noexcept { return trees_; }
   const ForestOptions& options() const noexcept { return options_; }
 
+  /// Serving-layer provenance: which published model version this forest
+  /// was (or will be) deployed as.  0 — the training default — means
+  /// "unversioned"; the serving layer stamps a candidate at publication
+  /// time.  Deliberately NOT part of ForestOptions: it says nothing about
+  /// how the forest was trained, so the byte-identity fences (parallel
+  /// trainer, no-op retrain) compare forests before stamping.  Serialized
+  /// as an optional v2 trailer (see ml/serialization.h) — a zero version
+  /// writes nothing, keeping pre-serve artifacts byte-stable.
+  std::uint64_t model_version() const noexcept { return model_version_; }
+  void set_model_version(std::uint64_t version) noexcept {
+    model_version_ = version;
+  }
+
   /// Persistence (format documented in ml/serialization.h).
   void serialize(std::ostream& out) const;
   static RandomForest deserialize(std::istream& in);
@@ -94,6 +107,7 @@ class RandomForest {
  private:
   std::vector<DecisionTree> trees_;
   ForestOptions options_;
+  std::uint64_t model_version_ = 0;
 };
 
 }  // namespace dm::ml

@@ -125,6 +125,12 @@ void RandomForest::serialize(std::ostream& out) const {
   out << "tree-options max-depth " << options_.tree.max_depth
       << " min-samples-split " << options_.tree.min_samples_split
       << " min-samples-leaf " << options_.tree.min_samples_leaf << '\n';
+  // Serving provenance, only when stamped: version 0 writes nothing, so
+  // every pre-serve artifact (and every fresh training run) stays
+  // byte-identical to the original v2 layout.
+  if (model_version_ != 0) {
+    out << "model-version " << model_version_ << '\n';
+  }
   for (const DecisionTree& tree : trees_) tree.serialize(out);
 }
 
@@ -168,6 +174,16 @@ RandomForest RandomForest::deserialize(std::istream& in) {
     expect_token(in, "min-samples-leaf");
     forest.options_.tree.min_samples_leaf =
         static_cast<std::size_t>(read_u64(in, "min-samples-leaf"));
+    // Optional trailer: serving-layer model version (absent in artifacts
+    // written before the serving layer existed, and in unstamped forests).
+    const std::streampos before_trailer = in.tellg();
+    std::string token;
+    if (in >> token && token == "model-version") {
+      forest.model_version_ = read_u64(in, "model-version");
+    } else {
+      in.clear();
+      in.seekg(before_trailer);
+    }
   }
   forest.trees_.reserve(static_cast<std::size_t>(count));
   for (long i = 0; i < count; ++i) {

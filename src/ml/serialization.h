@@ -10,13 +10,19 @@
 //   trees <N> combination <avg|vote>
 //   options features-per-split <Nf> bootstrap-fraction <hexfloat> seed <u64>
 //   tree-options max-depth <D> min-samples-split <S> min-samples-leaf <L>
+//   model-version <u64>          (optional — serving-layer provenance)
 //   tree <node-count> <depth>
 //   node <left> <right> <feature> <threshold-hexfloat> <prob-hexfloat>
 //   ...
 // v1 (no `options` / `tree-options` lines) is still readable; its dropped
 // ForestOptions fields load as the ForestOptions defaults.  v2 round-trips
 // every ForestOptions field, so a reloaded forest can be retrained or
-// compared under exactly the configuration that produced it.
+// compared under exactly the configuration that produced it.  The optional
+// `model-version` trailer carries the serving layer's published-version
+// stamp (serve::RetrainDriver); it is omitted when 0, so unstamped forests
+// — including every artifact written before the serving layer existed —
+// serialize byte-identically to the original v2 layout and load with
+// model_version() == 0.
 #pragma once
 
 #include <iosfwd>

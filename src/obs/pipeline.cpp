@@ -35,6 +35,32 @@ PipelineMetrics& pipeline_metrics() {
   return *instance;
 }
 
+ModelMetrics ModelMetrics::of(MetricsRegistry& reg) {
+  return ModelMetrics{
+      reg.gauge("dm.model.version"),
+      reg.gauge("dm.model.reservoir_infections"),
+      reg.gauge("dm.model.reservoir_benign"),
+      reg.counter("dm.model.reservoir_offered"),
+      reg.counter("dm.model.reservoir_admitted"),
+      reg.counter("dm.model.retrains"),
+      reg.counter("dm.model.swaps"),
+      reg.counter("dm.model.candidates_rejected"),
+      reg.counter("dm.model.shadow_scored"),
+      reg.counter("dm.model.shadow_agree"),
+      reg.counter("dm.model.shadow_disagree_infection"),
+      reg.counter("dm.model.shadow_disagree_benign"),
+      reg.histogram("dm.model.shadow_score_ns"),
+      reg.histogram("dm.model.retrain_ns"),
+      reg.histogram("dm.model.swap_publish_ns"),
+  };
+}
+
+ModelMetrics& model_metrics() {
+  static ModelMetrics* instance =
+      new ModelMetrics(ModelMetrics::of(registry()));  // never destroyed
+  return *instance;
+}
+
 void record_fault_counts(const dm::util::FaultStatsSnapshot& faults,
                          MetricsRegistry& reg) {
   for (std::size_t i = 0; i < dm::util::kDecodeErrorCodeCount; ++i) {

@@ -14,6 +14,9 @@
 //   dm.train.*    Stage-1 training: per-tree build / per-WCG extract /
 //                 per-CV-fold latency + throughput counters (handles live
 //                 in ml::TrainerMetrics, see ml/parallel_trainer.h)
+//   dm.model.*    model lifecycle: reservoir levels, retrains, shadow-
+//                 scoring agreement and hot-swap publications (written by
+//                 src/serve; panel defined in ModelMetrics below)
 //
 // Hot paths construct a PipelineMetrics once (a bundle of references into a
 // registry) and touch only the wait-free handles afterwards.
@@ -60,6 +63,38 @@ struct PipelineMetrics {
 
 /// Handles into the process-wide registry.
 PipelineMetrics& pipeline_metrics();
+
+/// The dm.model.* panel: the continual-learning serving layer's instrument
+/// cluster (src/serve writes it; the obs layer owns the naming so one
+/// snapshot covers the model lifecycle next to the pipeline stages).
+///
+/// Agreement accounting is exact by construction:
+///   shadow_scored == shadow_agree + shadow_disagree_infection
+///                                 + shadow_disagree_benign
+/// (serve_shadow_test holds that as a conservation fence.)
+struct ModelMetrics {
+  Gauge& version;                // dm.model.version — currently-published model
+  Gauge& reservoir_infections;   // dm.model.reservoir_infections — held samples
+  Gauge& reservoir_benign;       // dm.model.reservoir_benign
+  Counter& reservoir_offered;    // dm.model.reservoir_offered — verdict-tap events
+  Counter& reservoir_admitted;   // dm.model.reservoir_admitted — kept by sampling
+  Counter& retrains;             // dm.model.retrains — candidate forests trained
+  Counter& swaps;                // dm.model.swaps — publications (hot swaps)
+  Counter& candidates_rejected;  // dm.model.candidates_rejected — failed the gate
+  Counter& shadow_scored;        // dm.model.shadow_scored — side-by-side queries
+  Counter& shadow_agree;         // dm.model.shadow_agree — same hard decision
+  /// Candidate alerts where the incumbent does not (per-class disagreement).
+  Counter& shadow_disagree_infection;  // dm.model.shadow_disagree_infection
+  /// Incumbent alerts where the candidate does not.
+  Counter& shadow_disagree_benign;     // dm.model.shadow_disagree_benign
+  Histogram& shadow_score_ns;    // dm.model.shadow_score_ns — added latency/query
+  Histogram& retrain_ns;         // dm.model.retrain_ns — snapshot->candidate wall
+  Histogram& swap_publish_ns;    // dm.model.swap_publish_ns — publish() duration
+  static ModelMetrics of(MetricsRegistry& reg);
+};
+
+/// dm.model.* handles into the process-wide registry.
+ModelMetrics& model_metrics();
 
 /// Folds one completed run's decode-fault counts into `reg`'s
 /// `dm.fault.<layer/name>` counters (additive — call once per finished

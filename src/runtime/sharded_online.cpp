@@ -20,7 +20,15 @@ ShardedOnlineEngine::ShardedOnlineEngine(
   if (options_.batch_size == 0) options_.batch_size = 1;
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>(detector, options_));
+    if (options_.scorer_factory) {
+      // Per-shard scorer: each shard worker scores through its own instance
+      // (its own model pin), so shards never share scorer state.
+      ShardedOptions shard_options = options_;
+      shard_options.online.scorer = options_.scorer_factory(i);
+      shards_.push_back(std::make_unique<Shard>(detector, shard_options));
+    } else {
+      shards_.push_back(std::make_unique<Shard>(detector, options_));
+    }
     shards_.back()->pending.txns.reserve(options_.batch_size);
   }
 

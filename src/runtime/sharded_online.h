@@ -71,6 +71,15 @@ struct ShardedOptions {
   /// isolation.  A throw here is recorded exactly like a real detector
   /// failure; tests use it to prove workers survive mid-stream throws.
   std::function<void(const dm::http::HttpTransaction&)> observe_fault_hook;
+  /// Serving seam: when set, invoked once per shard at construction; the
+  /// result overrides online.scorer for that shard's detector.  This is how
+  /// the model-serving layer (src/serve) gives every shard a *private*
+  /// epoch-pinned view of the hot-swappable model — per-shard pins make the
+  /// steady-state model read one atomic load, shared by nobody, while a
+  /// background publish flips all shards to the new forest at their next
+  /// query (see serve/model_handle.h).
+  std::function<std::shared_ptr<dm::core::WcgScorer>(std::size_t shard)>
+      scorer_factory;
 };
 
 /// Parallel drop-in for core::OnlineDetector over a time-ordered stream:

@@ -1,0 +1,42 @@
+#include "serve/model_handle.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dm::serve {
+
+ModelHandle::ModelHandle(std::shared_ptr<const dm::core::Detector> initial)
+    : current_(std::move(initial)), version_(1) {
+  if (current_ == nullptr) {
+    throw std::invalid_argument("ModelHandle: initial model must be non-null");
+  }
+}
+
+std::uint64_t ModelHandle::publish(
+    std::shared_ptr<const dm::core::Detector> next) {
+  if (next == nullptr) {
+    throw std::invalid_argument("ModelHandle: published model must be non-null");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_ = std::move(next);
+  // Release-publish *after* the pointer swap: a reader that observes the new
+  // version and takes the mutex is guaranteed to copy the new pointer.
+  const std::uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+  version_.store(v, std::memory_order_release);
+  return v;
+}
+
+std::shared_ptr<const dm::core::Detector> ModelHandle::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+void ModelHandle::Pin::refresh() {
+  std::lock_guard<std::mutex> lock(handle_->mutex_);
+  pinned_ = handle_->current_;
+  // Read under the same lock publish() writes under, so the (pointer,
+  // version) pair is always consistent.
+  pinned_version_ = handle_->version_.load(std::memory_order_relaxed);
+}
+
+}  // namespace dm::serve

@@ -1,0 +1,102 @@
+// RCU-style model publication for the live engine.
+//
+// The serving problem: N shard workers score every transaction against "the
+// current ERF" while a background retrain wants to swap a new forest in —
+// without stopping traffic, without a lock on the scoring path, and without
+// any worker ever observing a half-swapped model.
+//
+// The shape is classic read-copy-update with shared_ptr reclamation:
+//
+//   * The publisher builds the complete candidate Detector off the hot path
+//     and installs it with one pointer store + a version bump (publish()).
+//     Nothing is ever mutated in place, so there is no "mixed" state to
+//     observe: a reader sees the old forest or the new one, never a blend.
+//   * Each reader (one per shard) holds a Pin: a cached shared_ptr plus the
+//     version it was taken at.  The steady-state read path is one relaxed-
+//     acquire load of the version counter and an equality check — no atomic
+//     shared_ptr traffic, no mutex, no contention between shards.  Only
+//     when the version has moved does the Pin take the (cold) mutex to
+//     re-copy the current pointer.
+//   * Grace period = reference counting: a worker mid-score keeps its pinned
+//     Detector alive through the shared_ptr; the old model is reclaimed when
+//     the last stale pin refreshes, with no quiescent-state bookkeeping.
+//
+// serve_hot_swap_test drives concurrent scoring against publish() under
+// ThreadSanitizer and asserts no reader ever sees a score that neither the
+// old nor the new forest would produce.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/detector.h"
+
+namespace dm::serve {
+
+/// One published-model slot.  publish() is serialized internally; any number
+/// of Pins may read concurrently.
+class ModelHandle {
+ public:
+  /// Starts at version 1 with `initial` installed (must be non-null).
+  explicit ModelHandle(std::shared_ptr<const dm::core::Detector> initial);
+
+  ModelHandle(const ModelHandle&) = delete;
+  ModelHandle& operator=(const ModelHandle&) = delete;
+
+  /// Atomically installs `next` (must be non-null) and bumps the version.
+  /// Readers pinned to the previous model keep it alive until they refresh.
+  /// Returns the new version.
+  std::uint64_t publish(std::shared_ptr<const dm::core::Detector> next);
+
+  /// The currently-published model (cold path — takes the mutex).
+  std::shared_ptr<const dm::core::Detector> current() const;
+
+  /// Version of the currently-published model (monotone, starts at 1).
+  std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// A reader's epoch-pinned view.  NOT thread-safe: one Pin per reader
+  /// thread (the sharded engine gives every shard its own via the
+  /// per-shard scorer factory).
+  class Pin {
+   public:
+    Pin() = default;
+    explicit Pin(const ModelHandle* handle) : handle_(handle) {}
+
+    /// The pinned detector, refreshed first if a newer version has been
+    /// published.  Steady state (version unchanged) is one acquire load +
+    /// compare; the returned reference stays valid until the next get().
+    const dm::core::Detector& get() {
+      const std::uint64_t v = handle_->version_.load(std::memory_order_acquire);
+      if (v != pinned_version_ || pinned_ == nullptr) refresh();
+      return *pinned_;
+    }
+
+    /// Version of the model get() would return right now (refreshes first).
+    std::uint64_t version() {
+      get();
+      return pinned_version_;
+    }
+
+   private:
+    void refresh();
+
+    const ModelHandle* handle_ = nullptr;
+    std::shared_ptr<const dm::core::Detector> pinned_;
+    std::uint64_t pinned_version_ = 0;
+  };
+
+  Pin pin() const { return Pin(this); }
+
+ private:
+  /// Guards current_ against concurrent publish/refresh; never held on the
+  /// steady-state read path.
+  mutable std::mutex mutex_;
+  std::shared_ptr<const dm::core::Detector> current_;
+  std::atomic<std::uint64_t> version_;
+};
+
+}  // namespace dm::serve

@@ -1,0 +1,94 @@
+#include "serve/reservoir.h"
+
+#include <algorithm>
+
+namespace dm::serve {
+
+WcgReservoir::WcgReservoir(ReservoirOptions options) : options_(options) {
+  if (options_.capacity_per_class == 0) options_.capacity_per_class = 1;
+  // Independent admission streams per class: the benign stream's draws can
+  // never perturb the infection sample (and vice versa), so each class's
+  // sample is a pure function of its own subsequence.
+  infections_.rng = dm::util::Rng(dm::util::stream_seed(options_.seed, 0));
+  benign_.rng = dm::util::Rng(dm::util::stream_seed(options_.seed, 1));
+}
+
+bool WcgReservoir::offer(const dm::core::Wcg& wcg, double score,
+                         bool infection, std::uint64_t ts_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++offered_;
+  if (options_.window_s > 0) evict_stale_locked(ts_micros);
+  return offer_locked(infection ? infections_ : benign_, wcg, score, infection,
+                      ts_micros);
+}
+
+bool WcgReservoir::offer_locked(ClassSample& sample, const dm::core::Wcg& wcg,
+                                double score, bool infection,
+                                std::uint64_t ts_micros) {
+  const std::uint64_t i = sample.seen++;
+  std::size_t slot;
+  if (sample.items.size() < options_.capacity_per_class) {
+    // Warm-up (or post-eviction headroom): keep unconditionally.
+    slot = sample.items.size();
+    sample.items.emplace_back();
+  } else {
+    // Algorithm R: item i replaces a uniform slot with probability
+    // capacity/(i+1); the draw happens before any copy, so a rejected offer
+    // costs one RNG call and nothing else.
+    const auto j = static_cast<std::uint64_t>(sample.rng.uniform_int(
+        0, static_cast<std::int64_t>(i)));
+    if (j >= options_.capacity_per_class) return false;
+    slot = static_cast<std::size_t>(j);
+  }
+  sample.items[slot] =
+      LabeledWcg{wcg, score, infection, ts_micros};  // the one copy
+  ++admitted_;
+  return true;
+}
+
+void WcgReservoir::evict_stale_locked(std::uint64_t newest_micros) {
+  const double window_us = options_.window_s * 1e6;
+  const auto stale = [&](const LabeledWcg& item) {
+    return newest_micros >= item.ts_micros &&
+           static_cast<double>(newest_micros - item.ts_micros) > window_us;
+  };
+  for (ClassSample* sample : {&infections_, &benign_}) {
+    sample->items.erase(
+        std::remove_if(sample->items.begin(), sample->items.end(), stale),
+        sample->items.end());
+  }
+}
+
+WcgReservoir::Snapshot WcgReservoir::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.infections.reserve(infections_.items.size());
+  for (const auto& item : infections_.items) snap.infections.push_back(item.wcg);
+  snap.benign.reserve(benign_.items.size());
+  for (const auto& item : benign_.items) snap.benign.push_back(item.wcg);
+  snap.offered = offered_;
+  snap.admitted = admitted_;
+  return snap;
+}
+
+std::uint64_t WcgReservoir::offered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return offered_;
+}
+
+std::uint64_t WcgReservoir::admitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_;
+}
+
+std::size_t WcgReservoir::infection_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return infections_.items.size();
+}
+
+std::size_t WcgReservoir::benign_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return benign_.items.size();
+}
+
+}  // namespace dm::serve

@@ -1,0 +1,106 @@
+// Verdict-labeled WCG reservoir: the retraining corpus of the continual-
+// learning loop.
+//
+// The online engine's verdict tap offers every *completed* classifier query
+// — the scored potential-infection WCG plus its hard decision — to this
+// sampler.  Holding the full verdict stream would grow without bound, so the
+// reservoir keeps a fixed-size, per-class sample:
+//
+//   * Pure reservoir mode (window_s == 0): classic Algorithm R per class —
+//     after k items the reservoir holds a uniform sample of everything
+//     offered to that class, each survivor with probability capacity/offered
+//     (Storlie et al.'s rolling-retraining argument wants exactly this: old
+//     and new traffic both represented, weight decaying as the stream
+//     grows).  serve_reservoir_test holds the uniformity property.
+//   * Time-window mode (window_s > 0): additionally evicts samples older
+//     than the window relative to the newest admission, so the corpus tracks
+//     only recent traffic — the paper's Table 6 observation that detection
+//     quality follows training-corpus recency.
+//
+// Determinism: admission is driven by a private counter-based RNG stream per
+// class (util::stream_seed off ReservoirOptions::seed), so the sample is a
+// pure function of (offer sequence, options) — which is what lets the no-op
+// retrain fence demand a byte-identical forest.
+//
+// Thread-safety: offer()/snapshot() are mutex-guarded.  The tap runs on
+// shard worker threads, but only on completed verdicts (orders of magnitude
+// rarer than transactions), and the common rejected-offer path copies
+// nothing — the WCG is copied only on admission.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/wcg.h"
+#include "util/rng.h"
+
+namespace dm::serve {
+
+struct ReservoirOptions {
+  /// Samples retained per class (infection / benign).
+  std::size_t capacity_per_class = 256;
+  /// Seed of the admission RNG streams (class c draws from
+  /// util::stream_seed(seed, c)).
+  std::uint64_t seed = 42;
+  /// Optional recency window in seconds of *trace* time (0 = pure
+  /// reservoir): samples whose verdict timestamp trails the newest admitted
+  /// one by more than this are evicted on the next offer.
+  double window_s = 0.0;
+};
+
+/// One admitted sample: the scored WCG and the verdict that labeled it.
+struct LabeledWcg {
+  dm::core::Wcg wcg;
+  double score = 0.0;
+  bool infection = false;       // the classifier's hard decision
+  std::uint64_t ts_micros = 0;  // trace timestamp of the verdict
+};
+
+class WcgReservoir {
+ public:
+  explicit WcgReservoir(ReservoirOptions options = {});
+
+  /// Offers one verdict-labeled WCG; returns true when admitted (copied into
+  /// the sample).  Thread-safe.
+  bool offer(const dm::core::Wcg& wcg, double score, bool infection,
+             std::uint64_t ts_micros);
+
+  /// A consistent copy of the current sample, split by class in admission-
+  /// slot order — the deterministic training input for RetrainDriver.
+  struct Snapshot {
+    std::vector<dm::core::Wcg> infections;
+    std::vector<dm::core::Wcg> benign;
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+  };
+  Snapshot snapshot() const;
+
+  std::uint64_t offered() const;
+  std::uint64_t admitted() const;
+  std::size_t infection_count() const;
+  std::size_t benign_count() const;
+
+ private:
+  /// Per-class Algorithm R state.
+  struct ClassSample {
+    std::vector<LabeledWcg> items;
+    std::uint64_t seen = 0;  // class-stream length, drives the admit draw
+    dm::util::Rng rng{0};
+  };
+
+  /// Evicts samples older than the window relative to `newest_micros`.
+  void evict_stale_locked(std::uint64_t newest_micros);
+
+  bool offer_locked(ClassSample& sample, const dm::core::Wcg& wcg,
+                    double score, bool infection, std::uint64_t ts_micros);
+
+  ReservoirOptions options_;
+  mutable std::mutex mutex_;
+  ClassSample infections_;
+  ClassSample benign_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+};
+
+}  // namespace dm::serve

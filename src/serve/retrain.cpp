@@ -1,0 +1,262 @@
+#include "serve/retrain.h"
+
+#include <sstream>
+#include <utility>
+
+#include "core/trainer.h"
+#include "ml/parallel_trainer.h"
+#include "ml/serialization.h"
+#include "util/log.h"
+
+namespace dm::serve {
+
+// ---- ServingScorer ---------------------------------------------------------
+//
+// The per-shard serving seam: an epoch-pinned read of the current model plus
+// the shadow side-channel.  One instance per shard (the Pin is not
+// thread-safe); the driver outlives every scorer it hands out because the
+// engine wiring (examples, tests) constructs the driver first and tears the
+// engine down first.
+
+class RetrainDriver::ServingScorer : public dm::core::WcgScorer {
+ public:
+  explicit ServingScorer(RetrainDriver* driver)
+      : driver_(driver), pin_(driver->handle_.pin()) {}
+
+  double score(const dm::core::Wcg& wcg, dm::core::FeatureCache* cache) override {
+    const dm::core::Detector& detector = pin_.get();
+    const double score = detector.score(wcg, cache);
+    // Shadow side-channel: while a candidate is staged, feed it the same
+    // query.  The incumbent's decision still drives the alert — the
+    // candidate only observes.  The flag is the fast-out; steady state
+    // (no candidate) adds one relaxed load to the scoring path.
+    if (driver_->shadow_active_.load(std::memory_order_acquire)) {
+      driver_->shadow_observe(wcg, cache,
+                              score >= driver_->options_.decision_threshold);
+    }
+    return score;
+  }
+
+ private:
+  RetrainDriver* driver_;
+  ModelHandle::Pin pin_;
+};
+
+// ---- RetrainDriver ---------------------------------------------------------
+
+RetrainDriver::RetrainDriver(std::shared_ptr<const dm::core::Detector> initial,
+                             ServeOptions options)
+    : options_(std::move(options)),
+      metrics_(options_.metrics != nullptr
+                   ? dm::obs::ModelMetrics::of(*options_.metrics)
+                   : dm::obs::model_metrics()),
+      timer_(options_.clock),
+      handle_(std::move(initial)),
+      reservoir_(options_.reservoir),
+      pool_({.workers = 1, .queue_capacity = 8}) {
+  metrics_.version.set(static_cast<std::int64_t>(handle_.version()));
+}
+
+RetrainDriver::~RetrainDriver() {
+  // pool_ is the first member destroyed (declared last): its destructor runs
+  // any queued retrain to completion and joins before the rest of the driver
+  // goes away.
+}
+
+void RetrainDriver::on_verdict(const dm::core::Wcg& wcg, double score,
+                               bool alert, std::uint64_t ts_micros) {
+  metrics_.reservoir_offered.add(1);
+  const bool admitted = reservoir_.offer(wcg, score, alert, ts_micros);
+  if (admitted) {
+    metrics_.reservoir_admitted.add(1);
+    metrics_.reservoir_infections.set(
+        static_cast<std::int64_t>(reservoir_.infection_count()));
+    metrics_.reservoir_benign.set(
+        static_cast<std::int64_t>(reservoir_.benign_count()));
+  }
+
+  const std::uint64_t now_ns = timer_.now();
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(trigger_mutex_);
+    if (!clock_anchored_) {
+      // The clock trigger measures time since the *first* verdict, not since
+      // construction — a driver built long before traffic starts should not
+      // fire an empty retrain on the first transaction.
+      clock_anchored_ = true;
+      last_retrain_ns_ = now_ns;
+    }
+    if (admitted) ++admissions_since_retrain_;
+    if (should_retrain_locked(now_ns) &&
+        !retrain_in_flight_.exchange(true, std::memory_order_acq_rel)) {
+      admissions_since_retrain_ = 0;
+      last_retrain_ns_ = now_ns;
+      fire = true;
+    }
+  }
+  if (fire) pool_.submit([this] { run_retrain(); });
+}
+
+bool RetrainDriver::should_retrain_locked(std::uint64_t now_ns) {
+  if (options_.retrain_every_admissions > 0 &&
+      admissions_since_retrain_ >= options_.retrain_every_admissions) {
+    return true;
+  }
+  if (options_.retrain_every_s > 0.0 && clock_anchored_) {
+    const double elapsed_s =
+        static_cast<double>(now_ns - last_retrain_ns_) * 1e-9;
+    if (elapsed_s >= options_.retrain_every_s) return true;
+  }
+  return false;
+}
+
+std::function<void(const dm::core::Wcg&, double, bool, std::uint64_t)>
+RetrainDriver::verdict_tap() {
+  return [this](const dm::core::Wcg& wcg, double score, bool alert,
+                std::uint64_t ts_micros) {
+    on_verdict(wcg, score, alert, ts_micros);
+  };
+}
+
+std::shared_ptr<dm::core::WcgScorer> RetrainDriver::make_scorer() {
+  return std::make_shared<ServingScorer>(this);
+}
+
+void RetrainDriver::run_retrain() {
+  auto retrain_span = timer_.span(metrics_.retrain_ns);
+  const WcgReservoir::Snapshot snap = reservoir_.snapshot();
+  if (snap.infections.size() < options_.min_per_class ||
+      snap.benign.size() < options_.min_per_class) {
+    retrain_span.cancel();
+    retrain_in_flight_.store(false, std::memory_order_release);
+    return;
+  }
+
+  // Train the candidate.  train_forest_parallel is a pure function of
+  // (dataset, forest options) at every thread count, and the snapshot is a
+  // pure function of the offer sequence — so retraining on an unchanged
+  // reservoir yields a byte-identical forest (the no-op fence).
+  dm::ml::TrainerOptions trainer;
+  trainer.threads = options_.train_threads;
+  trainer.metrics = options_.metrics;
+  trainer.clock = options_.clock;
+  const dm::ml::Dataset data = dm::core::dataset_from_wcgs(
+      snap.infections, snap.benign, options_.features, trainer);
+  dm::ml::RandomForest forest =
+      dm::ml::train_forest_parallel(data, options_.forest, trainer);
+
+  // Capture the serialization *before* the version stamp: the byte-identity
+  // fence compares training outputs, and the prospective version differs
+  // between two otherwise-identical retrains.
+  {
+    std::ostringstream out;
+    dm::ml::save_forest(forest, out);
+    std::lock_guard<std::mutex> lock(serialization_mutex_);
+    last_trained_serialization_ = out.str();
+  }
+  retrains_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.retrains.add(1);
+
+  // Prospective provenance stamp: only this driver publishes, and at most
+  // one candidate is in flight, so current+1 is the version this forest
+  // gets if it clears the gate.
+  forest.set_model_version(handle_.version() + 1);
+  auto candidate = std::make_shared<const dm::core::Detector>(
+      std::move(forest), options_.features, options_.decision_threshold);
+  retrain_span.stop();
+
+  if (!options_.shadow_before_cutover) {
+    publish(std::move(candidate));
+    retrain_in_flight_.store(false, std::memory_order_release);
+    return;
+  }
+
+  // Stage the shadow phase; retrain_in_flight_ stays true until the gate
+  // resolves, so a second trigger cannot stack a second candidate.
+  auto evaluator = std::make_shared<ShadowEvaluator>(
+      std::move(candidate), options_.shadow, options_.decision_threshold,
+      metrics_, options_.clock);
+  {
+    std::lock_guard<std::mutex> lock(shadow_mutex_);
+    candidate_ = evaluator;
+    last_evaluator_ = evaluator;
+  }
+  shadow_active_.store(true, std::memory_order_release);
+  dm::util::log_info("serve: candidate trained (", snap.infections.size(),
+                     " infection / ", snap.benign.size(),
+                     " benign samples), shadow scoring toward version ",
+                     handle_.version() + 1);
+}
+
+void RetrainDriver::shadow_observe(const dm::core::Wcg& wcg,
+                                   dm::core::FeatureCache* cache,
+                                   bool incumbent_alert) {
+  std::shared_ptr<ShadowEvaluator> evaluator;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mutex_);
+    evaluator = candidate_;
+  }
+  if (evaluator == nullptr) return;  // resolved between the flag and the lock
+  const ShadowEvaluator::Gate gate = evaluator->observe(wcg, cache, incumbent_alert);
+  if (gate != ShadowEvaluator::Gate::kPending) resolve_candidate(evaluator, gate);
+}
+
+void RetrainDriver::resolve_candidate(
+    const std::shared_ptr<ShadowEvaluator>& evaluator,
+    ShadowEvaluator::Gate gate) {
+  std::lock_guard<std::mutex> lock(shadow_mutex_);
+  if (candidate_ != evaluator) return;  // another thread already resolved it
+  candidate_.reset();
+  shadow_active_.store(false, std::memory_order_release);
+  if (gate == ShadowEvaluator::Gate::kPromote) {
+    publish(evaluator->candidate());
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.candidates_rejected.add(1);
+    dm::util::log_warn("serve: candidate rejected at agreement rate ",
+                       evaluator->agreement_rate(), " after ",
+                       evaluator->scored(), " shadowed queries");
+  }
+  retrain_in_flight_.store(false, std::memory_order_release);
+}
+
+void RetrainDriver::publish(std::shared_ptr<const dm::core::Detector> detector) {
+  auto span = timer_.span(metrics_.swap_publish_ns);
+  const std::uint64_t version = handle_.publish(std::move(detector));
+  span.stop();
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.swaps.add(1);
+  metrics_.version.set(static_cast<std::int64_t>(version));
+  dm::util::log_info("serve: published model version ", version);
+}
+
+bool RetrainDriver::retrain_now() {
+  if (retrain_in_flight_.exchange(true, std::memory_order_acq_rel)) {
+    return false;  // a retrain or staged candidate is already in flight
+  }
+  {
+    std::lock_guard<std::mutex> lock(trigger_mutex_);
+    admissions_since_retrain_ = 0;
+    last_retrain_ns_ = timer_.now();
+    clock_anchored_ = true;
+  }
+  const std::uint64_t before = retrains_.load(std::memory_order_relaxed);
+  pool_.submit([this] { run_retrain(); });
+  pool_.drain();
+  return retrains_.load(std::memory_order_relaxed) > before;
+}
+
+void RetrainDriver::drain() { pool_.drain(); }
+
+double RetrainDriver::shadow_agreement_rate() const {
+  std::lock_guard<std::mutex> lock(shadow_mutex_);
+  if (last_evaluator_ == nullptr) return 1.0;
+  return last_evaluator_->agreement_rate();
+}
+
+std::string RetrainDriver::last_trained_serialization() const {
+  std::lock_guard<std::mutex> lock(serialization_mutex_);
+  return last_trained_serialization_;
+}
+
+}  // namespace dm::serve

@@ -1,0 +1,204 @@
+// RetrainDriver: the model-lifecycle loop around the live engine.
+//
+//                    verdict tap (core::OnlineOptions::verdict_tap)
+//   live engine  ────────────────────────────────►  WcgReservoir
+//        ▲                                               │ trigger (count
+//        │ RCU hot swap                                  │  or clock)
+//   ModelHandle ◄── cutover gate ◄── ShadowEvaluator ◄── background retrain
+//                                                        (train_forest_parallel
+//                                                         on a WorkerPool)
+//
+// The driver owns every piece of that loop:
+//   * on_verdict() — installed as the engine's verdict tap — samples scored
+//     WCGs into the reservoir and fires a retrain when the count or clock
+//     trigger lands (both off by default; tests also call retrain_now()).
+//   * Retraining runs on a private one-worker pool, off the scoring path:
+//     snapshot the reservoir, extract features, train a candidate forest
+//     via PR 5's deterministic parallel trainer (train_threads wide), wrap
+//     it in a Detector.  Training is a pure function of (snapshot, forest
+//     options), so retraining on an unchanged reservoir yields a
+//     byte-identical forest — the no-op fence bench_serve enforces.
+//   * The candidate then shadow-scores live queries beside the incumbent
+//     (see serve/shadow.h) and is published into the ModelHandle only when
+//     the agreement gate clears — or immediately when
+//     ServeOptions::shadow_before_cutover is off.
+//   * make_scorer() builds the per-shard serving scorer: an epoch-pinned
+//     read of the current model plus the shadow side-channel.  Wire it as
+//     runtime::ShardedOptions::scorer_factory (one scorer per shard) or as
+//     core::OnlineOptions::scorer for a sequential engine.
+//
+// Every state change lands in the dm.model.* panel (obs::ModelMetrics).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/detector.h"
+#include "core/online.h"
+#include "ml/random_forest.h"
+#include "obs/pipeline.h"
+#include "obs/timer.h"
+#include "runtime/worker_pool.h"
+#include "serve/model_handle.h"
+#include "serve/reservoir.h"
+#include "serve/shadow.h"
+
+namespace dm::serve {
+
+struct ServeOptions {
+  ReservoirOptions reservoir;
+  ShadowOptions shadow;
+  /// Kick a retrain after every N reservoir *admissions* (0 = no count
+  /// trigger).  Admissions, not offers: a saturated reservoir that rejects
+  /// everything is not learning anything new.
+  std::size_t retrain_every_admissions = 0;
+  /// Kick a retrain when this many seconds of verdict-tap clock time have
+  /// passed since the last one (0 = no clock trigger).  Uses the injectable
+  /// `clock`, so tests drive it deterministically.
+  double retrain_every_s = 0.0;
+  /// Run the candidate through the shadow-scoring gate before cutover.
+  /// When false a trained candidate is published immediately.
+  bool shadow_before_cutover = true;
+  /// Retrains are skipped (not counted) while the reservoir holds fewer
+  /// than this many samples in either class.
+  std::size_t min_per_class = 1;
+  /// Worker threads for the candidate training itself (the retrain task
+  /// always runs on the driver's single background worker).
+  std::size_t train_threads = 1;
+  /// Training configuration for candidates; seed fixed here so retraining
+  /// on an identical reservoir is byte-identical (the no-op fence).
+  dm::ml::ForestOptions forest;
+  /// Feature extraction for candidate detectors — must match the incumbent's
+  /// so shadow scoring can share the per-session extraction cache.
+  dm::core::FeatureExtractorOptions features;
+  /// Decision threshold for candidate detectors and shadow hard decisions;
+  /// keep equal to OnlineOptions::decision_threshold.
+  double decision_threshold = 0.4;
+  /// Observability (null -> process-wide registry / steady clock).
+  dm::obs::MetricsRegistry* metrics = nullptr;
+  dm::obs::ClockFn clock = nullptr;
+};
+
+class RetrainDriver {
+ public:
+  /// `initial` is published as model version 1.
+  RetrainDriver(std::shared_ptr<const dm::core::Detector> initial,
+                ServeOptions options = {});
+  ~RetrainDriver();  // drains in-flight retrains
+
+  RetrainDriver(const RetrainDriver&) = delete;
+  RetrainDriver& operator=(const RetrainDriver&) = delete;
+
+  /// The verdict tap: offer the scored WCG to the reservoir, then check the
+  /// retrain triggers.  Thread-safe (called from every shard worker).
+  void on_verdict(const dm::core::Wcg& wcg, double score, bool alert,
+                  std::uint64_t ts_micros);
+
+  /// Convenience: on_verdict as a std::function for
+  /// core::OnlineOptions::verdict_tap.
+  std::function<void(const dm::core::Wcg&, double, bool, std::uint64_t)>
+  verdict_tap();
+
+  /// A serving scorer holding its own model pin.  One per shard / engine —
+  /// wire via runtime::ShardedOptions::scorer_factory or
+  /// core::OnlineOptions::scorer.
+  std::shared_ptr<dm::core::WcgScorer> make_scorer();
+
+  /// Synchronous retrain on the current reservoir (ops/test seam): runs the
+  /// full trigger path — train, then shadow-stage or publish — and waits
+  /// for the background task.  Returns false when skipped (below
+  /// min_per_class, empty reservoir, or a retrain already in flight).
+  /// Not safe concurrently with a live verdict stream (drain() semantics).
+  bool retrain_now();
+
+  /// Waits for any in-flight background retrain.  Call after the stream is
+  /// finished (not concurrently with on_verdict).
+  void drain();
+
+  ModelHandle& handle() noexcept { return handle_; }
+  const WcgReservoir& reservoir() const noexcept { return reservoir_; }
+  std::uint64_t version() const noexcept { return handle_.version(); }
+  std::uint64_t retrains() const noexcept {
+    return retrains_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t swaps() const noexcept {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t candidates_rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  /// Whether a candidate is currently shadow-scoring.
+  bool shadow_active() const noexcept {
+    return shadow_active_.load(std::memory_order_acquire);
+  }
+  /// Agreement rate of the current/last shadow phase (1.0 if none yet).
+  double shadow_agreement_rate() const;
+
+  /// Serialization of the most recently *trained* candidate forest, before
+  /// any version stamp — the byte-identity fence hook: two retrains on an
+  /// unchanged reservoir must return equal strings here.
+  std::string last_trained_serialization() const;
+
+ private:
+  class ServingScorer;
+
+  /// The background task body: snapshot -> dataset -> candidate forest ->
+  /// shadow-stage or publish.
+  void run_retrain();
+
+  /// Called by scorers on every live query while a shadow phase is active.
+  void shadow_observe(const dm::core::Wcg& wcg, dm::core::FeatureCache* cache,
+                      bool incumbent_alert);
+
+  /// Serialized promote/reject of the evaluator (idempotent per candidate).
+  void resolve_candidate(const std::shared_ptr<ShadowEvaluator>& evaluator,
+                         ShadowEvaluator::Gate gate);
+
+  /// Publishes `detector` (stamping its version) and updates the panel.
+  void publish(std::shared_ptr<const dm::core::Detector> detector);
+
+  /// True when a trigger condition holds (callers must have admitted work).
+  bool should_retrain_locked(std::uint64_t now_ns);
+
+  ServeOptions options_;
+  dm::obs::ModelMetrics metrics_;
+  dm::obs::StageTimer timer_;
+  ModelHandle handle_;
+  WcgReservoir reservoir_;
+
+  /// Trigger state (guarded by trigger_mutex_; touched per admission only).
+  std::mutex trigger_mutex_;
+  std::uint64_t admissions_since_retrain_ = 0;
+  std::uint64_t last_retrain_ns_ = 0;
+  bool clock_anchored_ = false;
+
+  /// True while a retrain task is queued/running or a candidate is staged —
+  /// a second trigger in that window is ignored, not queued.
+  std::atomic<bool> retrain_in_flight_{false};
+
+  /// Shadow phase (candidate_ guarded by shadow_mutex_; the flag is the
+  /// hot-path fast-out).
+  std::atomic<bool> shadow_active_{false};
+  mutable std::mutex shadow_mutex_;
+  std::shared_ptr<ShadowEvaluator> candidate_;
+  std::shared_ptr<ShadowEvaluator> last_evaluator_;  // for post-hoc stats
+
+  mutable std::mutex serialization_mutex_;
+  std::string last_trained_serialization_;
+
+  std::atomic<std::uint64_t> retrains_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  /// One background worker: at most one retrain in flight, serialized FIFO.
+  /// Declared last so it is destroyed first — the pool joins (running any
+  /// queued retrain to completion) while every member the task touches is
+  /// still alive.
+  dm::runtime::WorkerPool pool_;
+};
+
+}  // namespace dm::serve

@@ -1,0 +1,68 @@
+#include "serve/shadow.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dm::serve {
+
+ShadowEvaluator::ShadowEvaluator(
+    std::shared_ptr<const dm::core::Detector> candidate, ShadowOptions options,
+    double threshold, dm::obs::ModelMetrics& metrics, dm::obs::ClockFn clock)
+    : candidate_(std::move(candidate)),
+      options_(options),
+      threshold_(threshold),
+      metrics_(metrics),
+      timer_(clock) {
+  if (candidate_ == nullptr) {
+    throw std::invalid_argument("ShadowEvaluator: candidate must be non-null");
+  }
+  if (options_.max_queries < options_.min_queries) {
+    options_.max_queries = options_.min_queries;
+  }
+}
+
+ShadowEvaluator::Gate ShadowEvaluator::observe(const dm::core::Wcg& wcg,
+                                               dm::core::FeatureCache* cache,
+                                               bool incumbent_alert) {
+  auto span = timer_.span(metrics_.shadow_score_ns);
+  const double score = candidate_->score(wcg, cache);
+  span.stop();
+  const bool candidate_alert = score >= threshold_;
+
+  scored_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.shadow_scored.add(1);
+  if (candidate_alert == incumbent_alert) {
+    agreed_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.shadow_agree.add(1);
+  } else if (candidate_alert) {
+    disagree_infection_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.shadow_disagree_infection.add(1);
+    dm::util::log_every_n(disagreement_log_gate_, dm::util::LogLevel::kWarn,
+                          "shadow: candidate alerts where incumbent does not "
+                          "(candidate score ", score, ")");
+  } else {
+    disagree_benign_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.shadow_disagree_benign.add(1);
+    dm::util::log_every_n(disagreement_log_gate_, dm::util::LogLevel::kWarn,
+                          "shadow: candidate misses an incumbent alert "
+                          "(candidate score ", score, ")");
+  }
+  return gate();
+}
+
+ShadowEvaluator::Gate ShadowEvaluator::gate() const {
+  const std::uint64_t scored = scored_.load(std::memory_order_relaxed);
+  if (scored < options_.min_queries) return Gate::kPending;
+  if (agreement_rate() >= options_.agreement_threshold) return Gate::kPromote;
+  if (scored >= options_.max_queries) return Gate::kReject;
+  return Gate::kPending;
+}
+
+double ShadowEvaluator::agreement_rate() const {
+  const std::uint64_t scored = scored_.load(std::memory_order_relaxed);
+  if (scored == 0) return 1.0;
+  return static_cast<double>(agreed_.load(std::memory_order_relaxed)) /
+         static_cast<double>(scored);
+}
+
+}  // namespace dm::serve

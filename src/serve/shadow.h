@@ -1,0 +1,99 @@
+// Shadow scoring: a candidate model rides along with the incumbent before
+// it is allowed to take over.
+//
+// While a candidate is staged, every live classifier query is scored twice:
+// the incumbent's score still drives the alert (behaviour is bit-identical
+// to not shadowing at all — the candidate only *observes*), and the
+// candidate's hard decision is compared against the incumbent's.  The
+// dm.model.* panel tracks the agreement rate and the two per-class
+// disagreement modes; automatic cutover is gated on
+//
+//   scored >= min_queries  &&  agreement >= agreement_threshold
+//
+// and a candidate that cannot clear the gate by max_queries is rejected —
+// a retrain that drifted (bad self-labels, degenerate reservoir) never
+// reaches the live path.
+//
+// Thread-safety: observe() is called concurrently from every shard worker;
+// all accounting is relaxed atomics.  The returned Gate is a snapshot —
+// the caller (RetrainDriver) serializes the actual promote/reject action.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/detector.h"
+#include "obs/pipeline.h"
+#include "obs/timer.h"
+#include "util/rate_limit.h"
+
+namespace dm::serve {
+
+struct ShadowOptions {
+  /// Queries the candidate must shadow before it can be promoted.
+  std::size_t min_queries = 64;
+  /// Deadline: a candidate still below the agreement bar after this many
+  /// shadowed queries is rejected.  Must be >= min_queries.
+  std::size_t max_queries = 512;
+  /// Fraction of shadowed queries whose hard decision must match the
+  /// incumbent's for automatic cutover.
+  double agreement_threshold = 0.98;
+};
+
+/// One staged candidate and its agreement ledger.
+class ShadowEvaluator {
+ public:
+  /// `candidate` must be non-null; `threshold` is the serving decision
+  /// threshold both hard decisions are taken at.
+  ShadowEvaluator(std::shared_ptr<const dm::core::Detector> candidate,
+                  ShadowOptions options, double threshold,
+                  dm::obs::ModelMetrics& metrics, dm::obs::ClockFn clock);
+
+  enum class Gate {
+    kPending,  // keep shadowing
+    kPromote,  // agreement bar cleared at/after min_queries
+    kReject,   // max_queries reached without clearing the bar
+  };
+
+  /// Scores the candidate on one live query (reusing the extraction cache —
+  /// features are model-independent) against the incumbent's decision, and
+  /// returns the gate state after this observation.  `cache` may be null.
+  Gate observe(const dm::core::Wcg& wcg, dm::core::FeatureCache* cache,
+               bool incumbent_alert);
+
+  /// Gate state without contributing an observation.
+  Gate gate() const;
+
+  std::uint64_t scored() const { return scored_.load(std::memory_order_relaxed); }
+  std::uint64_t agreed() const { return agreed_.load(std::memory_order_relaxed); }
+  std::uint64_t disagreed_infection() const {
+    return disagree_infection_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t disagreed_benign() const {
+    return disagree_benign_.load(std::memory_order_relaxed);
+  }
+  /// agreed / scored; 1.0 before any observation.
+  double agreement_rate() const;
+
+  const std::shared_ptr<const dm::core::Detector>& candidate() const {
+    return candidate_;
+  }
+
+ private:
+  std::shared_ptr<const dm::core::Detector> candidate_;
+  ShadowOptions options_;
+  double threshold_;
+  dm::obs::ModelMetrics& metrics_;
+  dm::obs::StageTimer timer_;
+  std::atomic<std::uint64_t> scored_{0};
+  std::atomic<std::uint64_t> agreed_{0};
+  std::atomic<std::uint64_t> disagree_infection_{0};
+  std::atomic<std::uint64_t> disagree_benign_{0};
+  /// Per-evaluator disagreement log gate (the quarantine-site convention:
+  /// a per-instance EveryN so one noisy candidate cannot starve another's
+  /// log budget).
+  dm::util::EveryN disagreement_log_gate_{64};
+};
+
+}  // namespace dm::serve

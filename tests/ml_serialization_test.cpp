@@ -178,6 +178,40 @@ TEST(SerializationTest, RejectsUnknownCombination) {
   EXPECT_THROW(load_forest(buffer), std::runtime_error);
 }
 
+TEST(SerializationTest, ModelVersionTrailerRoundTrips) {
+  const auto data = training_data(6);
+  auto forest = RandomForest::train(data, {});
+  std::stringstream unstamped;
+  save_forest(forest, unstamped);
+  // Version 0 writes no trailer: stamped-then-cleared output must stay
+  // byte-identical to the pre-serve v2 layout.
+  EXPECT_EQ(unstamped.str().find("model-version"), std::string::npos);
+  EXPECT_EQ(load_forest(unstamped).model_version(), 0u);
+
+  forest.set_model_version(7);
+  std::stringstream stamped;
+  save_forest(forest, stamped);
+  EXPECT_NE(stamped.str().find("model-version 7"), std::string::npos);
+  const auto loaded = load_forest(stamped);
+  EXPECT_EQ(loaded.model_version(), 7u);
+  // The stamp is provenance metadata only — scores are untouched.
+  dm::util::Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{rng.uniform(-10, 10), rng.uniform(-5, 5),
+                                rng.uniform(-10, 10)};
+    EXPECT_EQ(forest.predict_proba(x), loaded.predict_proba(x));
+  }
+}
+
+TEST(SerializationTest, AbsentTrailerLoadsAsVersionZero) {
+  // A v2 artifact written before the serving layer existed: no trailer.
+  const auto data = training_data(9);
+  const auto forest = RandomForest::train(data, {});
+  std::stringstream buffer;
+  save_forest(forest, buffer);
+  EXPECT_EQ(load_forest(buffer).model_version(), 0u);
+}
+
 TEST(SerializationTest, EmptyForestRoundTrips) {
   // A zero-tree forest is degenerate but must survive the format.
   std::stringstream buffer("dynaminer-forest v1\ntrees 0 combination avg\n");

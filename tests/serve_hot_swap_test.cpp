@@ -1,0 +1,213 @@
+// RCU model hot swap: concurrent scoring during publication never observes
+// a mixed forest, pinned versions move monotonically, and a no-op swap
+// (publishing a structurally identical model mid-stream) leaves the sharded
+// engine's alert set bit-identical.  Runs under ThreadSanitizer via the
+// `tsan` ctest label.
+#include "serve/model_handle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/online.h"
+#include "core/trainer.h"
+#include "runtime/sharded_online.h"
+#include "serve/retrain.h"
+#include "synth/dataset.h"
+
+namespace dm::serve {
+namespace {
+
+/// Two detectors trained on the same small corpus with different ERF seeds:
+/// structurally complete models that disagree numerically on most WCGs.
+std::pair<std::shared_ptr<const dm::core::Detector>,
+          std::shared_ptr<const dm::core::Detector>>
+two_detectors() {
+  static const auto detectors = [] {
+    const auto gt = dm::synth::generate_ground_truth(100, 0.04);
+    std::vector<dm::core::Wcg> infections;
+    std::vector<dm::core::Wcg> benign;
+    for (const auto& e : gt.infections) {
+      infections.push_back(dm::core::build_wcg(e.transactions));
+    }
+    for (const auto& e : gt.benign) {
+      benign.push_back(dm::core::build_wcg(e.transactions));
+    }
+    const auto data = dm::core::dataset_from_wcgs(infections, benign);
+    return std::make_pair(
+        std::make_shared<const dm::core::Detector>(
+            dm::core::train_dynaminer(data, 5)),
+        std::make_shared<const dm::core::Detector>(
+            dm::core::train_dynaminer(data, 99)));
+  }();
+  return detectors;
+}
+
+/// A WCG the two detectors score differently (so a reader can tell which
+/// model served its query).
+dm::core::Wcg discriminating_wcg() {
+  const auto [a, b] = two_detectors();
+  dm::synth::TraceGenerator gen(321);
+  for (int i = 0; i < 20; ++i) {
+    const auto episode = gen.infection(dm::synth::family_by_name("Angler"));
+    auto wcg = dm::core::build_wcg(episode.transactions);
+    if (a->score(wcg) != b->score(wcg)) return wcg;
+  }
+  ADD_FAILURE() << "no WCG found that the two forests score differently";
+  return {};
+}
+
+TEST(ModelHandleTest, StartsAtVersionOneWithInitialModel) {
+  const auto [a, b] = two_detectors();
+  ModelHandle handle(a);
+  EXPECT_EQ(handle.version(), 1u);
+  EXPECT_EQ(handle.current(), a);
+  EXPECT_EQ(handle.publish(b), 2u);
+  EXPECT_EQ(handle.current(), b);
+  EXPECT_THROW(handle.publish(nullptr), std::invalid_argument);
+}
+
+TEST(ModelHandleTest, PinServesThePinnedModelUntilRefresh) {
+  const auto [a, b] = two_detectors();
+  ModelHandle handle(a);
+  auto pin = handle.pin();
+  EXPECT_EQ(pin.version(), 1u);
+  handle.publish(b);
+  // The next read observes the new version (epoch check on every get()).
+  EXPECT_EQ(pin.version(), 2u);
+}
+
+// The core RCU fence: readers scoring a fixed WCG through their own Pins
+// while the writer publishes A/B/A/B... must only ever observe score(A) or
+// score(B) — never anything else (a torn or half-swapped model would give a
+// third value) — and each reader's pinned version must be monotone.
+TEST(ModelHandleTest, ConcurrentScoringDuringPublicationIsNeverMixed) {
+  const auto [a, b] = two_detectors();
+  const auto wcg = discriminating_wcg();
+  const double score_a = a->score(wcg);
+  const double score_b = b->score(wcg);
+  ASSERT_NE(score_a, score_b);
+
+  ModelHandle handle(a);
+  std::atomic<bool> stop{false};
+  std::atomic<int> mixed{0};
+  std::atomic<int> non_monotone{0};
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      auto pin = handle.pin();
+      std::uint64_t last_version = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const dm::core::Detector& detector = pin.get();
+        const double s = detector.score(wcg);
+        if (s != score_a && s != score_b) {
+          mixed.fetch_add(1, std::memory_order_relaxed);
+        }
+        const std::uint64_t v = pin.version();
+        if (v < last_version) {
+          non_monotone.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_version = v;
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    handle.publish(i % 2 == 0 ? b : a);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(mixed.load(), 0) << "a reader observed a score neither forest produces";
+  EXPECT_EQ(non_monotone.load(), 0) << "a pinned version moved backwards";
+  EXPECT_EQ(handle.version(), 201u);
+}
+
+// ---- no-op swap alert identity on the sharded engine -----------------------
+
+using AlertKey = std::tuple<std::uint64_t, std::string, std::string,
+                            std::uint64_t, std::string, std::size_t,
+                            std::size_t>;
+
+std::vector<AlertKey> sorted_keys(const std::vector<dm::core::Alert>& alerts) {
+  std::vector<AlertKey> keys;
+  keys.reserve(alerts.size());
+  for (const auto& alert : alerts) {
+    std::uint64_t score_bits;
+    static_assert(sizeof(score_bits) == sizeof(alert.score));
+    std::memcpy(&score_bits, &alert.score, sizeof(score_bits));
+    keys.emplace_back(alert.ts_micros, alert.session_key, alert.client,
+                      score_bits, alert.trigger_host, alert.wcg_order,
+                      alert.wcg_size);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<dm::http::HttpTransaction> mixed_stream() {
+  dm::synth::TraceGenerator gen(777);
+  std::vector<dm::synth::Episode> episodes;
+  for (int i = 0; i < 8; ++i) episodes.push_back(gen.benign());
+  episodes.push_back(gen.infection(dm::synth::family_by_name("Angler")));
+  episodes.push_back(gen.infection(dm::synth::family_by_name("Nuclear")));
+  std::vector<dm::http::HttpTransaction> stream;
+  for (const auto& episode : episodes) {
+    for (const auto& txn : episode.transactions) stream.push_back(txn);
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.request.ts_micros < y.request.ts_micros;
+                   });
+  return stream;
+}
+
+TEST(HotSwapTest, NoOpSwapPreservesShardedAlertSet) {
+  const auto [incumbent, unused] = two_detectors();
+  const auto stream = mixed_stream();
+
+  dm::core::OnlineOptions online;
+  online.redirect_chain_threshold = 2;
+
+  // Reference: plain sharded run, no serving layer.
+  std::vector<AlertKey> reference;
+  {
+    dm::runtime::ShardedOptions options;
+    options.num_shards = 2;
+    options.online = online;
+    dm::runtime::ShardedOnlineEngine engine(incumbent, options);
+    for (const auto& txn : stream) engine.observe(txn);
+    engine.finish();
+    reference = sorted_keys(engine.merged_alerts());
+  }
+  ASSERT_FALSE(reference.empty()) << "the stream must produce alerts for the "
+                                     "fence to be meaningful";
+
+  // Serving run: per-shard pinned scorers, and a structurally identical
+  // detector published mid-stream.  Whatever instant each shard's pin
+  // refreshes, every score is bit-identical — so the alert set must be too.
+  RetrainDriver driver(incumbent, {});
+  dm::runtime::ShardedOptions options;
+  options.num_shards = 2;
+  options.online = online;
+  options.scorer_factory = [&driver](std::size_t) {
+    return driver.make_scorer();
+  };
+  dm::runtime::ShardedOnlineEngine engine(incumbent, options);
+  const std::size_t half = stream.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) engine.observe(stream[i]);
+  driver.handle().publish(
+      std::make_shared<const dm::core::Detector>(*incumbent));
+  for (std::size_t i = half; i < stream.size(); ++i) engine.observe(stream[i]);
+  engine.finish();
+  EXPECT_EQ(sorted_keys(engine.merged_alerts()), reference);
+  EXPECT_EQ(driver.version(), 2u);
+}
+
+}  // namespace
+}  // namespace dm::serve

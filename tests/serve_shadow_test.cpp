@@ -1,0 +1,315 @@
+// Shadow scoring and the retrain driver: exact agreement accounting under an
+// injected clock, promote/reject gate semantics, and the continual-learning
+// loop end to end (verdict tap -> reservoir -> count trigger -> candidate ->
+// shadow gate -> hot swap), all against a private metrics registry.
+#include "serve/shadow.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/online.h"
+#include "core/trainer.h"
+#include "obs/metrics.h"
+#include "serve/retrain.h"
+#include "synth/dataset.h"
+
+namespace dm::serve {
+namespace {
+
+// Manually-advanced clock (obs::ClockFn is a plain function pointer).
+std::atomic<std::uint64_t> g_now{0};
+std::uint64_t manual_clock() { return g_now.load(std::memory_order_relaxed); }
+
+std::shared_ptr<const dm::core::Detector> small_detector(std::uint64_t seed) {
+  static const auto corpus = [] {
+    const auto gt = dm::synth::generate_ground_truth(100, 0.04);
+    std::vector<dm::core::Wcg> infections;
+    std::vector<dm::core::Wcg> benign;
+    for (const auto& e : gt.infections) {
+      infections.push_back(dm::core::build_wcg(e.transactions));
+    }
+    for (const auto& e : gt.benign) {
+      benign.push_back(dm::core::build_wcg(e.transactions));
+    }
+    return dm::core::dataset_from_wcgs(infections, benign);
+  }();
+  return std::make_shared<const dm::core::Detector>(
+      dm::core::train_dynaminer(corpus, seed));
+}
+
+dm::core::Wcg sample_wcg(std::uint64_t seed = 55) {
+  dm::synth::TraceGenerator gen(seed);
+  return dm::core::build_wcg(
+      gen.infection(dm::synth::family_by_name("Angler")).transactions);
+}
+
+TEST(ShadowEvaluatorTest, ExactAccountingUnderInjectedClock) {
+  dm::obs::MetricsRegistry reg;
+  auto metrics = dm::obs::ModelMetrics::of(reg);
+  const auto candidate = small_detector(5);
+  const auto wcg = sample_wcg();
+  const double threshold = 0.4;
+  const bool candidate_alert = candidate->score(wcg) >= threshold;
+
+  ShadowOptions options;
+  options.min_queries = 100;  // keep the gate pending throughout
+  options.max_queries = 200;
+  ShadowEvaluator evaluator(candidate, options, threshold, metrics,
+                            &manual_clock);
+
+  // 5 agreements, 3 disagreements where the candidate alerts relative to the
+  // incumbent, i.e. incumbent says the opposite of the candidate's decision.
+  for (int i = 0; i < 5; ++i) evaluator.observe(wcg, nullptr, candidate_alert);
+  for (int i = 0; i < 3; ++i) evaluator.observe(wcg, nullptr, !candidate_alert);
+
+  EXPECT_EQ(evaluator.scored(), 8u);
+  EXPECT_EQ(evaluator.agreed(), 5u);
+  EXPECT_EQ(evaluator.disagreed_infection() + evaluator.disagreed_benign(), 3u);
+  // Conservation: every shadowed query is exactly one of agree /
+  // disagree-infection / disagree-benign.
+  EXPECT_EQ(evaluator.scored(),
+            evaluator.agreed() + evaluator.disagreed_infection() +
+                evaluator.disagreed_benign());
+  EXPECT_DOUBLE_EQ(evaluator.agreement_rate(), 5.0 / 8.0);
+  // The per-class split matches the candidate's own decision: when the
+  // candidate alerts and the incumbent does not, that is a
+  // disagree-infection, and vice versa.
+  if (candidate_alert) {
+    EXPECT_EQ(evaluator.disagreed_infection(), 3u);
+  } else {
+    EXPECT_EQ(evaluator.disagreed_benign(), 3u);
+  }
+
+  // The dm.model.* panel carries identical numbers.
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("dm.model.shadow_scored"), 8u);
+  EXPECT_EQ(snap.counter_value("dm.model.shadow_agree"), 5u);
+  EXPECT_EQ(snap.counter_value("dm.model.shadow_disagree_infection") +
+                snap.counter_value("dm.model.shadow_disagree_benign"),
+            3u);
+  // Injected clock: one shadow-latency sample per observation, zero width
+  // (the clock never advanced).
+  const auto* h = snap.histogram("dm.model.shadow_score_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 8u);
+  EXPECT_EQ(h->sum, 0u);
+}
+
+TEST(ShadowEvaluatorTest, PromotesOnceAgreementClearsTheBarAtMinQueries) {
+  dm::obs::MetricsRegistry reg;
+  auto metrics = dm::obs::ModelMetrics::of(reg);
+  const auto candidate = small_detector(5);
+  const auto wcg = sample_wcg();
+  const bool candidate_alert = candidate->score(wcg) >= 0.4;
+
+  ShadowOptions options;
+  options.min_queries = 4;
+  options.max_queries = 16;
+  options.agreement_threshold = 0.75;
+  ShadowEvaluator evaluator(candidate, options, 0.4, metrics, &manual_clock);
+  EXPECT_EQ(evaluator.gate(), ShadowEvaluator::Gate::kPending);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(evaluator.observe(wcg, nullptr, candidate_alert),
+              ShadowEvaluator::Gate::kPending)
+        << "promoted before min_queries";
+  }
+  EXPECT_EQ(evaluator.observe(wcg, nullptr, candidate_alert),
+            ShadowEvaluator::Gate::kPromote);
+}
+
+TEST(ShadowEvaluatorTest, RejectsAtMaxQueriesWhenBelowTheBar) {
+  dm::obs::MetricsRegistry reg;
+  auto metrics = dm::obs::ModelMetrics::of(reg);
+  const auto candidate = small_detector(5);
+  const auto wcg = sample_wcg();
+  const bool candidate_alert = candidate->score(wcg) >= 0.4;
+
+  ShadowOptions options;
+  options.min_queries = 2;
+  options.max_queries = 6;
+  options.agreement_threshold = 0.99;
+  ShadowEvaluator evaluator(candidate, options, 0.4, metrics, &manual_clock);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(evaluator.observe(wcg, nullptr, !candidate_alert),
+              ShadowEvaluator::Gate::kPending);
+  }
+  EXPECT_EQ(evaluator.observe(wcg, nullptr, !candidate_alert),
+            ShadowEvaluator::Gate::kReject);
+}
+
+// ---- RetrainDriver: the loop end to end ------------------------------------
+
+/// Verdict-labeled WCGs for driving on_verdict directly: each is labeled by
+/// the incumbent's own hard decision, exactly like the live tap.
+struct TapFeed {
+  std::vector<dm::core::Wcg> wcgs;
+  std::vector<double> scores;
+  std::vector<bool> alerts;
+};
+
+TapFeed make_feed(const dm::core::Detector& incumbent, double threshold,
+                  std::size_t count) {
+  TapFeed feed;
+  dm::synth::TraceGenerator gen(9102);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto wcg = (i % 2 == 0)
+                   ? dm::core::build_wcg(
+                         gen.infection(dm::synth::family_by_name("Neutrino"))
+                             .transactions)
+                   : dm::core::build_wcg(gen.benign().transactions);
+    const double score = incumbent.score(wcg);
+    feed.scores.push_back(score);
+    feed.alerts.push_back(score >= threshold);
+    feed.wcgs.push_back(std::move(wcg));
+  }
+  return feed;
+}
+
+TEST(RetrainDriverTest, CountTriggerTrainsShadowsAndSwaps) {
+  dm::obs::MetricsRegistry reg;
+  const auto incumbent = small_detector(5);
+
+  ServeOptions options;
+  options.retrain_every_admissions = 8;
+  options.shadow.min_queries = 3;
+  options.shadow.max_queries = 32;
+  options.shadow.agreement_threshold = 0.0;  // promote at min_queries
+  options.forest = dm::core::paper_forest_options();
+  options.forest.num_trees = 5;
+  options.metrics = &reg;
+  options.clock = &manual_clock;
+  RetrainDriver driver(incumbent, options);
+  EXPECT_EQ(driver.version(), 1u);
+
+  const auto feed = make_feed(*incumbent, options.decision_threshold, 8);
+  ASSERT_TRUE(std::find(feed.alerts.begin(), feed.alerts.end(), true) !=
+              feed.alerts.end());
+  ASSERT_TRUE(std::find(feed.alerts.begin(), feed.alerts.end(), false) !=
+              feed.alerts.end());
+  for (std::size_t i = 0; i < feed.wcgs.size(); ++i) {
+    driver.on_verdict(feed.wcgs[i], feed.scores[i], feed.alerts[i], 1000 * i);
+  }
+  driver.drain();  // the 8th admission fired the retrain
+  EXPECT_EQ(driver.retrains(), 1u);
+  EXPECT_TRUE(driver.shadow_active());
+  EXPECT_EQ(driver.swaps(), 0u) << "published before the shadow gate cleared";
+
+  // Three shadowed live queries promote the candidate (threshold 0).
+  const auto scorer = driver.make_scorer();
+  for (int i = 0; i < 3; ++i) scorer->score(feed.wcgs[0], nullptr);
+  EXPECT_FALSE(driver.shadow_active());
+  EXPECT_EQ(driver.swaps(), 1u);
+  EXPECT_EQ(driver.version(), 2u);
+  EXPECT_EQ(driver.candidates_rejected(), 0u);
+
+  // Panel agrees with the accessors, including the published-version gauge.
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("dm.model.retrains"), 1u);
+  EXPECT_EQ(snap.counter_value("dm.model.swaps"), 1u);
+  EXPECT_EQ(snap.gauge_value("dm.model.version"), 2);
+  EXPECT_EQ(snap.counter_value("dm.model.reservoir_offered"), 8u);
+  // The published candidate carries its version stamp; the byte-identity
+  // hook is captured pre-stamp.
+  EXPECT_EQ(driver.handle().current()->forest().model_version(), 2u);
+  EXPECT_EQ(driver.last_trained_serialization().find("model-version"),
+            std::string::npos);
+}
+
+TEST(RetrainDriverTest, FailingCandidateIsRejectedAndNeverPublished) {
+  dm::obs::MetricsRegistry reg;
+  const auto incumbent = small_detector(5);
+
+  ServeOptions options;
+  options.shadow.min_queries = 2;
+  options.shadow.max_queries = 4;
+  options.shadow.agreement_threshold = 1.1;  // unclearable bar
+  options.forest = dm::core::paper_forest_options();
+  options.forest.num_trees = 5;
+  options.metrics = &reg;
+  options.clock = &manual_clock;
+  RetrainDriver driver(incumbent, options);
+
+  const auto feed = make_feed(*incumbent, options.decision_threshold, 6);
+  for (std::size_t i = 0; i < feed.wcgs.size(); ++i) {
+    driver.on_verdict(feed.wcgs[i], feed.scores[i], feed.alerts[i], 1000 * i);
+  }
+  ASSERT_TRUE(driver.retrain_now());
+  ASSERT_TRUE(driver.shadow_active());
+  const auto scorer = driver.make_scorer();
+  for (int i = 0; i < 4; ++i) scorer->score(feed.wcgs[0], nullptr);
+  EXPECT_FALSE(driver.shadow_active());
+  EXPECT_EQ(driver.swaps(), 0u);
+  EXPECT_EQ(driver.candidates_rejected(), 1u);
+  EXPECT_EQ(driver.version(), 1u) << "a rejected candidate must never publish";
+  EXPECT_EQ(reg.snapshot().counter_value("dm.model.candidates_rejected"), 1u);
+
+  // The slot is free again: the next retrain can proceed.
+  EXPECT_TRUE(driver.retrain_now());
+}
+
+TEST(RetrainDriverTest, RetrainSkippedWhileAClassIsMissing) {
+  dm::obs::MetricsRegistry reg;
+  const auto incumbent = small_detector(5);
+  ServeOptions options;
+  options.metrics = &reg;
+  options.clock = &manual_clock;
+  RetrainDriver driver(incumbent, options);
+  // Only benign verdicts: one-class reservoirs train nothing.
+  dm::synth::TraceGenerator gen(42);
+  for (int i = 0; i < 5; ++i) {
+    driver.on_verdict(dm::core::build_wcg(gen.benign().transactions), 0.1,
+                      false, 1000 * i);
+  }
+  EXPECT_FALSE(driver.retrain_now());
+  EXPECT_EQ(driver.retrains(), 0u);
+  EXPECT_EQ(driver.version(), 1u);
+}
+
+TEST(RetrainDriverTest, VerdictTapWiredIntoTheOnlineEngineDrivesTheLoop) {
+  dm::obs::MetricsRegistry reg;
+  const auto incumbent = small_detector(5);
+
+  ServeOptions serve;
+  serve.retrain_every_admissions = 4;
+  serve.shadow_before_cutover = false;  // publish straight through
+  serve.forest = dm::core::paper_forest_options();
+  serve.forest.num_trees = 5;
+  serve.metrics = &reg;
+  RetrainDriver driver(incumbent, serve);
+
+  dm::core::OnlineOptions online;
+  online.redirect_chain_threshold = 2;
+  online.scorer = driver.make_scorer();
+  online.verdict_tap = driver.verdict_tap();
+  dm::core::OnlineDetector engine(incumbent, online);
+
+  dm::synth::TraceGenerator gen(888);
+  std::vector<dm::synth::Episode> episodes;
+  for (int i = 0; i < 6; ++i) episodes.push_back(gen.benign());
+  episodes.push_back(gen.infection(dm::synth::family_by_name("Angler")));
+  episodes.push_back(gen.infection(dm::synth::family_by_name("Goon")));
+  std::vector<dm::http::HttpTransaction> stream;
+  for (const auto& episode : episodes) {
+    for (const auto& txn : episode.transactions) stream.push_back(txn);
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.request.ts_micros < b.request.ts_micros;
+                   });
+  for (const auto& txn : stream) engine.observe(txn);
+  driver.drain();
+
+  EXPECT_GT(engine.stats().classifier_queries, 0u);
+  EXPECT_GE(driver.retrains(), 1u);
+  EXPECT_EQ(driver.swaps(), driver.retrains());
+  EXPECT_EQ(driver.version(), 1u + driver.swaps());
+  EXPECT_EQ(reg.snapshot().counter_value("dm.model.reservoir_offered"),
+            driver.reservoir().offered());
+}
+
+}  // namespace
+}  // namespace dm::serve
