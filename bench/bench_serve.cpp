@@ -2,7 +2,7 @@
 // background retrain, plus the no-op fences the continual-learning loop
 // rests on.
 //
-// Four measurements:
+// Five measurements:
 //   1. No-op retrain byte-identity: two retrain_now() calls on a frozen
 //      reservoir must produce byte-identical serialized forests — training
 //      is a pure function of (snapshot, options).  FATAL on divergence.
@@ -16,6 +16,10 @@
 //      scoring live.  Acceptance (ISSUE 6): < 10% degradation — judged on a
 //      box with >= 8 hardware threads, where training actually overlaps
 //      scoring instead of time-slicing with it.
+//   5. Persist/recover latency: the model store's full durable commit
+//      (write-temp → fsync → rename, artifact + manifest) p50/p95 over N
+//      promotions, then one cold recover() over the surviving history.
+//      FATAL if recovery does not land on the last committed version.
 //
 // `--json <path>` appends the result record; knobs: DM_SCALE (default 0.5),
 // DM_SEED, DM_BENCH_SHARDS (default 2).
@@ -24,6 +28,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -33,6 +38,7 @@
 #include "core/online.h"
 #include "core/trainer.h"
 #include "runtime/sharded_online.h"
+#include "serve/model_store.h"
 #include "serve/retrain.h"
 #include "synth/generator.h"
 
@@ -388,6 +394,68 @@ int main(int argc, char** argv) {
               "threads; on %u the retrain time-slices with scoring)\n",
               degradation_pct, hardware);
 
+  // --- 5: persist/recover latency ------------------------------------------
+  // Full durability barriers on: this measures what a promotion actually
+  // costs on the retrain worker (never the scoring hot path).
+  namespace fs = std::filesystem;
+  const fs::path store_dir =
+      fs::temp_directory_path() / "dm_bench_serve_store";
+  fs::remove_all(store_dir);
+  constexpr std::uint64_t kPersists = 48;
+  std::vector<double> persist_ns;
+  persist_ns.reserve(kPersists);
+  {
+    dm::serve::StoreOptions store_options;
+    store_options.dir = store_dir.string();
+    store_options.max_history = 8;
+    dm::serve::ModelStore store(store_options);
+    auto forest = incumbent->forest();
+    for (std::uint64_t v = 1; v <= kPersists; ++v) {
+      forest.set_model_version(v);
+      dm::serve::ManifestEntry entry;
+      entry.version = v;
+      entry.parent = v - 1;
+      entry.reason = v == 1 ? "initial" : "promote";
+      const auto t0 = std::chrono::steady_clock::now();
+      const bool ok = store.persist(forest, entry);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!ok) {
+        std::fprintf(stderr, "FATAL: durable persist of version %llu failed\n",
+                     static_cast<unsigned long long>(v));
+        return 1;
+      }
+      persist_ns.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+    std::sort(persist_ns.begin(), persist_ns.end());
+  }
+  const double persist_p50 = persist_ns[persist_ns.size() / 2];
+  const double persist_p95 = persist_ns[persist_ns.size() * 95 / 100];
+  double recover_ns = 0;
+  {
+    dm::serve::StoreOptions store_options;
+    store_options.dir = store_dir.string();
+    store_options.max_history = 8;
+    dm::serve::ModelStore store(store_options);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto recovered = store.recover();
+    const auto t1 = std::chrono::steady_clock::now();
+    recover_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+    if (!recovered || recovered->entry.version != kPersists) {
+      std::fprintf(stderr, "FATAL: cold recovery landed on version %llu, "
+                           "expected %llu\n",
+                   static_cast<unsigned long long>(
+                       recovered ? recovered->entry.version : 0),
+                   static_cast<unsigned long long>(kPersists));
+      return 1;
+    }
+  }
+  fs::remove_all(store_dir);
+  std::printf("\ndurable persist (fsync x2 + rename x2): p50=%.0f us "
+              "p95=%.0f us over %llu promotions; cold recover()=%.0f us\n",
+              persist_p50 / 1e3, persist_p95 / 1e3,
+              static_cast<unsigned long long>(kPersists), recover_ns / 1e3);
+
   if (json_path) {
     dm::bench::JsonRecord record;
     record.set("bench", "bench_serve");
@@ -406,6 +474,10 @@ int main(int argc, char** argv) {
     record.set("swaps", retrain_driver.swaps());
     record.set("candidates_rejected", retrain_driver.candidates_rejected());
     record.set("model_version", retrain_driver.version());
+    record.set("persist_p50_ns", persist_p50);
+    record.set("persist_p95_ns", persist_p95);
+    record.set("recover_ns", recover_ns);
+    record.set("store_versions_persisted", kPersists);
     if (record.append_to(*json_path)) {
       std::printf("result record appended to %s\n", json_path->c_str());
     } else {

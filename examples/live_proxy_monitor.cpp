@@ -4,7 +4,7 @@
 // of a network or as a web proxy".
 //
 // Usage: live_proxy_monitor [--threads N] [--train-threads N] [--metrics]
-//                           [--retrain-every N] [--shadow]
+//                           [--retrain-every N] [--shadow] [--model-dir P]
 //   --threads 1 (default) replays through the sequential core engine;
 //   --threads N>1 runs the session-sharded concurrent runtime with N shard
 //   workers.  Both modes produce the same alert set on the same stream —
@@ -26,6 +26,11 @@
 //   --shadow (with --retrain-every) gates each candidate behind shadow
 //   scoring: it rides along on live queries and is published only once
 //   its decisions agree with the incumbent's.
+//   --model-dir P makes the lifecycle survive restarts (DESIGN.md, "Crash
+//   safety & label correction"): every promotion is durably committed to a
+//   versioned store under P, and on startup the monitor resumes from the
+//   newest CRC-valid committed model instead of the freshly trained one.
+//   Run the monitor twice with the same P to watch it resume.
 //
 // The monitor prints each alert as it fires, then a session summary (and,
 // with --retrain-every, the model-lifecycle panel).
@@ -34,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/online.h"
@@ -122,6 +128,27 @@ void print_model_panel(const dm::serve::RetrainDriver& driver) {
   std::printf("shadow agreement:       %.3f%s\n",
               driver.shadow_agreement_rate(),
               driver.shadow_active() ? " (candidate still shadowing)" : "");
+  if (const auto* store = driver.store()) {
+    const auto counts = store->counts();
+    std::printf("\n--- model store (dm.store.*) ---\n");
+    std::printf("directory:              %s\n", store->options().dir.c_str());
+    std::printf("committed head:         version %llu (%zu in history)\n",
+                static_cast<unsigned long long>(store->latest_version()),
+                store->manifest().size());
+    std::printf("durable saves:          %llu (%llu failed)\n",
+                static_cast<unsigned long long>(counts.saves),
+                static_cast<unsigned long long>(counts.save_failures));
+    std::printf("recovery sweeps:        %llu (%llu temps removed, "
+                "%llu uncommitted discarded)\n",
+                static_cast<unsigned long long>(counts.recoveries),
+                static_cast<unsigned long long>(counts.temps_removed),
+                static_cast<unsigned long long>(counts.uncommitted_discarded));
+    std::printf("quarantined:            %llu artifact(s), %llu manifest(s)\n",
+                static_cast<unsigned long long>(counts.artifacts_quarantined),
+                static_cast<unsigned long long>(counts.manifests_quarantined));
+    std::printf("pruned:                 %llu old artifact(s)\n",
+                static_cast<unsigned long long>(counts.pruned));
+  }
 }
 
 }  // namespace
@@ -132,6 +159,7 @@ int main(int argc, char** argv) {
   std::size_t retrain_every = 0;
   bool shadow = false;
   bool metrics = false;
+  std::string model_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       const long long v = std::atoll(argv[++i]);
@@ -158,10 +186,16 @@ int main(int argc, char** argv) {
       shadow = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--model-dir") == 0 && i + 1 < argc) {
+      model_dir = argv[++i];
+      if (model_dir.empty()) {
+        std::fprintf(stderr, "--model-dir wants a directory path\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--train-threads N] [--metrics] "
-                   "[--retrain-every N] [--shadow]\n",
+                   "[--retrain-every N] [--shadow] [--model-dir P]\n",
                    argv[0]);
       return 2;
     }
@@ -213,7 +247,7 @@ int main(int argc, char** argv) {
   // completed verdict into its reservoir and hot-swaps retrained candidates
   // into the live engine while the stream flows.
   std::unique_ptr<dm::serve::RetrainDriver> serving;
-  if (retrain_every > 0) {
+  if (retrain_every > 0 || !model_dir.empty()) {
     dm::serve::ServeOptions serve;
     serve.retrain_every_admissions = retrain_every;
     serve.shadow_before_cutover = shadow;
@@ -222,11 +256,26 @@ int main(int argc, char** argv) {
     serve.forest = dm::core::paper_forest_options();
     serve.train_threads = train_threads;
     serve.decision_threshold = options.decision_threshold;
+    serve.store.dir = model_dir;
     serving = std::make_unique<dm::serve::RetrainDriver>(detector, serve);
     options.verdict_tap = serving->verdict_tap();
-    std::printf("continual learning on: retrain every %zu reservoir "
-                "admissions%s\n",
-                retrain_every, shadow ? ", shadow-gated cutover" : "");
+    if (retrain_every > 0) {
+      std::printf("continual learning on: retrain every %zu reservoir "
+                  "admissions%s\n",
+                  retrain_every, shadow ? ", shadow-gated cutover" : "");
+    }
+    if (!model_dir.empty()) {
+      if (serving->recovered_from_store()) {
+        std::printf("model store: resumed model version %llu from %s "
+                    "(freshly trained model discarded)\n",
+                    static_cast<unsigned long long>(serving->version()),
+                    model_dir.c_str());
+      } else {
+        std::printf("model store: initialized %s with model version %llu\n",
+                    model_dir.c_str(),
+                    static_cast<unsigned long long>(serving->version()));
+      }
+    }
   }
 
   MetricsReporter reporter(metrics);

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Full verification sweep: the tier-1 suite on a plain build, then the
+# labelled concurrency/fault/training/serving suites re-run under
+# ThreadSanitizer and AddressSanitizer instrumented builds.
+#
+# Usage: scripts/verify.sh [jobs]
+#   jobs  parallel build jobs (default: nproc)
+#
+# Build trees: build/ (tier-1), build-tsan/, build-asan/ — all cached across
+# runs.  Set DM_VERIFY_SKIP_SANITIZERS=1 to stop after tier-1 (e.g. on a
+# toolchain without sanitizer runtimes).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run() {
+  echo
+  echo "=== $* ==="
+  "$@"
+}
+
+# --- tier 1: full suite, plain build ---------------------------------------
+run cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+run cmake --build build -j "$JOBS"
+run ctest --test-dir build --output-on-failure
+
+if [[ "${DM_VERIFY_SKIP_SANITIZERS:-0}" == "1" ]]; then
+  echo
+  echo "verify: tier-1 green (sanitizer suites skipped on request)"
+  exit 0
+fi
+
+# --- instrumented sweeps: the labelled suites ------------------------------
+# tsan watches the concurrent runtime, hot-swap, and parallel training;
+# asan watches the fuzz fences, fault injection, and the store's recovery
+# path.  Both run the same label union so nothing labelled escapes either.
+LABELS="obs|fault|train|serve"
+
+run cmake -B build-tsan -S . -DDM_SANITIZE=thread
+run cmake --build build-tsan -j "$JOBS"
+run ctest --test-dir build-tsan -L "$LABELS" --output-on-failure
+
+run cmake -B build-asan -S . -DDM_SANITIZE=address
+run cmake --build build-asan -j "$JOBS"
+run ctest --test-dir build-asan -L "$LABELS" --output-on-failure
+
+echo
+echo "verify: tier-1 + tsan/asan labelled suites all green"

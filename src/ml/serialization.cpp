@@ -89,6 +89,9 @@ DecisionTree DecisionTree::deserialize(std::istream& in) {
   const long count = read_long(in, "node count");
   const long depth = read_long(in, "depth");
   if (count < 0 || depth < 0) fail("negative tree geometry");
+  // An adversarial header must not drive a multi-gigabyte reserve; real
+  // trees are bounded by max_depth and the training-set size.
+  if (count > 10'000'000) fail("implausible node count");
 
   DecisionTree tree;
   tree.depth_ = static_cast<std::size_t>(depth);
@@ -211,6 +214,30 @@ RandomForest load_forest_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) fail("cannot open for read: " + path);
   return load_forest(in);
+}
+
+// The throwing deserializer is the single source of truth for format
+// validation; the structured-error API catches at the boundary so callers
+// that read untrusted artifacts (the model store's recovery scan, operator
+// tooling) get quarantine-and-count semantics instead of stack unwinding
+// through their own state.
+LoadResult<RandomForest> try_load_forest(std::istream& in) {
+  try {
+    return RandomForest::deserialize(in);
+  } catch (const std::exception& e) {
+    return LoadError{e.what()};
+  }
+}
+
+LoadResult<RandomForest> try_load_forest(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return try_load_forest(in);
+}
+
+LoadResult<RandomForest> try_load_forest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return LoadError{"cannot open for read: " + path};
+  return try_load_forest(in);
 }
 
 }  // namespace dm::ml

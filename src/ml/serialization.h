@@ -27,8 +27,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "ml/random_forest.h"
+#include "util/expected.h"
 
 namespace dm::ml {
 
@@ -43,5 +45,25 @@ RandomForest load_forest(std::istream& in);
 /// File-path conveniences.
 void save_forest_file(const RandomForest& forest, const std::string& path);
 RandomForest load_forest_file(const std::string& path);
+
+/// Structured load failure: what was wrong with the artifact.  Model files
+/// cross a trust boundary (the serve::ModelStore reads whatever survived a
+/// crash), so short reads, bad magic, and garbage bytes are expected inputs
+/// — they quarantine-and-count, they must not throw.
+struct LoadError {
+  std::string reason;
+
+  std::string to_string() const { return "forest load: " + reason; }
+};
+
+template <typename T>
+using LoadResult = dm::util::BasicExpected<T, LoadError>;
+
+/// Non-throwing variants of load_forest: every malformed input — truncated
+/// stream, bad magic, implausible counts, non-numeric tokens, structural
+/// violations — comes back as a LoadError instead of an exception.
+LoadResult<RandomForest> try_load_forest(std::istream& in);
+LoadResult<RandomForest> try_load_forest(std::string_view text);
+LoadResult<RandomForest> try_load_forest_file(const std::string& path);
 
 }  // namespace dm::ml

@@ -49,6 +49,9 @@ ModelMetrics ModelMetrics::of(MetricsRegistry& reg) {
       reg.counter("dm.model.shadow_agree"),
       reg.counter("dm.model.shadow_disagree_infection"),
       reg.counter("dm.model.shadow_disagree_benign"),
+      reg.counter("dm.model.fence_evaluations"),
+      reg.counter("dm.model.fence_rejects"),
+      reg.counter("dm.model.rollbacks"),
       reg.histogram("dm.model.shadow_score_ns"),
       reg.histogram("dm.model.retrain_ns"),
       reg.histogram("dm.model.swap_publish_ns"),
@@ -58,6 +61,47 @@ ModelMetrics ModelMetrics::of(MetricsRegistry& reg) {
 ModelMetrics& model_metrics() {
   static ModelMetrics* instance =
       new ModelMetrics(ModelMetrics::of(registry()));  // never destroyed
+  return *instance;
+}
+
+StoreMetrics StoreMetrics::of(MetricsRegistry& reg) {
+  return StoreMetrics{
+      reg.counter("dm.store.saves"),
+      reg.counter("dm.store.save_failures"),
+      reg.counter("dm.store.save_bytes"),
+      reg.counter("dm.store.recoveries"),
+      reg.counter("dm.store.artifacts_quarantined"),
+      reg.counter("dm.store.manifests_quarantined"),
+      reg.counter("dm.store.uncommitted_discarded"),
+      reg.counter("dm.store.temps_removed"),
+      reg.counter("dm.store.pruned"),
+      reg.gauge("dm.store.latest_version"),
+      reg.histogram("dm.store.persist_ns"),
+      reg.histogram("dm.store.recover_ns"),
+  };
+}
+
+StoreMetrics& store_metrics() {
+  static StoreMetrics* instance =
+      new StoreMetrics(StoreMetrics::of(registry()));  // never destroyed
+  return *instance;
+}
+
+OracleMetrics OracleMetrics::of(MetricsRegistry& reg) {
+  return OracleMetrics{
+      reg.counter("dm.oracle.audits"),
+      reg.counter("dm.oracle.audited"),
+      reg.counter("dm.oracle.confirmed"),
+      reg.counter("dm.oracle.overturned"),
+      reg.counter("dm.oracle.unavailable"),
+      reg.counter("dm.oracle.demotions"),
+      reg.histogram("dm.oracle.audit_ns"),
+  };
+}
+
+OracleMetrics& oracle_metrics() {
+  static OracleMetrics* instance =
+      new OracleMetrics(OracleMetrics::of(registry()));  // never destroyed
   return *instance;
 }
 

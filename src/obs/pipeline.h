@@ -17,6 +17,10 @@
 //   dm.model.*    model lifecycle: reservoir levels, retrains, shadow-
 //                 scoring agreement and hot-swap publications (written by
 //                 src/serve; panel defined in ModelMetrics below)
+//   dm.store.*    crash-safe model persistence: saves, recoveries, exact
+//                 quarantine accounting (serve::ModelStore; StoreMetrics)
+//   dm.oracle.*   delayed-oracle label correction: audits, overturns,
+//                 demotions (serve layer + src/baseline; OracleMetrics)
 //
 // Hot paths construct a PipelineMetrics once (a bundle of references into a
 // registry) and touch only the wait-free handles afterwards.
@@ -87,6 +91,11 @@ struct ModelMetrics {
   Counter& shadow_disagree_infection;  // dm.model.shadow_disagree_infection
   /// Incumbent alerts where the candidate does not.
   Counter& shadow_disagree_benign;     // dm.model.shadow_disagree_benign
+  /// Fence-set gate (held-out split of the reservoir, scored before shadow
+  /// scoring starts): fence_evaluations == fence passes + fence_rejects.
+  Counter& fence_evaluations;    // dm.model.fence_evaluations — gated candidates
+  Counter& fence_rejects;        // dm.model.fence_rejects — F1 below incumbent−ε
+  Counter& rollbacks;            // dm.model.rollbacks — demotions to a parent
   Histogram& shadow_score_ns;    // dm.model.shadow_score_ns — added latency/query
   Histogram& retrain_ns;         // dm.model.retrain_ns — snapshot->candidate wall
   Histogram& swap_publish_ns;    // dm.model.swap_publish_ns — publish() duration
@@ -95,6 +104,48 @@ struct ModelMetrics {
 
 /// dm.model.* handles into the process-wide registry.
 ModelMetrics& model_metrics();
+
+/// The dm.store.* panel: crash-safe model persistence (serve::ModelStore).
+/// Quarantine accounting is exact: every artifact/manifest the recovery
+/// scan rejects is renamed aside and counted, never silently deleted —
+/// serve_model_store_test holds the counts as a fence.
+struct StoreMetrics {
+  Counter& saves;                  // dm.store.saves — committed persists
+  Counter& save_failures;          // dm.store.save_failures — I/O errors / crashes
+  Counter& save_bytes;             // dm.store.save_bytes — artifact payload bytes
+  Counter& recoveries;             // dm.store.recoveries — successful startups
+  Counter& artifacts_quarantined;  // dm.store.artifacts_quarantined — torn/corrupt
+  Counter& manifests_quarantined;  // dm.store.manifests_quarantined
+  Counter& uncommitted_discarded;  // dm.store.uncommitted_discarded — renamed but
+                                   //   never manifest-committed (crash window)
+  Counter& temps_removed;          // dm.store.temps_removed — stale .tmp files
+  Counter& pruned;                 // dm.store.pruned — artifacts beyond max_history
+  Gauge& latest_version;           // dm.store.latest_version — manifest head
+  Histogram& persist_ns;           // dm.store.persist_ns — one durable commit
+  Histogram& recover_ns;           // dm.store.recover_ns — startup scan + load
+  static StoreMetrics of(MetricsRegistry& reg);
+};
+
+/// dm.store.* handles into the process-wide registry.
+StoreMetrics& store_metrics();
+
+/// The dm.oracle.* panel: delayed-oracle label correction (serve layer
+/// re-labeling reservoir entries through the src/baseline VT simulator).
+/// Conservation: audited == confirmed + overturned; unavailable entries
+/// (outage / verdict not yet published) stay eligible for the next audit.
+struct OracleMetrics {
+  Counter& audits;       // dm.oracle.audits — audit sweeps run
+  Counter& audited;      // dm.oracle.audited — entries the oracle labeled
+  Counter& confirmed;    // dm.oracle.confirmed — incumbent verdict upheld
+  Counter& overturned;   // dm.oracle.overturned — reservoir label corrected
+  Counter& unavailable;  // dm.oracle.unavailable — no verdict yet (outage/delay)
+  Counter& demotions;    // dm.oracle.demotions — overturn threshold tripped
+  Histogram& audit_ns;   // dm.oracle.audit_ns — one sweep's wall time
+  static OracleMetrics of(MetricsRegistry& reg);
+};
+
+/// dm.oracle.* handles into the process-wide registry.
+OracleMetrics& oracle_metrics();
 
 /// Folds one completed run's decode-fault counts into `reg`'s
 /// `dm.fault.<layer/name>` counters (additive — call once per finished

@@ -5,8 +5,10 @@
 
 namespace dm::serve {
 
-ModelHandle::ModelHandle(std::shared_ptr<const dm::core::Detector> initial)
-    : current_(std::move(initial)), version_(1) {
+ModelHandle::ModelHandle(std::shared_ptr<const dm::core::Detector> initial,
+                         std::uint64_t initial_version)
+    : current_(std::move(initial)),
+      version_(initial_version == 0 ? 1 : initial_version) {
   if (current_ == nullptr) {
     throw std::invalid_argument("ModelHandle: initial model must be non-null");
   }

@@ -39,8 +39,13 @@ namespace dm::serve {
 /// of Pins may read concurrently.
 class ModelHandle {
  public:
-  /// Starts at version 1 with `initial` installed (must be non-null).
-  explicit ModelHandle(std::shared_ptr<const dm::core::Detector> initial);
+  /// Starts at `initial_version` (>= 1) with `initial` installed (must be
+  /// non-null).  A non-default start version is how the serving layer
+  /// resumes a persisted lineage after restart: the ModelStore's recovered
+  /// head keeps its on-disk version number, and the monotone counter
+  /// continues from there.
+  explicit ModelHandle(std::shared_ptr<const dm::core::Detector> initial,
+                       std::uint64_t initial_version = 1);
 
   ModelHandle(const ModelHandle&) = delete;
   ModelHandle& operator=(const ModelHandle&) = delete;

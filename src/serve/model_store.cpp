@@ -1,0 +1,599 @@
+#include "serve/model_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "ml/serialization.h"
+#include "util/hash.h"
+#include "util/log.h"
+
+namespace fs = std::filesystem;
+
+namespace dm::serve {
+namespace {
+
+constexpr std::string_view kArtifactFooterMagic = "dynaminer-artifact";
+constexpr std::string_view kManifestMagic = "dynaminer-manifest v1";
+constexpr std::string_view kManifestFooterMagic = "dynaminer-manifest-footer";
+constexpr std::string_view kManifestName = "manifest.dmm";
+constexpr std::string_view kTempPrefix = ".tmp-";
+
+std::string hex8(std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", value);
+  return buf;
+}
+
+/// Round-trip-exact double formatting (hex-float), matching the model format.
+std::string format_double(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", value);
+  return buf;
+}
+
+/// POSIX fsync of a path (file or directory).  The std::filesystem API has
+/// no durability barrier, and rename-based commit protocols are only
+/// crash-atomic when both the renamed file and its directory entry are
+/// synced.
+bool sync_path(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool write_whole_file(const std::string& path, const std::string& payload) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  bool ok = true;
+  while (written < payload.size()) {
+    const ssize_t n =
+        ::write(fd, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0) ok = false;
+  return ok;
+}
+
+bool read_whole_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return false;
+  *out = buf.str();
+  return true;
+}
+
+bool parse_u64_token(const std::string& token, std::uint64_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+/// "model-<digits>.dmf" → version; nullopt for anything else (including
+/// quarantined files, which carry a ".quarantined-N" suffix).
+std::optional<std::uint64_t> artifact_version_from_name(const std::string& name) {
+  constexpr std::string_view kPrefix = "model-";
+  constexpr std::string_view kSuffix = ".dmf";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+  }
+  std::uint64_t version = 0;
+  if (!parse_u64_token(digits, &version)) return std::nullopt;
+  return version;
+}
+
+/// Splits an artifact file into its payload and validates the CRC footer.
+/// Returns false with `*error` set on any mismatch — torn write, bit flip,
+/// truncation, or a footer naming a different version than the filename.
+bool split_artifact(const std::string& content, std::uint64_t expected_version,
+                    std::string_view* payload, std::string* error) {
+  const std::size_t pos = content.rfind(kArtifactFooterMagic);
+  if (pos == std::string::npos || (pos != 0 && content[pos - 1] != '\n')) {
+    *error = "missing artifact footer";
+    return false;
+  }
+  std::istringstream footer(content.substr(pos));
+  std::string magic, crc_kw, crc_hex, bytes_kw, bytes_tok, version_kw, version_tok;
+  if (!(footer >> magic >> crc_kw >> crc_hex >> bytes_kw >> bytes_tok >>
+        version_kw >> version_tok) ||
+      crc_kw != "crc32" || bytes_kw != "bytes" || version_kw != "version") {
+    *error = "malformed artifact footer";
+    return false;
+  }
+  std::uint64_t bytes = 0, version = 0;
+  if (!parse_u64_token(bytes_tok, &bytes) ||
+      !parse_u64_token(version_tok, &version)) {
+    *error = "malformed artifact footer";
+    return false;
+  }
+  if (bytes != pos) {
+    *error = "artifact payload size mismatch (torn write?)";
+    return false;
+  }
+  if (version != expected_version) {
+    *error = "artifact footer names a different version";
+    return false;
+  }
+  const std::string_view body(content.data(), pos);
+  char* end = nullptr;
+  const unsigned long crc = std::strtoul(crc_hex.c_str(), &end, 16);
+  if (end != crc_hex.c_str() + crc_hex.size()) {
+    *error = "malformed artifact crc";
+    return false;
+  }
+  if (dm::util::crc32(body) != static_cast<std::uint32_t>(crc)) {
+    *error = "artifact crc mismatch";
+    return false;
+  }
+  *payload = body;
+  return true;
+}
+
+std::string render_manifest(const std::vector<ManifestEntry>& entries) {
+  std::ostringstream out;
+  out << kManifestMagic << '\n';
+  for (const ManifestEntry& e : entries) {
+    out << "entry version " << e.version << " parent " << e.parent << " ts-ns "
+        << e.ts_ns << " fence-f1 " << format_double(e.fence_f1) << " reason "
+        << (e.reason.empty() ? std::string("unknown") : e.reason) << '\n';
+  }
+  std::string body = out.str();
+  body += std::string(kManifestFooterMagic) + " crc32 " +
+          hex8(dm::util::crc32(body)) + " bytes " + std::to_string(body.size()) +
+          "\n";
+  return body;
+}
+
+bool parse_manifest(const std::string& content,
+                    std::vector<ManifestEntry>* entries, std::string* error) {
+  const std::size_t pos = content.rfind(kManifestFooterMagic);
+  if (pos == std::string::npos || (pos != 0 && content[pos - 1] != '\n')) {
+    *error = "missing manifest footer";
+    return false;
+  }
+  {
+    std::istringstream footer(content.substr(pos));
+    std::string magic, crc_kw, crc_hex, bytes_kw, bytes_tok;
+    if (!(footer >> magic >> crc_kw >> crc_hex >> bytes_kw >> bytes_tok) ||
+        crc_kw != "crc32" || bytes_kw != "bytes") {
+      *error = "malformed manifest footer";
+      return false;
+    }
+    std::uint64_t bytes = 0;
+    if (!parse_u64_token(bytes_tok, &bytes) || bytes != pos) {
+      *error = "manifest size mismatch (torn write?)";
+      return false;
+    }
+    char* end = nullptr;
+    const unsigned long crc = std::strtoul(crc_hex.c_str(), &end, 16);
+    if (end != crc_hex.c_str() + crc_hex.size() ||
+        dm::util::crc32(std::string_view(content.data(), pos)) !=
+            static_cast<std::uint32_t>(crc)) {
+      *error = "manifest crc mismatch";
+      return false;
+    }
+  }
+
+  std::istringstream in(content.substr(0, pos));
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    *error = "bad manifest magic";
+    return false;
+  }
+  std::vector<ManifestEntry> parsed;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kw, version_kw, parent_kw, ts_kw, fence_kw, reason_kw;
+    std::string version_tok, parent_tok, ts_tok, fence_tok;
+    ManifestEntry e;
+    if (!(ls >> kw >> version_kw >> version_tok >> parent_kw >> parent_tok >>
+          ts_kw >> ts_tok >> fence_kw >> fence_tok >> reason_kw >> e.reason) ||
+        kw != "entry" || version_kw != "version" || parent_kw != "parent" ||
+        ts_kw != "ts-ns" || fence_kw != "fence-f1" || reason_kw != "reason") {
+      *error = "malformed manifest entry";
+      return false;
+    }
+    if (!parse_u64_token(version_tok, &e.version) ||
+        !parse_u64_token(parent_tok, &e.parent) ||
+        !parse_u64_token(ts_tok, &e.ts_ns) || e.version == 0) {
+      *error = "malformed manifest entry";
+      return false;
+    }
+    char* end = nullptr;
+    e.fence_f1 = std::strtod(fence_tok.c_str(), &end);
+    if (end != fence_tok.c_str() + fence_tok.size()) {
+      *error = "malformed manifest entry";
+      return false;
+    }
+    if (!parsed.empty() && e.version <= parsed.back().version) {
+      *error = "manifest versions not ascending";
+      return false;
+    }
+    if (parsed.size() >= 4096) {
+      *error = "implausible manifest length";
+      return false;
+    }
+    parsed.push_back(std::move(e));
+  }
+  *entries = std::move(parsed);
+  return true;
+}
+
+/// Reasons live as single whitespace-free tokens in the manifest line format.
+std::string sanitize_reason(std::string reason) {
+  if (reason.empty()) return "unknown";
+  for (char& c : reason) {
+    if (std::isspace(static_cast<unsigned char>(c))) c = '-';
+  }
+  return reason;
+}
+
+}  // namespace
+
+std::string ModelStore::artifact_filename(std::uint64_t version) {
+  return "model-" + std::to_string(version) + ".dmf";
+}
+
+ModelStore::ModelStore(StoreOptions options)
+    : options_(std::move(options)),
+      metrics_(options_.metrics != nullptr
+                   ? dm::obs::StoreMetrics::of(*options_.metrics)
+                   : dm::obs::store_metrics()),
+      timer_(options_.clock) {
+  if (options_.max_history == 0) options_.max_history = 1;
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+}
+
+void ModelStore::hook(std::string_view step) {
+  if (options_.step_hook) options_.step_hook(step);
+}
+
+bool ModelStore::write_file_durable(const std::string& tmp_path,
+                                    const std::string& final_path,
+                                    const std::string& payload,
+                                    std::string_view temp_write_step,
+                                    std::string_view temp_sync_step,
+                                    std::string_view rename_step,
+                                    std::string_view dir_sync_step) {
+  if (!temp_write_step.empty()) hook(temp_write_step);
+  if (!write_whole_file(tmp_path, payload)) return false;
+  if (!temp_sync_step.empty()) hook(temp_sync_step);
+  if (options_.fsync && !sync_path(tmp_path, /*directory=*/false)) return false;
+  if (!rename_step.empty()) hook(rename_step);
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) return false;
+  if (!dir_sync_step.empty()) hook(dir_sync_step);
+  if (options_.fsync) sync_path(options_.dir, /*directory=*/true);
+  return true;
+}
+
+bool ModelStore::persist(const dm::ml::RandomForest& forest, ManifestEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto span = timer_.span(metrics_.persist_ns);
+  entry.reason = sanitize_reason(std::move(entry.reason));
+
+  std::string payload;
+  try {
+    std::ostringstream out;
+    dm::ml::save_forest(forest, out);
+    payload = out.str();
+  } catch (const std::exception& e) {
+    dm::util::log_warn("model store: serialize failed for version ",
+                       entry.version, ": ", e.what());
+    counts_.save_failures++;
+    metrics_.save_failures.add(1);
+    span.cancel();
+    return false;
+  }
+
+  std::string content = payload;
+  content += std::string(kArtifactFooterMagic) + " crc32 " +
+             hex8(dm::util::crc32(payload)) + " bytes " +
+             std::to_string(payload.size()) + " version " +
+             std::to_string(entry.version) + "\n";
+
+  const fs::path dir(options_.dir);
+  const std::string final_path = (dir / artifact_filename(entry.version)).string();
+  const std::string tmp_path =
+      (dir / (std::string(kTempPrefix) + "model-" + std::to_string(entry.version)))
+          .string();
+  if (!write_file_durable(tmp_path, final_path, content, "artifact-temp-write",
+                          "artifact-temp-sync", "artifact-rename",
+                          "artifact-dir-sync")) {
+    dm::util::log_warn("model store: artifact write failed for version ",
+                       entry.version);
+    counts_.save_failures++;
+    metrics_.save_failures.add(1);
+    span.cancel();
+    return false;
+  }
+
+  // The artifact is durable but not yet committed: only the manifest rename
+  // below makes this version part of the history.  Build the new manifest
+  // (with pruning applied) before touching entries_, so a failed commit
+  // leaves the in-memory state matching the still-authoritative old file.
+  std::vector<ManifestEntry> new_entries = entries_;
+  const std::uint64_t payload_bytes = payload.size();
+  new_entries.push_back(std::move(entry));
+  std::vector<std::uint64_t> dropped;
+  while (new_entries.size() > options_.max_history) {
+    dropped.push_back(new_entries.front().version);
+    new_entries.erase(new_entries.begin());
+  }
+  const std::string manifest = render_manifest(new_entries);
+  const std::string manifest_path = (dir / kManifestName).string();
+  const std::string manifest_tmp =
+      (dir / (std::string(kTempPrefix) + "manifest")).string();
+  if (!write_file_durable(manifest_tmp, manifest_path, manifest,
+                          "manifest-temp-write", "manifest-temp-sync",
+                          "manifest-rename", "manifest-dir-sync")) {
+    // The renamed artifact is now an uncommitted orphan; the next recover()
+    // sweeps and counts it.
+    dm::util::log_warn("model store: manifest commit failed for version ",
+                       new_entries.back().version);
+    counts_.save_failures++;
+    metrics_.save_failures.add(1);
+    span.cancel();
+    return false;
+  }
+
+  entries_ = std::move(new_entries);
+  counts_.saves++;
+  metrics_.saves.add(1);
+  metrics_.save_bytes.add(payload_bytes);
+  metrics_.latest_version.set(static_cast<std::int64_t>(entries_.back().version));
+
+  hook("prune");
+  std::error_code ec;
+  for (const std::uint64_t version : dropped) {
+    fs::remove(dir / artifact_filename(version), ec);
+    counts_.pruned++;
+    metrics_.pruned.add(1);
+  }
+  span.stop();
+  return true;
+}
+
+std::string ModelStore::quarantine_locked(const std::string& path) {
+  const std::string target =
+      path + ".quarantined-" + std::to_string(quarantine_seq_++);
+  std::error_code ec;
+  fs::rename(path, target, ec);
+  if (ec) fs::remove(path, ec);
+  return target;
+}
+
+std::optional<dm::ml::RandomForest> ModelStore::read_artifact_locked(
+    std::uint64_t version, std::string* error) const {
+  const std::string path =
+      (fs::path(options_.dir) / artifact_filename(version)).string();
+  std::string content;
+  if (!read_whole_file(path, &content)) {
+    *error = "missing artifact";
+    return std::nullopt;
+  }
+  std::string_view payload;
+  if (!split_artifact(content, version, &payload, error)) return std::nullopt;
+  auto loaded = dm::ml::try_load_forest(payload);
+  if (!loaded) {
+    *error = loaded.error().reason;
+    return std::nullopt;
+  }
+  return std::move(loaded.value());
+}
+
+std::optional<ModelStore::Recovered> ModelStore::recover() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto span = timer_.span(metrics_.recover_ns);
+  const fs::path dir(options_.dir);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+
+  // Sweep half-written temps from a crash mid-persist: they were never
+  // renamed into place, so they carry no committed state.
+  std::map<std::uint64_t, fs::path> artifacts;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.compare(0, kTempPrefix.size(), kTempPrefix) == 0) {
+      std::error_code rm_ec;
+      fs::remove(de.path(), rm_ec);
+      counts_.temps_removed++;
+      metrics_.temps_removed.add(1);
+      continue;
+    }
+    if (const auto version = artifact_version_from_name(name)) {
+      artifacts[*version] = de.path();
+    }
+  }
+
+  // Manifest: the committed history.  A torn or bit-flipped manifest is
+  // quarantined (never deleted) and recovery degrades to an artifact scan.
+  entries_.clear();
+  bool manifest_present = false;
+  bool manifest_ok = false;
+  bool dirty = false;  // manifest must be rewritten to match reality
+  const std::string manifest_path = (dir / kManifestName).string();
+  std::string manifest_content;
+  if (read_whole_file(manifest_path, &manifest_content)) {
+    manifest_present = true;
+    std::string error;
+    if (parse_manifest(manifest_content, &entries_, &error)) {
+      manifest_ok = true;
+    } else {
+      const std::string where = quarantine_locked(manifest_path);
+      counts_.manifests_quarantined++;
+      metrics_.manifests_quarantined.add(1);
+      dm::util::log_warn("model store: manifest invalid (", error,
+                         "), quarantined to ", where);
+      entries_.clear();
+      dirty = true;
+    }
+  }
+
+  std::optional<Recovered> result;
+  if (manifest_ok) {
+    // Walk the committed history newest → oldest; the first CRC-valid,
+    // loadable artifact is the incumbent.
+    while (!entries_.empty()) {
+      const ManifestEntry head = entries_.back();
+      std::string error;
+      auto forest = read_artifact_locked(head.version, &error);
+      if (forest.has_value()) {
+        result = Recovered{std::move(*forest), head};
+        break;
+      }
+      const auto it = artifacts.find(head.version);
+      if (it != artifacts.end()) {
+        const std::string where = quarantine_locked(it->second.string());
+        counts_.artifacts_quarantined++;
+        metrics_.artifacts_quarantined.add(1);
+        dm::util::log_warn("model store: artifact for version ", head.version,
+                           " invalid (", error, "), quarantined to ", where);
+        artifacts.erase(it);
+      } else {
+        dm::util::log_warn("model store: artifact for version ", head.version,
+                           " missing");
+      }
+      entries_.pop_back();
+      dirty = true;
+    }
+    // Artifacts on disk but absent from the (surviving) manifest: newer than
+    // the head is the crash window between artifact rename and manifest
+    // commit — discard so recovery lands on the pre-crash incumbent, never a
+    // half-promoted candidate.  Older ones are prune leftovers.
+    const std::uint64_t head_version =
+        entries_.empty() ? 0 : entries_.back().version;
+    for (const auto& [version, path] : artifacts) {
+      const bool referenced =
+          std::any_of(entries_.begin(), entries_.end(),
+                      [v = version](const ManifestEntry& e) { return e.version == v; });
+      if (referenced) continue;
+      std::error_code rm_ec;
+      fs::remove(path, rm_ec);
+      if (version > head_version) {
+        counts_.uncommitted_discarded++;
+        metrics_.uncommitted_discarded.add(1);
+        dm::util::log_warn("model store: discarding uncommitted artifact version ",
+                           version);
+      } else {
+        counts_.pruned++;
+        metrics_.pruned.add(1);
+      }
+    }
+  } else {
+    // No usable manifest: rebuild the lineage from whatever artifacts
+    // survive, oldest → newest, quarantining invalid ones.  Parent edges are
+    // re-derived as the previous surviving version (best effort — the true
+    // promotion metadata died with the manifest).
+    std::uint64_t previous = 0;
+    for (const auto& [version, path] : artifacts) {
+      std::string error;
+      auto forest = read_artifact_locked(version, &error);
+      if (!forest.has_value()) {
+        const std::string where = quarantine_locked(path.string());
+        counts_.artifacts_quarantined++;
+        metrics_.artifacts_quarantined.add(1);
+        dm::util::log_warn("model store: artifact for version ", version,
+                           " invalid (", error, "), quarantined to ", where);
+        continue;
+      }
+      ManifestEntry e;
+      e.version = version;
+      e.parent = previous;
+      e.ts_ns = timer_.now();
+      e.reason = "recovered";
+      previous = version;
+      entries_.push_back(e);
+      result = Recovered{std::move(*forest), std::move(e)};
+      dirty = true;
+    }
+    if (manifest_present && entries_.empty()) dirty = true;
+  }
+
+  if (dirty) commit_manifest_locked();
+  metrics_.latest_version.set(
+      static_cast<std::int64_t>(entries_.empty() ? 0 : entries_.back().version));
+  // Every sweep counts — an empty store is a completed (if trivial)
+  // recovery, and ops wants to see the startup pass happened at all.
+  counts_.recoveries++;
+  metrics_.recoveries.add(1);
+  if (result.has_value()) {
+    dm::util::log_info("model store: recovered model version ",
+                       result->entry.version, " (", result->entry.reason, ")");
+  }
+  span.stop();
+  return result;
+}
+
+bool ModelStore::commit_manifest_locked() {
+  const fs::path dir(options_.dir);
+  const std::string manifest = render_manifest(entries_);
+  return write_file_durable(
+      (dir / (std::string(kTempPrefix) + "manifest")).string(),
+      (dir / kManifestName).string(), manifest, {}, {}, {}, {});
+}
+
+std::optional<dm::ml::RandomForest> ModelStore::load_version(
+    std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string error;
+  auto forest = read_artifact_locked(version, &error);
+  if (!forest.has_value()) {
+    dm::util::log_warn("model store: load of version ", version, " failed: ",
+                       error);
+  }
+  return forest;
+}
+
+std::vector<ManifestEntry> ModelStore::manifest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+std::uint64_t ModelStore::latest_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.empty() ? 0 : entries_.back().version;
+}
+
+ModelStore::Counts ModelStore::counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+}  // namespace dm::serve

@@ -1,0 +1,175 @@
+// Crash-safe, versioned on-disk model persistence for the serving layer.
+//
+// Every promoted forest becomes an immutable artifact file plus one entry in
+// a bounded swap-history manifest.  The durability protocol is the classic
+// write-temp → fsync → atomic-rename sequence, with the *manifest* rename as
+// the commit point:
+//
+//   persist(forest, entry):
+//     1. write  <dir>/.tmp-model-<version>      (payload + CRC32 footer)
+//     2. fsync  the temp file
+//     3. rename → <dir>/model-<version>.dmf     (artifact durable, NOT yet
+//     4. fsync  the directory                    committed)
+//     5. write  <dir>/.tmp-manifest             (history + CRC32 footer)
+//     6. fsync  the temp file
+//     7. rename → <dir>/manifest.dmm            ← COMMIT POINT
+//     8. fsync  the directory
+//     9. unlink artifacts pruned out of the bounded history
+//
+// A crash anywhere before step 7 leaves the previous manifest — and thus the
+// previous incumbent — authoritative; the half-written temp or the renamed-
+// but-unreferenced artifact is swept up (and counted) by the next recover().
+// A crash at/after step 7 commits the new version; step 9 is pure garbage
+// collection and re-runs implicitly (unreferenced artifacts are removed on
+// recovery).
+//
+// recover() is the startup state machine:
+//
+//   * stale ".tmp-*" files        → unlink, count (temps_removed)
+//   * manifest absent/corrupt     → quarantine it (manifests_quarantined),
+//     fall back to scanning artifacts: adopt the newest CRC-valid one,
+//     quarantine invalid ones, rebuild a fresh manifest (reason "recovered")
+//   * manifest valid              → walk entries newest→oldest; the first
+//     entry whose artifact passes CRC + load wins.  Torn/bit-flipped
+//     artifacts are renamed aside ".quarantined-*" and counted
+//     (artifacts_quarantined); artifacts on disk but absent from the
+//     manifest are the crash window between steps 3 and 7 — removed and
+//     counted (uncommitted_discarded), so recovery lands on the pre-crash
+//     *incumbent*, never on a half-promoted candidate.
+//
+// Every count is exact and mirrored into the dm.store.* panel; the fault-
+// injection harness (serve_model_store_test) crashes the sequence at every
+// named step and asserts both the recovered lineage and the accounting.
+//
+// Thread-safety: persist/recover/load_version/manifest are serialized by an
+// internal mutex.  The driver calls persist() from its single retrain
+// worker and recover() from its constructor, so contention is nil.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/random_forest.h"
+#include "obs/pipeline.h"
+#include "obs/timer.h"
+
+namespace dm::serve {
+
+struct StoreOptions {
+  /// Artifact directory (created if absent).  Empty = store disabled (the
+  /// driver skips persistence entirely).
+  std::string dir;
+  /// Committed versions kept on disk; older artifacts + manifest entries are
+  /// pruned past this bound (>= 1; rollback depth is limited by it).
+  std::size_t max_history = 8;
+  /// Durability barriers (fsync file + directory).  On by default; tests
+  /// that hammer persist in a loop may disable them for speed — crash
+  /// *injection* still works, only power-loss ordering is weakened.
+  bool fsync = true;
+  /// Observability (null -> process-wide registry / steady clock).
+  dm::obs::MetricsRegistry* metrics = nullptr;
+  dm::obs::ClockFn clock = nullptr;
+  /// Fault-injection seam: invoked with the step name *before* each step of
+  /// the persist sequence ("artifact-temp-write", "artifact-temp-sync",
+  /// "artifact-rename", "artifact-dir-sync", "manifest-temp-write",
+  /// "manifest-temp-sync", "manifest-rename", "manifest-dir-sync",
+  /// "prune").  A hook that throws simulates a crash at that point; the
+  /// harness then rebuilds the store and asserts recovery.  Never set in
+  /// production.
+  std::function<void(std::string_view step)> step_hook;
+};
+
+/// One committed promotion in the swap-history manifest.
+struct ManifestEntry {
+  std::uint64_t version = 0;
+  /// Version this model descends from (0 = none / initial).  Rollback walks
+  /// this edge.
+  std::uint64_t parent = 0;
+  std::uint64_t ts_ns = 0;
+  /// Candidate F1 on the held-out fence set at promotion time (0 when the
+  /// fence gate was disabled).
+  double fence_f1 = 0.0;
+  /// Why this version was published: "initial", "promote", "publish",
+  /// "rollback", "recovered".
+  std::string reason;
+};
+
+class ModelStore {
+ public:
+  /// Exact mirror of the dm.store.* counters for this instance — the test
+  /// harness asserts these, the panel aggregates across instances.
+  struct Counts {
+    std::uint64_t saves = 0;
+    std::uint64_t save_failures = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t artifacts_quarantined = 0;
+    std::uint64_t manifests_quarantined = 0;
+    std::uint64_t uncommitted_discarded = 0;
+    std::uint64_t temps_removed = 0;
+    std::uint64_t pruned = 0;
+  };
+
+  explicit ModelStore(StoreOptions options);
+
+  /// Durably commits `forest` as `entry.version`.  Returns false (counting
+  /// save_failures) on I/O failure without corrupting the committed history;
+  /// rethrows only what the step_hook throws (the simulated crash).
+  bool persist(const dm::ml::RandomForest& forest, ManifestEntry entry);
+
+  struct Recovered {
+    dm::ml::RandomForest forest;
+    ManifestEntry entry;
+  };
+
+  /// Runs the recovery state machine described above.  Returns the newest
+  /// CRC-valid committed version, or nullopt for an empty/unsalvageable
+  /// store.  Idempotent: a second call on a clean store changes nothing.
+  std::optional<Recovered> recover();
+
+  /// Loads one committed version (CRC-checked); nullopt if absent/invalid.
+  std::optional<dm::ml::RandomForest> load_version(std::uint64_t version) const;
+
+  /// The in-memory manifest, oldest → newest.
+  std::vector<ManifestEntry> manifest() const;
+
+  /// Manifest head version (0 when empty).
+  std::uint64_t latest_version() const;
+
+  Counts counts() const;
+
+  const StoreOptions& options() const noexcept { return options_; }
+
+  static std::string artifact_filename(std::uint64_t version);
+
+ private:
+  void hook(std::string_view step);
+  bool write_file_durable(const std::string& tmp_path,
+                          const std::string& final_path,
+                          const std::string& payload,
+                          std::string_view temp_write_step,
+                          std::string_view temp_sync_step,
+                          std::string_view rename_step,
+                          std::string_view dir_sync_step);
+  std::string render_manifest_locked() const;
+  bool commit_manifest_locked();
+  void prune_locked();
+  std::string quarantine_locked(const std::string& path);
+  std::optional<dm::ml::RandomForest> read_artifact_locked(
+      std::uint64_t version, std::string* error) const;
+
+  StoreOptions options_;
+  dm::obs::StoreMetrics metrics_;
+  dm::obs::StageTimer timer_;
+
+  mutable std::mutex mutex_;
+  std::vector<ManifestEntry> entries_;  // oldest → newest, committed only
+  Counts counts_;
+  std::uint64_t quarantine_seq_ = 0;  // unique suffix for renamed-aside files
+};
+
+}  // namespace dm::serve

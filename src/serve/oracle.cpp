@@ -1,0 +1,71 @@
+#include "serve/oracle.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace dm::serve {
+
+std::string wcg_payload_digest(const dm::core::Wcg& wcg) {
+  // Nodes are walked in index order but folded into a canonical string via
+  // the host's sorted position: WcgNode storage order depends on insertion,
+  // and the digest must not.  Hosts, URI sets, and payload tallies are all
+  // ordered containers already, so one sort over (host -> canonical chunk)
+  // pairs makes the whole key order-free.
+  std::vector<std::pair<std::string, std::string>> chunks;
+  for (const dm::core::WcgNode& node : wcg.nodes()) {
+    if (node.payloads_served.empty()) continue;
+    std::string chunk = node.host;
+    chunk += '|';
+    for (const auto& [type, count] : node.payloads_served) {
+      chunk += 't';
+      chunk += std::to_string(static_cast<int>(type));
+      chunk += ':';
+      chunk += std::to_string(count);
+      chunk += ';';
+    }
+    chunk += '|';
+    for (const std::string& uri : node.uris) {
+      chunk += uri;
+      chunk += ';';
+    }
+    chunks.emplace_back(node.host, std::move(chunk));
+  }
+  std::sort(chunks.begin(), chunks.end());
+  std::string key = "wcg-payloads|";
+  for (auto& [host, chunk] : chunks) {
+    key += chunk;
+    key += '#';
+  }
+  return dm::util::digest_hex(key);
+}
+
+VtOracle::VtOracle(std::shared_ptr<const dm::baseline::VirusTotalSim> sim,
+                   double latency_s)
+    : sim_(std::move(sim)), latency_s_(latency_s) {
+  if (sim_ == nullptr) {
+    throw std::invalid_argument("VtOracle: simulator must be non-null");
+  }
+}
+
+std::optional<bool> VtOracle::label(const dm::core::Wcg& wcg,
+                                    std::uint64_t ts_micros,
+                                    std::uint64_t query_micros) {
+  if (outage()) return std::nullopt;
+  if (query_micros < ts_micros) return std::nullopt;
+  if (static_cast<double>(query_micros - ts_micros) < latency_s_ * 1e6) {
+    return std::nullopt;
+  }
+  const std::string digest = wcg_payload_digest(wcg);
+  const double query_day = static_cast<double>(query_micros) / 86'400e6;
+  const dm::baseline::ScanResult result = sim_->scan(digest, query_day);
+  // Unknown digests and timed-out scans carry no information — the payload
+  // was never registered (or the scan failed), not confirmed benign.
+  if (result.timed_out || !result.known) return std::nullopt;
+  return sim_->flags_malicious(result);
+}
+
+}  // namespace dm::serve

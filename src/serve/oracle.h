@@ -1,0 +1,83 @@
+// Delayed-oracle label correction: the serving loop's external truth signal.
+//
+// The continual-learning loop is self-labeled — the reservoir stores the
+// *incumbent's* verdicts, so a drifting incumbent poisons its own retraining
+// corpus (Machlica et al.'s core objection to self-training loops).
+// DynaMiner's premise supplies the fix: offline infection analytics (the
+// src/baseline VT-style engine ensemble) produce higher-quality labels,
+// just *late* — signatures lag first appearance by days.
+//
+// LabelOracle is the seam: given a reservoir entry (its WCG and verdict
+// trace time) and the current trace time, return the corrected label — or
+// nothing when no verdict is available yet (oracle outage, unknown payload,
+// or the configured latency has not elapsed).  Unavailable entries stay
+// eligible for the next audit sweep; labeled entries are marked audited and
+// never re-queried.
+//
+// VtOracle adapts baseline::VirusTotalSim: reservoir WCGs are keyed by a
+// deterministic payload digest (wcg_payload_digest) that the trace/test
+// harness also registers payloads under, and the simulator's own per-engine
+// signature lag models the real-world delay on top of the injectable
+// `latency_s`.  An outage flag models aggregator downtime (audits observe
+// only `unavailable`, nothing is corrected, nothing crashes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baseline/virustotal_sim.h"
+#include "core/wcg.h"
+
+namespace dm::serve {
+
+class LabelOracle {
+ public:
+  virtual ~LabelOracle() = default;
+
+  /// Re-labels one reservoir entry.  `ts_micros` is the trace time the
+  /// incumbent's verdict was issued; `query_micros` is the trace time of the
+  /// audit.  Returns the ground-truth infection label, or nullopt when no
+  /// verdict is available yet.
+  virtual std::optional<bool> label(const dm::core::Wcg& wcg,
+                                    std::uint64_t ts_micros,
+                                    std::uint64_t query_micros) = 0;
+};
+
+/// Deterministic content identity for the payloads a WCG downloaded: a
+/// digest over every payload-serving host with its served-type tally and
+/// URI set (all sorted, so insertion order never matters).  The trace
+/// harness registers episode payloads with the VT simulator under the same
+/// function, giving the oracle a digest join key without the WCG having to
+/// carry raw payload bytes.
+std::string wcg_payload_digest(const dm::core::Wcg& wcg);
+
+class VtOracle : public LabelOracle {
+ public:
+  /// `latency_s` is injectable verdict latency in trace seconds on top of
+  /// the simulator's own signature lag: label() returns nullopt until
+  /// query_micros - ts_micros >= latency_s.
+  explicit VtOracle(std::shared_ptr<const dm::baseline::VirusTotalSim> sim,
+                    double latency_s = 0.0);
+
+  std::optional<bool> label(const dm::core::Wcg& wcg, std::uint64_t ts_micros,
+                            std::uint64_t query_micros) override;
+
+  /// Simulated aggregator downtime: while set, every label() returns
+  /// nullopt.  Thread-safe toggle (ops/test seam).
+  void set_outage(bool down) noexcept {
+    outage_.store(down, std::memory_order_release);
+  }
+  bool outage() const noexcept {
+    return outage_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<const dm::baseline::VirusTotalSim> sim_;
+  double latency_s_;
+  std::atomic<bool> outage_{false};
+};
+
+}  // namespace dm::serve

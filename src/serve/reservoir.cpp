@@ -59,6 +59,79 @@ void WcgReservoir::evict_stale_locked(std::uint64_t newest_micros) {
   }
 }
 
+WcgReservoir::AuditOutcome WcgReservoir::audit(
+    std::uint64_t now_micros, double min_age_s,
+    const std::function<std::optional<bool>(const dm::core::Wcg&,
+                                            std::uint64_t ts_micros)>& oracle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AuditOutcome outcome;
+  const double min_age_us = min_age_s * 1e6;
+
+  // Phase 1: query the oracle for every eligible entry, collecting the
+  // overturns; mutating the class vectors mid-iteration would skew indices.
+  struct Overturn {
+    bool from_infection = false;
+    std::size_t index = 0;
+  };
+  std::vector<Overturn> overturns;
+  for (ClassSample* sample : {&infections_, &benign_}) {
+    const bool is_infection_class = (sample == &infections_);
+    for (std::size_t i = 0; i < sample->items.size(); ++i) {
+      LabeledWcg& item = sample->items[i];
+      if (item.oracle_audited) continue;
+      if (now_micros < item.ts_micros ||
+          static_cast<double>(now_micros - item.ts_micros) < min_age_us) {
+        continue;  // not yet old enough for a delayed verdict
+      }
+      const std::optional<bool> truth = oracle(item.wcg, item.ts_micros);
+      if (!truth.has_value()) {
+        ++outcome.unavailable;
+        continue;
+      }
+      item.oracle_audited = true;
+      ++outcome.audited;
+      if (*truth == item.infection) {
+        ++outcome.confirmed;
+      } else {
+        ++outcome.overturned;
+        overturns.push_back({is_infection_class, i});
+      }
+    }
+  }
+
+  // Phase 2: extract every overturned entry first (highest index first per
+  // class, so earlier indices stay valid), then insert into the opposite
+  // class.  Extraction fully precedes insertion — an insertion that replaced
+  // a not-yet-extracted entry would corrupt the sweep.
+  std::vector<LabeledWcg> moved;
+  moved.reserve(overturns.size());
+  for (auto it = overturns.rbegin(); it != overturns.rend(); ++it) {
+    ClassSample& source = it->from_infection ? infections_ : benign_;
+    LabeledWcg item = std::move(source.items[it->index]);
+    source.items.erase(source.items.begin() +
+                       static_cast<std::ptrdiff_t>(it->index));
+    item.infection = !it->from_infection;
+    moved.push_back(std::move(item));
+  }
+  for (LabeledWcg& item : moved) {
+    ClassSample& target = item.infection ? infections_ : benign_;
+    if (target.items.size() < options_.capacity_per_class) {
+      target.items.push_back(std::move(item));
+    } else {
+      // Target full: replace its oldest entry — deterministic, bounded, and
+      // biased toward recency the same way the time-window mode is.
+      std::size_t oldest = 0;
+      for (std::size_t i = 1; i < target.items.size(); ++i) {
+        if (target.items[i].ts_micros < target.items[oldest].ts_micros) {
+          oldest = i;
+        }
+      }
+      target.items[oldest] = std::move(item);
+    }
+  }
+  return outcome;
+}
+
 WcgReservoir::Snapshot WcgReservoir::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snap;

@@ -29,7 +29,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/wcg.h"
@@ -55,6 +57,9 @@ struct LabeledWcg {
   double score = 0.0;
   bool infection = false;       // the classifier's hard decision
   std::uint64_t ts_micros = 0;  // trace timestamp of the verdict
+  /// Set once a delayed oracle has confirmed or corrected the label; audited
+  /// entries are never re-queried.
+  bool oracle_audited = false;
 };
 
 class WcgReservoir {
@@ -75,6 +80,32 @@ class WcgReservoir {
     std::uint64_t admitted = 0;
   };
   Snapshot snapshot() const;
+
+  /// Outcome of one delayed-oracle audit sweep (conservation: audited ==
+  /// confirmed + overturned; unavailable entries stay eligible).
+  struct AuditOutcome {
+    std::uint64_t audited = 0;
+    std::uint64_t confirmed = 0;
+    std::uint64_t overturned = 0;
+    std::uint64_t unavailable = 0;
+  };
+
+  /// Re-labels entries through a delayed oracle.  Every un-audited entry at
+  /// least `min_age_s` of trace time old is offered to `oracle(wcg,
+  /// ts_micros)`:
+  ///   * nullopt         → counted unavailable, stays eligible next sweep
+  ///   * matching label  → marked audited (confirmed)
+  ///   * differing label → the entry is *moved* to the other class with the
+  ///     corrected label (overturned).  If the target class is at capacity
+  ///     its oldest entry (by verdict timestamp) is replaced — deterministic
+  ///     and bounded.  The target's Algorithm-R stream state (`seen`, RNG)
+  ///     is untouched, so future admissions stay a pure function of the
+  ///     offer sequence.
+  /// Thread-safe (the sweep holds the reservoir mutex throughout).
+  AuditOutcome audit(
+      std::uint64_t now_micros, double min_age_s,
+      const std::function<std::optional<bool>(const dm::core::Wcg&,
+                                              std::uint64_t ts_micros)>& oracle);
 
   std::uint64_t offered() const;
   std::uint64_t admitted() const;

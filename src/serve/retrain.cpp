@@ -1,12 +1,17 @@
 #include "serve/retrain.h"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <sstream>
 #include <utility>
 
 #include "core/trainer.h"
+#include "ml/metrics.h"
 #include "ml/parallel_trainer.h"
 #include "ml/serialization.h"
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace dm::serve {
 
@@ -44,17 +49,62 @@ class RetrainDriver::ServingScorer : public dm::core::WcgScorer {
 
 // ---- RetrainDriver ---------------------------------------------------------
 
+std::unique_ptr<ModelStore> RetrainDriver::make_store(
+    const ServeOptions& options) {
+  if (options.store.dir.empty()) return nullptr;
+  StoreOptions store = options.store;
+  if (store.metrics == nullptr) store.metrics = options.metrics;
+  if (store.clock == nullptr) store.clock = options.clock;
+  return std::make_unique<ModelStore>(std::move(store));
+}
+
+RetrainDriver::Boot RetrainDriver::boot_model(
+    std::shared_ptr<const dm::core::Detector> initial, ModelStore* store,
+    const ServeOptions& options) {
+  Boot boot;
+  boot.model = std::move(initial);
+  if (store != nullptr) {
+    if (auto recovered = store->recover()) {
+      boot.model = std::make_shared<const dm::core::Detector>(
+          std::move(recovered->forest), options.features,
+          options.decision_threshold);
+      boot.version = recovered->entry.version;
+      boot.recovered = true;
+    }
+  }
+  return boot;
+}
+
 RetrainDriver::RetrainDriver(std::shared_ptr<const dm::core::Detector> initial,
                              ServeOptions options)
     : options_(std::move(options)),
       metrics_(options_.metrics != nullptr
                    ? dm::obs::ModelMetrics::of(*options_.metrics)
                    : dm::obs::model_metrics()),
+      oracle_metrics_(options_.metrics != nullptr
+                          ? dm::obs::OracleMetrics::of(*options_.metrics)
+                          : dm::obs::oracle_metrics()),
       timer_(options_.clock),
-      handle_(std::move(initial)),
+      store_(make_store(options_)),
+      boot_(boot_model(std::move(initial), store_.get(), options_)),
+      handle_(boot_.model, boot_.version),
       reservoir_(options_.reservoir),
+      boot_recovered_(boot_.recovered),
       pool_({.workers = 1, .queue_capacity = 8}) {
   metrics_.version.set(static_cast<std::int64_t>(handle_.version()));
+  boot_.model.reset();  // the handle owns it now
+  if (store_ != nullptr && !boot_recovered_) {
+    // Empty store: commit the initial model as the lineage root, so a
+    // restart before the first retrain still recovers the serving model.
+    dm::ml::RandomForest forest = handle_.current()->forest();
+    forest.set_model_version(handle_.version());
+    ManifestEntry entry;
+    entry.version = handle_.version();
+    entry.parent = 0;
+    entry.ts_ns = timer_.now();
+    entry.reason = "initial";
+    store_->persist(forest, std::move(entry));
+  }
 }
 
 RetrainDriver::~RetrainDriver() {
@@ -95,6 +145,25 @@ void RetrainDriver::on_verdict(const dm::core::Wcg& wcg, double score,
     }
   }
   if (fire) pool_.submit([this] { run_retrain(); });
+
+  // Delayed-oracle cadence: audits run on trace time, anchored at the first
+  // verdict like the retrain clock trigger.
+  if (options_.oracle != nullptr && options_.oracle_audit_every_s > 0.0) {
+    bool audit = false;
+    {
+      std::lock_guard<std::mutex> lock(oracle_mutex_);
+      if (!audit_anchored_) {
+        audit_anchored_ = true;
+        last_audit_micros_ = ts_micros;
+      } else if (ts_micros >= last_audit_micros_ &&
+                 static_cast<double>(ts_micros - last_audit_micros_) * 1e-6 >=
+                     options_.oracle_audit_every_s) {
+        last_audit_micros_ = ts_micros;
+        audit = true;
+      }
+    }
+    if (audit) audit_now(ts_micros);
+  }
 }
 
 bool RetrainDriver::should_retrain_locked(std::uint64_t now_ns) {
@@ -122,14 +191,61 @@ std::shared_ptr<dm::core::WcgScorer> RetrainDriver::make_scorer() {
   return std::make_shared<ServingScorer>(this);
 }
 
+namespace {
+
+/// Moves a seeded holdout split out of `pool` into `fence`/`fence_labels`.
+/// At least one sample is held out and at least one kept for training (pools
+/// smaller than 2 are left whole).  The chosen indices are a pure function
+/// of (pool size, seed, class), and the surviving pool keeps its original
+/// relative order — so gated retrains stay deterministic.
+void split_fence(std::vector<dm::core::Wcg>& pool, int label, double fraction,
+                 std::uint64_t seed, std::vector<dm::core::Wcg>* fence,
+                 std::vector<int>* fence_labels) {
+  const std::size_t n = pool.size();
+  if (n < 2) return;
+  const auto want = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * fraction));
+  const std::size_t k = std::clamp<std::size_t>(want, 1, n - 1);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  dm::util::Rng rng(dm::util::stream_seed(seed, static_cast<std::uint64_t>(label)));
+  rng.shuffle(order);
+  std::vector<std::size_t> held(order.begin(),
+                                order.begin() + static_cast<std::ptrdiff_t>(k));
+  std::sort(held.begin(), held.end());
+  for (const std::size_t idx : held) {
+    fence->push_back(std::move(pool[idx]));
+    fence_labels->push_back(label);
+  }
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+}
+
+}  // namespace
+
 void RetrainDriver::run_retrain() {
   auto retrain_span = timer_.span(metrics_.retrain_ns);
-  const WcgReservoir::Snapshot snap = reservoir_.snapshot();
+  WcgReservoir::Snapshot snap = reservoir_.snapshot();
   if (snap.infections.size() < options_.min_per_class ||
       snap.benign.size() < options_.min_per_class) {
     retrain_span.cancel();
     retrain_in_flight_.store(false, std::memory_order_release);
     return;
+  }
+
+  // Fence split: hold a seeded per-class fraction of the snapshot out of
+  // training; the candidate must meet the incumbent on it before it may
+  // shadow-score.  Disabled (the default) trains on the full snapshot —
+  // preserving the PR 6 byte-identity no-op fence exactly.
+  std::vector<dm::core::Wcg> fence_wcgs;
+  std::vector<int> fence_labels;
+  const bool fence_enabled = options_.fence_holdout_fraction > 0.0;
+  if (fence_enabled) {
+    split_fence(snap.infections, 1, options_.fence_holdout_fraction,
+                options_.fence_seed, &fence_wcgs, &fence_labels);
+    split_fence(snap.benign, 0, options_.fence_holdout_fraction,
+                options_.fence_seed, &fence_wcgs, &fence_labels);
   }
 
   // Train the candidate.  train_forest_parallel is a pure function of
@@ -160,13 +276,60 @@ void RetrainDriver::run_retrain() {
   // Prospective provenance stamp: only this driver publishes, and at most
   // one candidate is in flight, so current+1 is the version this forest
   // gets if it clears the gate.
-  forest.set_model_version(handle_.version() + 1);
+  const std::uint64_t parent_version = handle_.version();
+  forest.set_model_version(parent_version + 1);
   auto candidate = std::make_shared<const dm::core::Detector>(
       std::move(forest), options_.features, options_.decision_threshold);
+
+  // Fence gate: score the held-out split with both models.  A candidate
+  // that merely matches the incumbent's *decisions* sails through shadow
+  // agreement; matching its F1 against the held-out labels is the bar that
+  // catches faithfully-reproduced mistakes.
+  double fence_f1 = 0.0;
+  if (fence_enabled && !fence_wcgs.empty()) {
+    metrics_.fence_evaluations.add(1);
+    const std::shared_ptr<const dm::core::Detector> incumbent = handle_.current();
+    dm::ml::Confusion candidate_confusion;
+    dm::ml::Confusion incumbent_confusion;
+    for (std::size_t i = 0; i < fence_wcgs.size(); ++i) {
+      const bool truth = fence_labels[i] == 1;
+      const bool candidate_alert =
+          candidate->score(fence_wcgs[i]) >= options_.decision_threshold;
+      const bool incumbent_alert =
+          incumbent->score(fence_wcgs[i]) >= options_.decision_threshold;
+      auto& cc = candidate_confusion;
+      if (truth) {
+        candidate_alert ? ++cc.true_positives : ++cc.false_negatives;
+      } else {
+        candidate_alert ? ++cc.false_positives : ++cc.true_negatives;
+      }
+      auto& ic = incumbent_confusion;
+      if (truth) {
+        incumbent_alert ? ++ic.true_positives : ++ic.false_negatives;
+      } else {
+        incumbent_alert ? ++ic.false_positives : ++ic.true_negatives;
+      }
+    }
+    fence_f1 = candidate_confusion.f_score();
+    const double incumbent_f1 = incumbent_confusion.f_score();
+    if (fence_f1 < incumbent_f1 - options_.fence_epsilon) {
+      fence_rejects_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.fence_rejects.add(1);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.candidates_rejected.add(1);
+      dm::util::log_warn("serve: candidate rejected by fence set (F1 ",
+                         fence_f1, " vs incumbent ", incumbent_f1, " - ",
+                         options_.fence_epsilon, ") on ", fence_wcgs.size(),
+                         " held-out samples");
+      retrain_span.stop();
+      retrain_in_flight_.store(false, std::memory_order_release);
+      return;
+    }
+  }
   retrain_span.stop();
 
   if (!options_.shadow_before_cutover) {
-    publish(std::move(candidate));
+    publish(std::move(candidate), "publish", parent_version, fence_f1);
     retrain_in_flight_.store(false, std::memory_order_release);
     return;
   }
@@ -180,6 +343,8 @@ void RetrainDriver::run_retrain() {
     std::lock_guard<std::mutex> lock(shadow_mutex_);
     candidate_ = evaluator;
     last_evaluator_ = evaluator;
+    candidate_parent_ = parent_version;
+    candidate_fence_f1_ = fence_f1;
   }
   shadow_active_.store(true, std::memory_order_release);
   dm::util::log_info("serve: candidate trained (", snap.infections.size(),
@@ -209,7 +374,8 @@ void RetrainDriver::resolve_candidate(
   candidate_.reset();
   shadow_active_.store(false, std::memory_order_release);
   if (gate == ShadowEvaluator::Gate::kPromote) {
-    publish(evaluator->candidate());
+    publish(evaluator->candidate(), "promote", candidate_parent_,
+            candidate_fence_f1_);
   } else {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     metrics_.candidates_rejected.add(1);
@@ -220,14 +386,165 @@ void RetrainDriver::resolve_candidate(
   retrain_in_flight_.store(false, std::memory_order_release);
 }
 
-void RetrainDriver::publish(std::shared_ptr<const dm::core::Detector> detector) {
+void RetrainDriver::publish(std::shared_ptr<const dm::core::Detector> detector,
+                            std::string_view reason, std::uint64_t parent,
+                            double fence_f1) {
   auto span = timer_.span(metrics_.swap_publish_ns);
+  const std::shared_ptr<const dm::core::Detector> displaced = handle_.current();
+  const std::uint64_t displaced_version = handle_.version();
   const std::uint64_t version = handle_.publish(std::move(detector));
   span.stop();
+  {
+    // Remember the displaced incumbent: the storeless rollback target.
+    std::lock_guard<std::mutex> lock(previous_mutex_);
+    previous_ = displaced;
+    previous_version_ = displaced_version;
+  }
   swaps_.fetch_add(1, std::memory_order_relaxed);
   metrics_.swaps.add(1);
   metrics_.version.set(static_cast<std::int64_t>(version));
-  dm::util::log_info("serve: published model version ", version);
+  dm::util::log_info("serve: published model version ", version, " (", reason,
+                     ")");
+  if (store_ != nullptr) {
+    // Durable commit *after* the swap: serving never waits on fsync, and a
+    // crash in this window recovers the previous version — the documented
+    // at-least-previous guarantee, not a serving regression.
+    dm::ml::RandomForest forest = handle_.current()->forest();
+    forest.set_model_version(version);
+    ManifestEntry entry;
+    entry.version = version;
+    entry.parent = parent;
+    entry.ts_ns = timer_.now();
+    entry.fence_f1 = fence_f1;
+    entry.reason = std::string(reason);
+    store_->persist(forest, std::move(entry));
+  }
+}
+
+bool RetrainDriver::rollback_now(std::string reason) {
+  const std::uint64_t current_version = handle_.version();
+  std::shared_ptr<const dm::core::Detector> target;
+  std::uint64_t target_version = 0;
+  if (store_ != nullptr) {
+    // Walk the persisted lineage: newest manifest entry for the incumbent,
+    // then its parent's *content*.  The parent field records the content
+    // source, so rolling back a rollback keeps descending the lineage
+    // instead of bouncing back to the just-demoted model.
+    const std::vector<ManifestEntry> entries = store_->manifest();
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      if (it->version != current_version) continue;
+      if (it->parent == 0) break;  // lineage root: nothing to demote to
+      if (auto forest = store_->load_version(it->parent)) {
+        target = std::make_shared<const dm::core::Detector>(
+            std::move(*forest), options_.features, options_.decision_threshold);
+        target_version = it->parent;
+      }
+      break;
+    }
+  }
+  if (target == nullptr) {
+    std::lock_guard<std::mutex> lock(previous_mutex_);
+    if (previous_ != nullptr && previous_version_ != 0 &&
+        previous_version_ != current_version) {
+      target = previous_;
+      target_version = previous_version_;
+    }
+  }
+  if (target == nullptr) {
+    dm::util::log_warn("serve: rollback requested (", reason,
+                       ") but no parent version is available");
+    return false;
+  }
+  // Republish the parent's *content* under a fresh monotone version; the
+  // version gauge and RCU epoch never move backwards.
+  dm::ml::RandomForest forest = target->forest();
+  forest.set_model_version(current_version + 1);
+  auto detector = std::make_shared<const dm::core::Detector>(
+      std::move(forest), options_.features, options_.decision_threshold);
+  rollbacks_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.rollbacks.add(1);
+  dm::util::log_info("serve: rolling back version ", current_version,
+                     " to the content of version ", target_version, " (",
+                     reason, ")");
+  publish(std::move(detector), reason, target_version, 0.0);
+  return true;
+}
+
+RetrainDriver::AuditResult RetrainDriver::audit_now(std::uint64_t now_micros) {
+  AuditResult result;
+  if (options_.oracle == nullptr) return result;
+  auto span = timer_.span(oracle_metrics_.audit_ns);
+  oracle_metrics_.audits.add(1);
+  LabelOracle* oracle = options_.oracle.get();
+  const WcgReservoir::AuditOutcome outcome = reservoir_.audit(
+      now_micros, options_.oracle_delay_s,
+      [oracle, now_micros](const dm::core::Wcg& wcg, std::uint64_t ts_micros) {
+        return oracle->label(wcg, ts_micros, now_micros);
+      });
+  result.audited = outcome.audited;
+  result.confirmed = outcome.confirmed;
+  result.overturned = outcome.overturned;
+  result.unavailable = outcome.unavailable;
+  oracle_metrics_.audited.add(outcome.audited);
+  oracle_metrics_.confirmed.add(outcome.confirmed);
+  oracle_metrics_.overturned.add(outcome.overturned);
+  oracle_metrics_.unavailable.add(outcome.unavailable);
+  if (outcome.overturned > 0) {
+    metrics_.reservoir_infections.set(
+        static_cast<std::int64_t>(reservoir_.infection_count()));
+    metrics_.reservoir_benign.set(
+        static_cast<std::int64_t>(reservoir_.benign_count()));
+  }
+
+  // Demotion trigger: enough overturns since the last demotion, in absolute
+  // count *and* as a fraction of what was audited — a trickle of overturns
+  // across thousands of confirmations should not demote anyone.
+  bool demote = false;
+  {
+    std::lock_guard<std::mutex> lock(oracle_mutex_);
+    audited_since_demotion_ += outcome.audited;
+    overturned_since_demotion_ += outcome.overturned;
+    if (overturned_since_demotion_ >= options_.oracle_min_overturns &&
+        static_cast<double>(overturned_since_demotion_) >=
+            options_.oracle_overturn_fraction *
+                static_cast<double>(audited_since_demotion_)) {
+      demote = true;
+      audited_since_demotion_ = 0;
+      overturned_since_demotion_ = 0;
+    }
+  }
+  if (demote) {
+    oracle_metrics_.demotions.add(1);
+    dm::util::log_warn(
+        "serve: delayed oracle overturned enough verdicts — demoting the "
+        "incumbent and retraining on the corrected corpus");
+    // A staged candidate was trained on the now-corrected (then wrong)
+    // labels: discard it before demoting, releasing the in-flight slot so
+    // the corrective retrain below can claim it.
+    {
+      std::lock_guard<std::mutex> lock(shadow_mutex_);
+      if (candidate_ != nullptr) {
+        candidate_.reset();
+        shadow_active_.store(false, std::memory_order_release);
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.candidates_rejected.add(1);
+        retrain_in_flight_.store(false, std::memory_order_release);
+      }
+    }
+    result.demoted = rollback_now("oracle-demotion");
+    if (!retrain_in_flight_.exchange(true, std::memory_order_acq_rel)) {
+      {
+        std::lock_guard<std::mutex> lock(trigger_mutex_);
+        admissions_since_retrain_ = 0;
+        last_retrain_ns_ = timer_.now();
+        clock_anchored_ = true;
+      }
+      pool_.submit([this] { run_retrain(); });
+      result.retrain_fired = true;
+    }
+  }
+  span.stop();
+  return result;
 }
 
 bool RetrainDriver::retrain_now() {

@@ -18,10 +18,20 @@
 //     it in a Detector.  Training is a pure function of (snapshot, forest
 //     options), so retraining on an unchanged reservoir yields a
 //     byte-identical forest — the no-op fence bench_serve enforces.
+//   * Before a candidate may stage, it must clear the held-out *fence set*
+//     gate (ServeOptions::fence_holdout_fraction): a seeded split of the
+//     reservoir snapshot is held out of training and the candidate's F1 on
+//     it must reach the incumbent's minus fence_epsilon.
 //   * The candidate then shadow-scores live queries beside the incumbent
 //     (see serve/shadow.h) and is published into the ModelHandle only when
 //     the agreement gate clears — or immediately when
 //     ServeOptions::shadow_before_cutover is off.
+//   * Every publication is durably committed to the serve::ModelStore when
+//     one is configured; construction recovers the persisted lineage and
+//     rollback_now() demotes to a parent version.
+//   * A delayed LabelOracle (ServeOptions::oracle) re-labels aged reservoir
+//     entries; enough overturned verdicts demote the incumbent via rollback
+//     and fire a retrain on the corrected corpus (audit_now()).
 //   * make_scorer() builds the per-shard serving scorer: an epoch-pinned
 //     read of the current model plus the shadow side-channel.  Wire it as
 //     runtime::ShardedOptions::scorer_factory (one scorer per shard) or as
@@ -36,6 +46,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "core/detector.h"
 #include "core/online.h"
@@ -44,6 +55,8 @@
 #include "obs/timer.h"
 #include "runtime/worker_pool.h"
 #include "serve/model_handle.h"
+#include "serve/model_store.h"
+#include "serve/oracle.h"
 #include "serve/reservoir.h"
 #include "serve/shadow.h"
 
@@ -81,11 +94,52 @@ struct ServeOptions {
   /// Observability (null -> process-wide registry / steady clock).
   dm::obs::MetricsRegistry* metrics = nullptr;
   dm::obs::ClockFn clock = nullptr;
+
+  /// Crash-safe persistence (serve/model_store.h).  A non-empty
+  /// `store.dir` enables the store: every publication is durably committed,
+  /// the constructor recovers the newest valid on-disk version (overriding
+  /// the `initial` detector and resuming its version number), and rollback
+  /// walks the persisted lineage.  `store.metrics`/`store.clock` default to
+  /// this struct's when unset.
+  StoreOptions store;
+
+  /// Held-out fence gate: before a candidate may shadow-score (or publish),
+  /// it must meet the incumbent's F1 on a seeded held-out split of the
+  /// reservoir snapshot.  Agreement alone cannot catch a candidate that
+  /// faithfully reproduces the incumbent's mistakes; the fence can.
+  /// Fraction of each class held out (0 = gate disabled — the default
+  /// preserves the byte-identity no-op fence, which trains on the full
+  /// snapshot).  At least one sample per class is held out and at least one
+  /// is kept for training.
+  double fence_holdout_fraction = 0.0;
+  /// Pass condition: candidate_f1 >= incumbent_f1 - fence_epsilon.
+  double fence_epsilon = 0.02;
+  /// Seed of the fence split (class c shuffles with
+  /// util::stream_seed(fence_seed, c)) — the split is a pure function of
+  /// (snapshot, fence_seed), keeping gated retrains deterministic.
+  std::uint64_t fence_seed = 42;
+
+  /// Delayed oracle (serve/oracle.h; null = no label correction).  Audits
+  /// re-label reservoir entries older than `oracle_delay_s`; when the
+  /// oracle overturns enough recent incumbent verdicts the incumbent is
+  /// demoted via rollback and a retrain fires on the corrected corpus.
+  std::shared_ptr<LabelOracle> oracle;
+  /// Trace-time age an entry must reach before it is offered to the oracle.
+  double oracle_delay_s = 0.0;
+  /// Audit cadence in trace seconds, driven off the verdict tap (0 = audits
+  /// run only via audit_now()).
+  double oracle_audit_every_s = 0.0;
+  /// Demotion trigger: at least this many overturns since the last demotion…
+  std::size_t oracle_min_overturns = 4;
+  /// …and overturns >= this fraction of entries audited since then.
+  double oracle_overturn_fraction = 0.25;
 };
 
 class RetrainDriver {
  public:
-  /// `initial` is published as model version 1.
+  /// `initial` is published as model version 1 — unless the model store is
+  /// enabled and holds a recoverable lineage, in which case the recovered
+  /// head (forest + version) takes over and `initial` is discarded.
   RetrainDriver(std::shared_ptr<const dm::core::Detector> initial,
                 ServeOptions options = {});
   ~RetrainDriver();  // drains in-flight retrains
@@ -119,6 +173,31 @@ class RetrainDriver {
   /// finished (not concurrently with on_verdict).
   void drain();
 
+  /// Explicit rollback: demote the incumbent to its parent's *content*,
+  /// republished under a fresh monotone version (readers never see the
+  /// version counter move backwards).  The parent comes from the persisted
+  /// manifest lineage when the store is enabled, else from the in-memory
+  /// previously-published model.  Returns false when no parent is available.
+  bool rollback_now(std::string reason = "rollback");
+
+  /// Outcome of one delayed-oracle audit (see ServeOptions oracle knobs).
+  struct AuditResult {
+    std::uint64_t audited = 0;
+    std::uint64_t confirmed = 0;
+    std::uint64_t overturned = 0;
+    std::uint64_t unavailable = 0;
+    bool demoted = false;        // overturn threshold tripped -> rollback
+    bool retrain_fired = false;  // corrective retrain submitted
+  };
+
+  /// Runs one oracle audit sweep at trace time `now_micros`: re-labels
+  /// eligible reservoir entries, corrects overturned ones, and — when the
+  /// overturn threshold trips — discards any staged candidate, demotes the
+  /// incumbent via rollback, and fires a retrain on the corrected corpus.
+  /// No-op (all zeros) without an oracle.  Also driven automatically off
+  /// the verdict tap every `oracle_audit_every_s` of trace time.
+  AuditResult audit_now(std::uint64_t now_micros);
+
   ModelHandle& handle() noexcept { return handle_; }
   const WcgReservoir& reservoir() const noexcept { return reservoir_; }
   std::uint64_t version() const noexcept { return handle_.version(); }
@@ -131,6 +210,16 @@ class RetrainDriver {
   std::uint64_t candidates_rejected() const noexcept {
     return rejected_.load(std::memory_order_relaxed);
   }
+  std::uint64_t rollbacks() const noexcept {
+    return rollbacks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fence_rejects() const noexcept {
+    return fence_rejects_.load(std::memory_order_relaxed);
+  }
+  /// The model store (null when persistence is disabled).
+  const ModelStore* store() const noexcept { return store_.get(); }
+  /// Whether construction resumed a persisted lineage instead of `initial`.
+  bool recovered_from_store() const noexcept { return boot_recovered_; }
   /// Whether a candidate is currently shadow-scoring.
   bool shadow_active() const noexcept {
     return shadow_active_.load(std::memory_order_acquire);
@@ -146,8 +235,18 @@ class RetrainDriver {
  private:
   class ServingScorer;
 
-  /// The background task body: snapshot -> dataset -> candidate forest ->
-  /// shadow-stage or publish.
+  /// What the handle boots with: `initial`, or the store's recovered head.
+  struct Boot {
+    std::shared_ptr<const dm::core::Detector> model;
+    std::uint64_t version = 1;
+    bool recovered = false;
+  };
+  static std::unique_ptr<ModelStore> make_store(const ServeOptions& options);
+  static Boot boot_model(std::shared_ptr<const dm::core::Detector> initial,
+                         ModelStore* store, const ServeOptions& options);
+
+  /// The background task body: snapshot -> fence split -> dataset ->
+  /// candidate forest -> fence gate -> shadow-stage or publish.
   void run_retrain();
 
   /// Called by scorers on every live query while a shadow phase is active.
@@ -158,17 +257,24 @@ class RetrainDriver {
   void resolve_candidate(const std::shared_ptr<ShadowEvaluator>& evaluator,
                          ShadowEvaluator::Gate gate);
 
-  /// Publishes `detector` (stamping its version) and updates the panel.
-  void publish(std::shared_ptr<const dm::core::Detector> detector);
+  /// Publishes `detector`, remembers the displaced incumbent for in-memory
+  /// rollback, updates the panel, and durably persists the new version
+  /// (parent/fence/reason land in the manifest entry).
+  void publish(std::shared_ptr<const dm::core::Detector> detector,
+               std::string_view reason, std::uint64_t parent, double fence_f1);
 
   /// True when a trigger condition holds (callers must have admitted work).
   bool should_retrain_locked(std::uint64_t now_ns);
 
   ServeOptions options_;
   dm::obs::ModelMetrics metrics_;
+  dm::obs::OracleMetrics oracle_metrics_;
   dm::obs::StageTimer timer_;
+  std::unique_ptr<ModelStore> store_;  // null when persistence is disabled
+  Boot boot_;                          // handle_'s initializer; kept for flags
   ModelHandle handle_;
   WcgReservoir reservoir_;
+  bool boot_recovered_ = false;
 
   /// Trigger state (guarded by trigger_mutex_; touched per admission only).
   std::mutex trigger_mutex_;
@@ -181,11 +287,27 @@ class RetrainDriver {
   std::atomic<bool> retrain_in_flight_{false};
 
   /// Shadow phase (candidate_ guarded by shadow_mutex_; the flag is the
-  /// hot-path fast-out).
+  /// hot-path fast-out).  Parent/fence provenance of the staged candidate
+  /// travel with it so promotion writes them into the manifest.
   std::atomic<bool> shadow_active_{false};
   mutable std::mutex shadow_mutex_;
   std::shared_ptr<ShadowEvaluator> candidate_;
   std::shared_ptr<ShadowEvaluator> last_evaluator_;  // for post-hoc stats
+  std::uint64_t candidate_parent_ = 0;
+  double candidate_fence_f1_ = 0.0;
+
+  /// The displaced incumbent, for rollback when no store lineage exists.
+  mutable std::mutex previous_mutex_;
+  std::shared_ptr<const dm::core::Detector> previous_;
+  std::uint64_t previous_version_ = 0;
+
+  /// Oracle audit state (cadence anchor + overturn accumulator since the
+  /// last demotion).
+  std::mutex oracle_mutex_;
+  std::uint64_t last_audit_micros_ = 0;
+  bool audit_anchored_ = false;
+  std::uint64_t audited_since_demotion_ = 0;
+  std::uint64_t overturned_since_demotion_ = 0;
 
   mutable std::mutex serialization_mutex_;
   std::string last_trained_serialization_;
@@ -193,6 +315,8 @@ class RetrainDriver {
   std::atomic<std::uint64_t> retrains_{0};
   std::atomic<std::uint64_t> swaps_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> rollbacks_{0};
+  std::atomic<std::uint64_t> fence_rejects_{0};
 
   /// One background worker: at most one retrain in flight, serialized FIFO.
   /// Declared last so it is destroyed first — the pool joins (running any

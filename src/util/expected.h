@@ -75,14 +75,17 @@ struct DecodeError {
   std::string to_string() const;
 };
 
-/// Minimal value-or-error: the return type of decode steps where a fault
-/// means no usable value (e.g. an unusable capture header).  Steps that can
-/// salvage a prefix return the partial value plus a DecodeError list instead.
-template <typename T>
-class Expected {
+/// Minimal value-or-error.  BasicExpected is the generic form: any error
+/// payload E works (the ml layer uses it with its own LoadError for model
+/// deserialization).  The decode pipeline's Expected<T> alias below fixes
+/// E = DecodeError and is what every decoder returns when a fault means no
+/// usable value (e.g. an unusable capture header).  Steps that can salvage
+/// a prefix return the partial value plus a DecodeError list instead.
+template <typename T, typename E>
+class BasicExpected {
  public:
-  Expected(T value) : v_(std::in_place_index<0>, std::move(value)) {}
-  Expected(DecodeError error) : v_(std::in_place_index<1>, std::move(error)) {}
+  BasicExpected(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  BasicExpected(E error) : v_(std::in_place_index<1>, std::move(error)) {}
 
   bool has_value() const noexcept { return v_.index() == 0; }
   explicit operator bool() const noexcept { return has_value(); }
@@ -100,7 +103,7 @@ class Expected {
   T* operator->() noexcept { return &value(); }
   const T* operator->() const noexcept { return &value(); }
 
-  const DecodeError& error() const noexcept {
+  const E& error() const noexcept {
     assert(!has_value());
     return std::get<1>(v_);
   }
@@ -110,7 +113,10 @@ class Expected {
   }
 
  private:
-  std::variant<T, DecodeError> v_;
+  std::variant<T, E> v_;
 };
+
+template <typename T>
+using Expected = BasicExpected<T, DecodeError>;
 
 }  // namespace dm::util

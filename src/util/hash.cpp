@@ -18,6 +18,43 @@ std::uint64_t fnv1a_append(std::uint64_t h, std::string_view data) noexcept {
   return h;
 }
 
+namespace {
+
+// Table-driven CRC-32 (reflected, polynomial 0xEDB88320).  The table is
+// built once on first use; generation is branch-free and deterministic.
+const std::array<std::uint32_t, 256>& crc32_table() noexcept {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t crc, std::string_view data) noexcept {
+  const auto& table = crc32_table();
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t crc32_final(std::uint32_t crc) noexcept { return crc ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
 std::string digest_hex(std::string_view data) {
   static constexpr char kHex[] = "0123456789abcdef";
   std::string out;

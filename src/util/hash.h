@@ -1,7 +1,9 @@
-// Hashing utilities: FNV-1a for hash-map style keys and a 160-bit digest used
+// Hashing utilities: FNV-1a for hash-map style keys, a 160-bit digest used
 // as a stand-in for payload content hashes when talking to the simulated
-// VirusTotal baseline.  Neither is cryptographic; the baseline only needs
-// collision-free-in-practice identifiers for synthetic payloads.
+// VirusTotal baseline, and CRC32 for on-disk artifact integrity footers.
+// None is cryptographic; the baseline only needs collision-free-in-practice
+// identifiers for synthetic payloads, and the model store only needs to
+// detect torn writes and bit rot, not adversarial tampering.
 #pragma once
 
 #include <array>
@@ -20,5 +22,16 @@ std::uint64_t fnv1a_append(std::uint64_t h, std::string_view data) noexcept;
 /// A 160-bit digest rendered as 40 hex chars.  Built from five independently
 /// salted FNV-1a passes; stable across platforms and runs.
 std::string digest_hex(std::string_view data);
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the integrity
+/// footer of the serve::ModelStore artifact format.  Detects every single-bit
+/// flip and every truncation of the guarded payload.
+std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Incremental variant: feed chunks through `crc` (start from crc32_init(),
+/// finish with crc32_final()).
+std::uint32_t crc32_init() noexcept;
+std::uint32_t crc32_update(std::uint32_t crc, std::string_view data) noexcept;
+std::uint32_t crc32_final(std::uint32_t crc) noexcept;
 
 }  // namespace dm::util

@@ -1,0 +1,161 @@
+// Fuzz fence for the non-throwing forest loader: model artifacts cross a
+// trust boundary (the serve-layer store reads whatever survived a crash), so
+// try_load_forest must turn every malformed input — truncations, bit flips,
+// garbage, implausible counts — into a structured LoadError, never an
+// exception, and must still round-trip valid artifacts bit-exactly.
+#include "ml/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "core/wcg_builder.h"
+#include "synth/dataset.h"
+#include "util/rng.h"
+
+namespace dm::ml {
+namespace {
+
+std::string valid_artifact() {
+  static const std::string artifact = [] {
+    const auto gt = dm::synth::generate_ground_truth(40, 0.06);
+    std::vector<dm::core::Wcg> infections;
+    std::vector<dm::core::Wcg> benign;
+    for (const auto& e : gt.infections) {
+      infections.push_back(dm::core::build_wcg(e.transactions));
+    }
+    for (const auto& e : gt.benign) {
+      benign.push_back(dm::core::build_wcg(e.transactions));
+    }
+    const auto data = dm::core::dataset_from_wcgs(infections, benign);
+    auto forest = dm::core::train_dynaminer(data, 7);
+    forest.set_model_version(3);
+    std::ostringstream out;
+    save_forest(forest, out);
+    return out.str();
+  }();
+  return artifact;
+}
+
+std::string reserialize(const RandomForest& forest) {
+  std::ostringstream out;
+  save_forest(forest, out);
+  return out.str();
+}
+
+TEST(SerializationFuzzTest, ValidArtifactRoundTripsThroughTryLoad) {
+  const std::string text = valid_artifact();
+  const auto loaded = try_load_forest(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(reserialize(*loaded), text);
+  EXPECT_EQ(loaded->model_version(), 3u);
+}
+
+TEST(SerializationFuzzTest, EveryTruncationIsHandledWithoutThrowing) {
+  const std::string text = valid_artifact();
+  // Tree/node counts are declared up front, so any cut that removes the
+  // whole final token (or more) is structurally detectable.  A cut *inside*
+  // the final hex-float token can leave a shorter-but-parseable number —
+  // the parser cannot know, which is exactly why the model store layers a
+  // CRC on top.  The fence here: no cut may throw, and cuts at or before
+  // the final token boundary must all fail with a structured reason.
+  const std::size_t last_token_start = text.rfind(' ') + 1;
+  for (std::size_t cut = 0; cut < text.size(); ++cut) {
+    const auto result = try_load_forest(text.substr(0, cut));
+    if (cut <= last_token_start) {
+      ASSERT_FALSE(result.has_value()) << "truncation at byte " << cut;
+      EXPECT_FALSE(result.error().reason.empty());
+    }
+  }
+}
+
+TEST(SerializationFuzzTest, SeededBitFlipsNeverThrow) {
+  const std::string text = valid_artifact();
+  dm::util::Rng rng(0xF1125EED);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = text;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+    const auto bit = static_cast<unsigned>(rng.uniform_int(0, 7));
+    mutated[pos] = static_cast<char>(static_cast<unsigned char>(mutated[pos]) ^
+                                     (1u << bit));
+    // Must not throw or crash; a lucky flip (e.g. inside a hex-float
+    // mantissa) may still parse — that is the CRC layer's job to catch, one
+    // level up in the model store.
+    const auto result = try_load_forest(mutated);
+    if (!result.has_value()) {
+      EXPECT_FALSE(result.error().reason.empty());
+    }
+  }
+}
+
+TEST(SerializationFuzzTest, GarbageAndHostileHeadersAreStructuredErrors) {
+  const std::vector<std::string> inputs = {
+      "",
+      "\n",
+      "not a forest at all",
+      "dynaminer-forest v99\ntrees 1 combination avg\n",
+      "dynaminer-forest v2\ntrees -3 combination avg\n",
+      "dynaminer-forest v2\ntrees nonsense combination avg\n",
+      // Implausible node count: must be rejected up front, not allocated.
+      "dynaminer-forest v2\ntrees 1 combination avg\n"
+      "options features-per-split 3 bootstrap-fraction 0x1p-1 seed 1\n"
+      "tree-options max-depth 4 min-samples-split 2 min-samples-leaf 1\n"
+      "tree 99999999999 4\n",
+      std::string(4096, '\0'),
+      std::string("dynaminer-forest v2\n") + std::string(512, 0x7f),
+  };
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto result = try_load_forest(inputs[i]);
+    ASSERT_FALSE(result.has_value()) << "input " << i;
+    EXPECT_FALSE(result.error().reason.empty());
+    EXPECT_NE(result.error().to_string().find("forest load:"),
+              std::string::npos);
+  }
+}
+
+TEST(SerializationFuzzTest, RandomGarbageSweepsNeverThrow) {
+  dm::util::Rng rng(0xBADF00D);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto len =
+        static_cast<std::size_t>(rng.uniform_int(0, 512));
+    std::string garbage;
+    garbage.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    EXPECT_FALSE(try_load_forest(garbage).has_value());
+  }
+}
+
+TEST(SerializationFuzzTest, MissingFileIsAnErrorNotAnException) {
+  const auto result =
+      try_load_forest_file("/nonexistent/path/to/forest.dmf");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_FALSE(result.error().reason.empty());
+}
+
+TEST(SerializationFuzzTest, ThrowingLoaderAndTryLoaderAgree) {
+  // The throwing entry point and the structured one must accept and reject
+  // exactly the same inputs (try_load wraps the same parser).
+  const std::string text = valid_artifact();
+  EXPECT_NO_THROW({
+    std::istringstream in(text);
+    load_forest(in);
+  });
+  const std::string torn = text.substr(0, text.size() / 2);
+  EXPECT_THROW(
+      {
+        std::istringstream in(torn);
+        load_forest(in);
+      },
+      std::exception);
+  EXPECT_FALSE(try_load_forest(torn).has_value());
+}
+
+}  // namespace
+}  // namespace dm::ml

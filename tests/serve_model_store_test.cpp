@@ -1,0 +1,513 @@
+// Crash-safety harness for the versioned model store and the driver's
+// persisted lifecycle: the persist sequence is crashed at every named step
+// via the step_hook seam, artifacts are torn and bit-flipped on disk, and
+// recovery must land on a CRC-valid committed version with *exact*
+// dm.store.* accounting — never on a half-promoted candidate.
+#include "serve/model_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "ml/serialization.h"
+#include "obs/metrics.h"
+#include "serve/retrain.h"
+#include "synth/dataset.h"
+#include "util/rng.h"
+
+namespace dm::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::atomic<std::uint64_t> g_now{0};
+std::uint64_t manual_clock() { return g_now.load(std::memory_order_relaxed); }
+
+/// Fresh scratch directory per test case (removed up front, not after — a
+/// failing test leaves its debris inspectable).
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("dm_store_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// A small trained forest whose serialization differs per seed.
+dm::ml::RandomForest make_forest(std::uint64_t seed) {
+  static const auto corpus = [] {
+    const auto gt = dm::synth::generate_ground_truth(60, 0.05);
+    std::vector<dm::core::Wcg> infections;
+    std::vector<dm::core::Wcg> benign;
+    for (const auto& e : gt.infections) {
+      infections.push_back(dm::core::build_wcg(e.transactions));
+    }
+    for (const auto& e : gt.benign) {
+      benign.push_back(dm::core::build_wcg(e.transactions));
+    }
+    return dm::core::dataset_from_wcgs(infections, benign);
+  }();
+  return dm::core::train_dynaminer(corpus, seed);
+}
+
+std::string serialize(const dm::ml::RandomForest& forest) {
+  std::ostringstream out;
+  dm::ml::save_forest(forest, out);
+  return out.str();
+}
+
+ManifestEntry entry_for(std::uint64_t version, std::uint64_t parent,
+                        const std::string& reason) {
+  ManifestEntry entry;
+  entry.version = version;
+  entry.parent = parent;
+  entry.ts_ns = 1000 * version;
+  entry.reason = reason;
+  return entry;
+}
+
+StoreOptions base_options(const fs::path& dir) {
+  StoreOptions options;
+  options.dir = dir.string();
+  options.fsync = false;  // injection, not power loss, is under test
+  options.clock = &manual_clock;
+  return options;
+}
+
+TEST(ModelStoreTest, EmptyDirectoryRecoversNothing) {
+  dm::obs::MetricsRegistry reg;
+  auto options = base_options(scratch_dir("empty"));
+  options.metrics = &reg;
+  ModelStore store(options);
+  EXPECT_FALSE(store.recover().has_value());
+  EXPECT_EQ(store.latest_version(), 0u);
+  EXPECT_EQ(store.counts().recoveries, 1u);
+  EXPECT_EQ(reg.snapshot().counter_value("dm.store.recoveries"), 1u);
+}
+
+TEST(ModelStoreTest, PersistThenRecoverRoundTripsTheNewestVersion) {
+  const fs::path dir = scratch_dir("roundtrip");
+  auto f1 = make_forest(1);
+  f1.set_model_version(1);
+  auto f2 = make_forest(2);
+  f2.set_model_version(2);
+  {
+    ModelStore store(base_options(dir));
+    ASSERT_TRUE(store.persist(f1, entry_for(1, 0, "initial")));
+    ASSERT_TRUE(store.persist(f2, entry_for(2, 1, "promote")));
+    EXPECT_EQ(store.counts().saves, 2u);
+    EXPECT_EQ(store.latest_version(), 2u);
+  }
+  // A brand-new store instance (a restart) recovers version 2 bit-exactly
+  // and the full lineage.
+  ModelStore store(base_options(dir));
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->entry.version, 2u);
+  EXPECT_EQ(recovered->entry.parent, 1u);
+  EXPECT_EQ(recovered->entry.reason, "promote");
+  EXPECT_EQ(serialize(recovered->forest), serialize(f2));
+  const auto manifest = store.manifest();
+  ASSERT_EQ(manifest.size(), 2u);
+  EXPECT_EQ(manifest[0].version, 1u);
+  EXPECT_EQ(manifest[1].version, 2u);
+  // Clean store: nothing quarantined, discarded, or swept.
+  const auto counts = store.counts();
+  EXPECT_EQ(counts.artifacts_quarantined, 0u);
+  EXPECT_EQ(counts.manifests_quarantined, 0u);
+  EXPECT_EQ(counts.uncommitted_discarded, 0u);
+  EXPECT_EQ(counts.temps_removed, 0u);
+  // An older version stays individually loadable.
+  const auto v1 = store.load_version(1);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(serialize(*v1), serialize(f1));
+  EXPECT_FALSE(store.load_version(9).has_value());
+}
+
+/// The simulated power cut: thrown by the step hook, expected to propagate
+/// out of persist() untouched.
+struct SimulatedCrash {
+  std::string step;
+};
+
+TEST(ModelStoreTest, CrashAtEveryPersistStepRecoversExactly) {
+  // The hook fires *before* the named step, so a crash at step S means S
+  // never executed.  The manifest rename is the commit point: any crash
+  // strictly before it must recover version 1, any crash after it must
+  // recover version 2 — and the sweep accounting is exact per step.
+  struct Expectation {
+    const char* step;
+    std::uint64_t version;          // recovered head after the crash
+    std::uint64_t temps_removed;    // stale .tmp-* swept on recovery
+    std::uint64_t uncommitted;      // renamed-but-unreferenced artifacts
+  };
+  const std::vector<Expectation> table = {
+      {"artifact-temp-write", 1, 0, 0},  // nothing was written yet
+      {"artifact-temp-sync", 1, 1, 0},   // artifact temp on disk
+      {"artifact-rename", 1, 1, 0},
+      {"artifact-dir-sync", 1, 0, 1},    // artifact durable, uncommitted
+      {"manifest-temp-write", 1, 0, 1},
+      {"manifest-temp-sync", 1, 1, 1},   // + manifest temp on disk
+      {"manifest-rename", 1, 1, 1},
+      {"manifest-dir-sync", 2, 0, 0},    // rename happened: committed
+      {"prune", 2, 0, 0},
+  };
+  for (const auto& expected : table) {
+    SCOPED_TRACE(expected.step);
+    const fs::path dir = scratch_dir(std::string("crash_") + expected.step);
+    auto f1 = make_forest(1);
+    f1.set_model_version(1);
+    auto f2 = make_forest(2);
+    f2.set_model_version(2);
+
+    // A clean committed version 1, then a crash mid-promotion of version 2.
+    {
+      ModelStore store(base_options(dir));
+      ASSERT_TRUE(store.persist(f1, entry_for(1, 0, "initial")));
+    }
+    {
+      auto options = base_options(dir);
+      options.step_hook = [&](std::string_view step) {
+        if (step == expected.step) throw SimulatedCrash{std::string(step)};
+      };
+      ModelStore store(options);
+      ASSERT_TRUE(store.recover().has_value());
+      EXPECT_THROW(store.persist(f2, entry_for(2, 1, "promote")),
+                   SimulatedCrash);
+    }
+
+    // Restart: a fresh store with no hook runs recovery.
+    dm::obs::MetricsRegistry reg;
+    auto options = base_options(dir);
+    options.metrics = &reg;
+    ModelStore store(options);
+    const auto recovered = store.recover();
+    ASSERT_TRUE(recovered.has_value()) << "store lost after crashed promote";
+    EXPECT_EQ(recovered->entry.version, expected.version);
+    const auto& want =
+        expected.version == 2 ? f2 : f1;  // bit-exact survivor content
+    EXPECT_EQ(serialize(recovered->forest), serialize(want));
+
+    const auto counts = store.counts();
+    EXPECT_EQ(counts.temps_removed, expected.temps_removed);
+    EXPECT_EQ(counts.uncommitted_discarded, expected.uncommitted);
+    EXPECT_EQ(counts.artifacts_quarantined, 0u);
+    EXPECT_EQ(counts.manifests_quarantined, 0u);
+    // The panel mirrors the instance counts exactly.
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counter_value("dm.store.temps_removed"),
+              expected.temps_removed);
+    EXPECT_EQ(snap.counter_value("dm.store.uncommitted_discarded"),
+              expected.uncommitted);
+    EXPECT_EQ(snap.gauge_value("dm.store.latest_version"),
+              static_cast<std::int64_t>(expected.version));
+
+    // No stray files: scratch now holds exactly the committed artifacts
+    // plus the manifest.
+    std::size_t files = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+      ++files;
+      EXPECT_TRUE(e.path().filename().string().find(".tmp-") ==
+                  std::string::npos)
+          << "stale temp survived recovery: " << e.path();
+    }
+    EXPECT_EQ(files, expected.version == 2 ? 3u : 2u);  // artifacts + manifest
+
+    // Idempotence: recovering again changes nothing.
+    const auto again = store.recover();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->entry.version, expected.version);
+    EXPECT_EQ(store.counts().temps_removed, expected.temps_removed);
+    EXPECT_EQ(store.counts().uncommitted_discarded, expected.uncommitted);
+  }
+}
+
+TEST(ModelStoreTest, TornArtifactIsQuarantinedAndRecoveryFallsBack) {
+  const fs::path dir = scratch_dir("torn");
+  auto f1 = make_forest(1);
+  f1.set_model_version(1);
+  auto f2 = make_forest(2);
+  f2.set_model_version(2);
+  {
+    ModelStore store(base_options(dir));
+    ASSERT_TRUE(store.persist(f1, entry_for(1, 0, "initial")));
+    ASSERT_TRUE(store.persist(f2, entry_for(2, 1, "promote")));
+  }
+  const fs::path artifact = dir / ModelStore::artifact_filename(2);
+  const auto full_size = fs::file_size(artifact);
+  const std::string full = [&] {
+    std::ifstream in(artifact, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }();
+  // Tear the newest artifact at seeded offsets (a torn write truncates);
+  // every tear must quarantine it and recover version 1.
+  dm::util::Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(full_size) - 1));
+    SCOPED_TRACE(cut);
+    {
+      std::ofstream out(artifact, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(cut));
+    }
+    ModelStore store(base_options(dir));
+    const auto recovered = store.recover();
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(recovered->entry.version, 1u);
+    EXPECT_EQ(serialize(recovered->forest), serialize(f1));
+    EXPECT_EQ(store.counts().artifacts_quarantined, 1u);
+    EXPECT_FALSE(fs::exists(artifact)) << "torn artifact left in place";
+    // Restore for the next trial: re-persist version 2 over the survivor.
+    ASSERT_TRUE(store.persist(f2, entry_for(2, 1, "promote")));
+  }
+}
+
+TEST(ModelStoreTest, BitFlippedArtifactFailsItsCrcAndFallsBack) {
+  const fs::path dir = scratch_dir("bitflip");
+  auto f1 = make_forest(1);
+  f1.set_model_version(1);
+  auto f2 = make_forest(2);
+  f2.set_model_version(2);
+  {
+    ModelStore store(base_options(dir));
+    ASSERT_TRUE(store.persist(f1, entry_for(1, 0, "initial")));
+    ASSERT_TRUE(store.persist(f2, entry_for(2, 1, "promote")));
+  }
+  const fs::path artifact = dir / ModelStore::artifact_filename(2);
+  {
+    std::string bytes = [&] {
+      std::ifstream in(artifact, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      return buf.str();
+    }();
+    bytes[bytes.size() / 2] ^= 0x20;  // silent single-bit rot
+    std::ofstream out(artifact, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ModelStore store(base_options(dir));
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->entry.version, 1u);
+  EXPECT_EQ(store.counts().artifacts_quarantined, 1u);
+  // The flipped file is renamed aside, not destroyed — forensics material.
+  bool quarantined_file = false;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().filename().string().find(".quarantined-") !=
+        std::string::npos) {
+      quarantined_file = true;
+    }
+  }
+  EXPECT_TRUE(quarantined_file);
+}
+
+TEST(ModelStoreTest, CorruptManifestQuarantinesAndRebuildsFromArtifacts) {
+  const fs::path dir = scratch_dir("badmanifest");
+  auto f1 = make_forest(1);
+  f1.set_model_version(1);
+  auto f2 = make_forest(2);
+  f2.set_model_version(2);
+  {
+    ModelStore store(base_options(dir));
+    ASSERT_TRUE(store.persist(f1, entry_for(1, 0, "initial")));
+    ASSERT_TRUE(store.persist(f2, entry_for(2, 1, "promote")));
+  }
+  {
+    std::ofstream out(dir / "manifest.dmm", std::ios::trunc);
+    out << "dynaminer-manifest v1\nentry version garbage\n";
+  }
+  ModelStore store(base_options(dir));
+  const auto recovered = store.recover();
+  ASSERT_TRUE(recovered.has_value());
+  // Scan mode: both artifacts are CRC-valid, the newest wins, and the
+  // lineage is rebuilt with the recovery marker.
+  EXPECT_EQ(recovered->entry.version, 2u);
+  EXPECT_EQ(recovered->entry.reason, "recovered");
+  EXPECT_EQ(serialize(recovered->forest), serialize(f2));
+  EXPECT_EQ(store.counts().manifests_quarantined, 1u);
+  const auto manifest = store.manifest();
+  ASSERT_EQ(manifest.size(), 2u);
+  EXPECT_EQ(manifest[0].version, 1u);
+  EXPECT_EQ(manifest[1].parent, 1u) << "rebuilt lineage must chain";
+
+  // The rewritten manifest is committed: a second restart reads it clean.
+  ModelStore reopened(base_options(dir));
+  const auto again = reopened.recover();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->entry.version, 2u);
+  EXPECT_EQ(reopened.counts().manifests_quarantined, 0u);
+}
+
+TEST(ModelStoreTest, HistoryIsBoundedAndPrunedArtifactsAreUnlinked) {
+  const fs::path dir = scratch_dir("prune");
+  auto options = base_options(dir);
+  options.max_history = 3;
+  ModelStore store(options);
+  auto forest = make_forest(1);
+  for (std::uint64_t v = 1; v <= 6; ++v) {
+    forest.set_model_version(v);
+    ASSERT_TRUE(store.persist(forest, entry_for(v, v - 1, "promote")));
+  }
+  EXPECT_EQ(store.counts().pruned, 3u);
+  const auto manifest = store.manifest();
+  ASSERT_EQ(manifest.size(), 3u);
+  EXPECT_EQ(manifest.front().version, 4u);
+  EXPECT_EQ(manifest.back().version, 6u);
+  std::size_t artifacts = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".dmf") ++artifacts;
+  }
+  EXPECT_EQ(artifacts, 3u);
+  EXPECT_FALSE(store.load_version(1).has_value());
+  ASSERT_TRUE(store.load_version(4).has_value());
+}
+
+// ---- Driver-level lifecycle: persist, kill, recover, roll back -------------
+
+std::shared_ptr<const dm::core::Detector> detector_from_seed(
+    std::uint64_t seed) {
+  return std::make_shared<const dm::core::Detector>(make_forest(seed));
+}
+
+/// Verdict feed labeled by the incumbent, as the live tap would.
+void feed_verdicts(RetrainDriver& driver, const dm::core::Detector& incumbent,
+                   std::size_t count, std::uint64_t seed = 9102) {
+  dm::synth::TraceGenerator gen(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto wcg = (i % 2 == 0)
+                   ? dm::core::build_wcg(
+                         gen.infection(dm::synth::family_by_name("Neutrino"))
+                             .transactions)
+                   : dm::core::build_wcg(gen.benign().transactions);
+    const double score = incumbent.score(wcg);
+    driver.on_verdict(wcg, score, score >= 0.4, 1000 * i);
+  }
+}
+
+TEST(RetrainDriverStoreTest, RestartRecoversThePublishedModelBitExactly) {
+  const fs::path dir = scratch_dir("driver_recover");
+  ServeOptions options;
+  options.store.dir = dir.string();
+  options.store.fsync = false;
+  options.shadow_before_cutover = false;
+  options.forest = dm::core::paper_forest_options();
+  options.forest.num_trees = 5;
+  options.clock = &manual_clock;
+
+  std::string published;
+  std::vector<dm::core::Wcg> probes;
+  std::vector<double> scores;
+  {
+    const auto incumbent = detector_from_seed(5);
+    RetrainDriver driver(incumbent, options);
+    EXPECT_FALSE(driver.recovered_from_store());
+    EXPECT_EQ(driver.version(), 1u);
+    // The constructor committed the initial model as the lineage root.
+    ASSERT_NE(driver.store(), nullptr);
+    EXPECT_EQ(driver.store()->latest_version(), 1u);
+
+    feed_verdicts(driver, *incumbent, 8);
+    ASSERT_TRUE(driver.retrain_now());
+    EXPECT_EQ(driver.version(), 2u);
+    published = serialize(driver.handle().current()->forest());
+    dm::synth::TraceGenerator gen(31337);
+    for (int i = 0; i < 16; ++i) {
+      probes.push_back(dm::core::build_wcg(
+          (i % 2 == 0 ? gen.infection(dm::synth::family_by_name("Angler"))
+                      : gen.benign())
+              .transactions));
+      scores.push_back(driver.handle().current()->score(probes.back()));
+    }
+    // Driver destroyed here — an orderly "kill" after the durable commit.
+  }
+
+  // Restart with a *different* initial model: the persisted lineage wins.
+  RetrainDriver driver(detector_from_seed(99), options);
+  EXPECT_TRUE(driver.recovered_from_store());
+  EXPECT_EQ(driver.version(), 2u) << "version counter must resume, not reset";
+  EXPECT_EQ(serialize(driver.handle().current()->forest()), published);
+  // The recovered incumbent reproduces the pre-kill alert set bit-exactly.
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(driver.handle().current()->score(probes[i]), scores[i]);
+  }
+}
+
+TEST(RetrainDriverStoreTest, ExplicitRollbackDemotesToParentContent) {
+  const fs::path dir = scratch_dir("driver_rollback");
+  dm::obs::MetricsRegistry reg;
+  ServeOptions options;
+  options.store.dir = dir.string();
+  options.store.fsync = false;
+  options.shadow_before_cutover = false;
+  options.forest = dm::core::paper_forest_options();
+  options.forest.num_trees = 5;
+  options.metrics = &reg;
+  options.clock = &manual_clock;
+
+  const auto incumbent = detector_from_seed(5);
+  RetrainDriver driver(incumbent, options);
+  const std::string v1_bytes = serialize(driver.handle().current()->forest());
+  feed_verdicts(driver, *incumbent, 8);
+  ASSERT_TRUE(driver.retrain_now());
+  ASSERT_EQ(driver.version(), 2u);
+  ASSERT_NE(serialize(driver.handle().current()->forest()), v1_bytes);
+
+  ASSERT_TRUE(driver.rollback_now());
+  EXPECT_EQ(driver.version(), 3u) << "rollback must move the version forward";
+  EXPECT_EQ(driver.rollbacks(), 1u);
+  EXPECT_EQ(reg.snapshot().counter_value("dm.model.rollbacks"), 1u);
+  // Content is the demoted incumbent's parent — version 1 — modulo the
+  // fresh version stamp in the trailer (the served v1 forest was never
+  // stamped, so compare unstamped bytes).
+  auto rolled = driver.handle().current()->forest();
+  EXPECT_EQ(rolled.model_version(), 3u);
+  rolled.set_model_version(0);
+  EXPECT_EQ(serialize(rolled), v1_bytes);
+  // The demotion is itself a committed lineage edge back to version 1's
+  // content, so a restart serves the rolled-back model.
+  const auto manifest = driver.store()->manifest();
+  ASSERT_FALSE(manifest.empty());
+  EXPECT_EQ(manifest.back().version, 3u);
+  EXPECT_EQ(manifest.back().parent, 1u);
+  EXPECT_EQ(manifest.back().reason, "rollback");
+
+  // Rolling back the rollback keeps descending the lineage (to version 1's
+  // content again via the parent edge), never back to the demoted model.
+  ASSERT_TRUE(driver.rollback_now());
+  auto again = driver.handle().current()->forest();
+  EXPECT_EQ(again.model_version(), 4u);
+  again.set_model_version(0);
+  EXPECT_EQ(serialize(again), v1_bytes);
+}
+
+TEST(RetrainDriverStoreTest, StorelessRollbackUsesTheDisplacedIncumbent) {
+  ServeOptions options;
+  options.shadow_before_cutover = false;
+  options.forest = dm::core::paper_forest_options();
+  options.forest.num_trees = 5;
+  options.clock = &manual_clock;
+  const auto incumbent = detector_from_seed(5);
+  RetrainDriver driver(incumbent, options);
+  // No published predecessor yet: nothing to demote to.
+  EXPECT_FALSE(driver.rollback_now());
+  const std::string v1_bytes = serialize(driver.handle().current()->forest());
+  feed_verdicts(driver, *incumbent, 8);
+  ASSERT_TRUE(driver.retrain_now());
+  ASSERT_EQ(driver.version(), 2u);
+  ASSERT_TRUE(driver.rollback_now());
+  EXPECT_EQ(driver.version(), 3u);
+  auto rolled = driver.handle().current()->forest();
+  rolled.set_model_version(0);
+  EXPECT_EQ(serialize(rolled), v1_bytes);
+}
+
+}  // namespace
+}  // namespace dm::serve

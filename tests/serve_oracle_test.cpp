@@ -1,0 +1,364 @@
+// Delayed-oracle label correction: the VT-simulator oracle's latency and
+// outage semantics, the reservoir's audit/correction sweep, and the driver's
+// demote-and-retrain loop — including the determinism fence that the
+// corrective retrain is byte-identical to training on the corrected corpus
+// by hand.
+#include "serve/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "ml/parallel_trainer.h"
+#include "ml/serialization.h"
+#include "obs/metrics.h"
+#include "serve/retrain.h"
+#include "synth/dataset.h"
+
+namespace dm::serve {
+namespace {
+
+std::atomic<std::uint64_t> g_now{0};
+std::uint64_t manual_clock() { return g_now.load(std::memory_order_relaxed); }
+
+constexpr std::uint64_t kDayMicros = 86'400ull * 1'000'000ull;
+
+dm::core::Wcg infection_wcg(std::uint64_t seed) {
+  dm::synth::TraceGenerator gen(seed);
+  return dm::core::build_wcg(
+      gen.infection(dm::synth::family_by_name("Angler")).transactions);
+}
+
+dm::core::Wcg benign_wcg(std::uint64_t seed) {
+  dm::synth::TraceGenerator gen(seed);
+  return dm::core::build_wcg(gen.benign().transactions);
+}
+
+TEST(WcgPayloadDigestTest, StableAndContentSensitive) {
+  const auto a = infection_wcg(1);
+  EXPECT_EQ(wcg_payload_digest(a), wcg_payload_digest(a));
+  EXPECT_NE(wcg_payload_digest(a), wcg_payload_digest(infection_wcg(2)));
+}
+
+TEST(VtOracleTest, LatencyOutageAndUnknownDigestsWithholdVerdicts) {
+  dm::baseline::VtOptions vt;
+  vt.timeout_prob = 0.0;
+  vt.campaign_visibility = 1.0;
+  vt.engine_coverage = 1.0;
+  vt.lag_mean_days = 0.0;  // signatures land immediately once registered
+  auto sim = std::make_shared<dm::baseline::VirusTotalSim>(vt);
+
+  const auto wcg = infection_wcg(7);
+  const std::string digest = wcg_payload_digest(wcg);
+  sim->register_payload(digest, /*malicious=*/true, /*first_seen_day=*/0.0,
+                        "campaign-a");
+
+  const double latency_days = 2.0;
+  VtOracle oracle(sim, latency_days * 86'400.0);
+  const std::uint64_t ts = kDayMicros;  // verdict lands on day 1
+
+  // Before the oracle's own latency has elapsed there is no verdict at all.
+  EXPECT_FALSE(oracle.label(wcg, ts, ts).has_value());
+  EXPECT_FALSE(oracle.label(wcg, ts, ts + kDayMicros).has_value());
+  // Queries from before the verdict (clock skew) also withhold.
+  EXPECT_FALSE(oracle.label(wcg, ts, ts - 1).has_value());
+  // Once aged past the latency, the registered malicious payload is flagged.
+  const auto verdict = oracle.label(wcg, ts, ts + 3 * kDayMicros);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+  // An outage withholds even aged verdicts — and recovers.
+  oracle.set_outage(true);
+  EXPECT_FALSE(oracle.label(wcg, ts, ts + 3 * kDayMicros).has_value());
+  oracle.set_outage(false);
+  EXPECT_TRUE(oracle.label(wcg, ts, ts + 3 * kDayMicros).has_value());
+  // A WCG whose payloads were never registered carries no information.
+  EXPECT_FALSE(
+      oracle.label(benign_wcg(9), ts, ts + 3 * kDayMicros).has_value());
+}
+
+// ---- Reservoir audit sweep -------------------------------------------------
+
+/// Scripted oracle: ground truth per payload digest; digests not in the map
+/// are "unknown" (nullopt).
+class ScriptedOracle : public LabelOracle {
+ public:
+  std::map<std::string, bool> truth;
+  std::optional<bool> label(const dm::core::Wcg& wcg, std::uint64_t,
+                            std::uint64_t) override {
+    const auto it = truth.find(wcg_payload_digest(wcg));
+    if (it == truth.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+TEST(ReservoirAuditTest, CorrectsLabelsWithExactConservation) {
+  WcgReservoir reservoir({.capacity_per_class = 16});
+  ScriptedOracle oracle;
+  // Four entries the classifier called benign; the oracle knows two of them
+  // are infections.  One entry is unknown to the oracle.
+  std::vector<dm::core::Wcg> wcgs;
+  for (std::uint64_t i = 0; i < 4; ++i) wcgs.push_back(infection_wcg(i + 1));
+  oracle.truth[wcg_payload_digest(wcgs[0])] = true;   // overturn
+  oracle.truth[wcg_payload_digest(wcgs[1])] = true;   // overturn
+  oracle.truth[wcg_payload_digest(wcgs[2])] = false;  // confirm
+  // wcgs[3] stays unknown
+  for (std::size_t i = 0; i < wcgs.size(); ++i) {
+    reservoir.offer(wcgs[i], 0.1, /*infection=*/false, 1000 * i);
+  }
+  ASSERT_EQ(reservoir.benign_count(), 4u);
+  ASSERT_EQ(reservoir.infection_count(), 0u);
+
+  const auto query = [&](const dm::core::Wcg& wcg, std::uint64_t ts) {
+    return oracle.label(wcg, ts, 0);
+  };
+  auto outcome = reservoir.audit(/*now_micros=*/1'000'000, /*min_age_s=*/0.0,
+                                 query);
+  EXPECT_EQ(outcome.audited, 3u);
+  EXPECT_EQ(outcome.confirmed, 1u);
+  EXPECT_EQ(outcome.overturned, 2u);
+  EXPECT_EQ(outcome.unavailable, 1u);
+  EXPECT_EQ(outcome.audited, outcome.confirmed + outcome.overturned);
+  // The two overturned entries moved class with corrected labels.
+  EXPECT_EQ(reservoir.infection_count(), 2u);
+  EXPECT_EQ(reservoir.benign_count(), 2u);
+
+  // Audited entries are never re-queried; the unknown one stays eligible.
+  outcome = reservoir.audit(1'000'000, 0.0, query);
+  EXPECT_EQ(outcome.audited, 0u);
+  EXPECT_EQ(outcome.unavailable, 1u);
+  // The oracle learns about it later: exactly one more audit, no churn.
+  oracle.truth[wcg_payload_digest(wcgs[3])] = false;
+  outcome = reservoir.audit(1'000'000, 0.0, query);
+  EXPECT_EQ(outcome.audited, 1u);
+  EXPECT_EQ(outcome.confirmed, 1u);
+  EXPECT_EQ(reservoir.infection_count(), 2u);
+  EXPECT_EQ(reservoir.benign_count(), 2u);
+}
+
+TEST(ReservoirAuditTest, YoungEntriesWaitForTheDelay) {
+  WcgReservoir reservoir({.capacity_per_class = 8});
+  ScriptedOracle oracle;
+  const auto wcg = infection_wcg(3);
+  oracle.truth[wcg_payload_digest(wcg)] = true;
+  reservoir.offer(wcg, 0.1, false, /*ts_micros=*/10'000'000);
+  const auto query = [&](const dm::core::Wcg& w, std::uint64_t ts) {
+    return oracle.label(w, ts, 0);
+  };
+  // 5 s old with a 30 s delay: not yet eligible — not even "unavailable".
+  auto outcome = reservoir.audit(15'000'000, 30.0, query);
+  EXPECT_EQ(outcome.audited + outcome.unavailable, 0u);
+  // Aged past the delay, the overturn lands.
+  outcome = reservoir.audit(45'000'000, 30.0, query);
+  EXPECT_EQ(outcome.overturned, 1u);
+  EXPECT_EQ(reservoir.infection_count(), 1u);
+}
+
+TEST(ReservoirAuditTest, FullTargetClassReplacesItsOldestEntry) {
+  WcgReservoir reservoir({.capacity_per_class = 2});
+  ScriptedOracle oracle;
+  // Fill the infection class with entries at t=5s and t=9s.
+  reservoir.offer(infection_wcg(11), 0.9, true, 5'000'000);
+  reservoir.offer(infection_wcg(12), 0.9, true, 9'000'000);
+  // One mislabeled benign entry the oracle overturns to "infection".
+  const auto moved = infection_wcg(13);
+  oracle.truth[wcg_payload_digest(moved)] = true;
+  reservoir.offer(moved, 0.1, false, 7'000'000);
+  const auto outcome = reservoir.audit(
+      20'000'000, 0.0, [&](const dm::core::Wcg& w, std::uint64_t ts) {
+        return oracle.label(w, ts, 0);
+      });
+  EXPECT_EQ(outcome.overturned, 1u);
+  // The infection class stays at capacity: the t=5s entry (oldest) was
+  // replaced, the t=9s one survived.
+  EXPECT_EQ(reservoir.infection_count(), 2u);
+  EXPECT_EQ(reservoir.benign_count(), 0u);
+  const auto snap = reservoir.snapshot();
+  bool moved_present = false;
+  for (const auto& w : snap.infections) {
+    if (wcg_payload_digest(w) == wcg_payload_digest(moved)) {
+      moved_present = true;
+    }
+  }
+  EXPECT_TRUE(moved_present);
+}
+
+// ---- Driver: demote on overturns, retrain on the corrected corpus ----------
+
+std::shared_ptr<const dm::core::Detector> small_detector(std::uint64_t seed) {
+  static const auto corpus = [] {
+    const auto gt = dm::synth::generate_ground_truth(60, 0.05);
+    std::vector<dm::core::Wcg> infections;
+    std::vector<dm::core::Wcg> benign;
+    for (const auto& e : gt.infections) {
+      infections.push_back(dm::core::build_wcg(e.transactions));
+    }
+    for (const auto& e : gt.benign) {
+      benign.push_back(dm::core::build_wcg(e.transactions));
+    }
+    return dm::core::dataset_from_wcgs(infections, benign);
+  }();
+  return std::make_shared<const dm::core::Detector>(
+      dm::core::train_dynaminer(corpus, seed));
+}
+
+std::string serialize(const dm::ml::RandomForest& forest) {
+  std::ostringstream out;
+  dm::ml::save_forest(forest, out);
+  return out.str();
+}
+
+struct OracleRig {
+  std::shared_ptr<ScriptedOracle> oracle = std::make_shared<ScriptedOracle>();
+  std::vector<dm::core::Wcg> wcgs;
+
+  /// Feeds `driver` 4 infection-labeled and 6 benign-labeled verdicts, of
+  /// which `mislabeled` of the benign ones are known-malicious to the
+  /// oracle.  Confirmations are scripted for everything else.
+  void feed(RetrainDriver& driver, std::size_t mislabeled) {
+    std::size_t seed = 1;
+    for (std::size_t i = 0; i < 4; ++i) {
+      auto wcg = infection_wcg(seed++);
+      oracle->truth[wcg_payload_digest(wcg)] = true;
+      driver.on_verdict(wcg, 0.9, true, 1'000'000 * (i + 1));
+      wcgs.push_back(std::move(wcg));
+    }
+    for (std::size_t i = 0; i < 6; ++i) {
+      // Mislabeled entries are infection traffic the classifier let pass.
+      auto wcg = i < mislabeled ? infection_wcg(100 + seed++)
+                                : benign_wcg(200 + seed++);
+      oracle->truth[wcg_payload_digest(wcg)] = i < mislabeled;
+      driver.on_verdict(wcg, 0.1, false, 1'000'000 * (10 + i));
+      wcgs.push_back(std::move(wcg));
+    }
+  }
+};
+
+TEST(RetrainDriverOracleTest, OverturnsDemoteAndRetrainDeterministically) {
+  dm::obs::MetricsRegistry reg;
+  OracleRig rig;
+  ServeOptions options;
+  options.shadow_before_cutover = false;
+  options.forest = dm::core::paper_forest_options();
+  options.forest.num_trees = 5;
+  options.metrics = &reg;
+  options.clock = &manual_clock;
+  options.oracle = rig.oracle;
+  options.oracle_min_overturns = 4;
+  options.oracle_overturn_fraction = 0.25;
+  options.reservoir.capacity_per_class = 64;  // keep every verdict
+
+  const auto incumbent = small_detector(5);
+  RetrainDriver driver(incumbent, options);
+  rig.feed(driver, /*mislabeled=*/4);
+  // Publish a version 2 first so a demotion has somewhere to roll back to.
+  ASSERT_TRUE(driver.retrain_now());
+  ASSERT_EQ(driver.version(), 2u);
+  const std::string v2_bytes = serialize(driver.handle().current()->forest());
+
+  const auto result = driver.audit_now(/*now_micros=*/100'000'000);
+  EXPECT_EQ(result.audited, 10u);
+  EXPECT_EQ(result.overturned, 4u);
+  EXPECT_EQ(result.confirmed, 6u);
+  EXPECT_EQ(result.unavailable, 0u);
+  EXPECT_TRUE(result.demoted) << "4 overturns of 10 audited must demote";
+  EXPECT_TRUE(result.retrain_fired);
+  EXPECT_EQ(driver.rollbacks(), 1u);
+  // The corrected corpus: all 8 known-malicious WCGs now sit in the
+  // infection class.
+  EXPECT_EQ(driver.reservoir().infection_count(), 8u);
+  EXPECT_EQ(driver.reservoir().benign_count(), 2u);
+
+  driver.drain();  // run the corrective retrain
+  const std::string corrective = driver.last_trained_serialization();
+  EXPECT_NE(corrective, v2_bytes) << "corrected labels must change the model";
+
+  // Determinism fence: training on the corrected snapshot by hand is
+  // byte-identical to what the driver just trained.
+  const auto snap = driver.reservoir().snapshot();
+  dm::ml::TrainerOptions trainer;
+  trainer.threads = options.train_threads;
+  const auto data = dm::core::dataset_from_wcgs(snap.infections, snap.benign,
+                                                options.features, trainer);
+  const auto manual =
+      dm::ml::train_forest_parallel(data, options.forest, trainer);
+  EXPECT_EQ(corrective, serialize(manual));
+
+  // Panel accounting.
+  const auto panel = reg.snapshot();
+  EXPECT_EQ(panel.counter_value("dm.oracle.audited"), 10u);
+  EXPECT_EQ(panel.counter_value("dm.oracle.overturned"), 4u);
+  EXPECT_EQ(panel.counter_value("dm.oracle.demotions"), 1u);
+  EXPECT_EQ(panel.counter_value("dm.model.rollbacks"), 1u);
+}
+
+TEST(RetrainDriverOracleTest, ScatteredOverturnsDoNotDemote) {
+  OracleRig rig;
+  ServeOptions options;
+  options.shadow_before_cutover = false;
+  options.forest = dm::core::paper_forest_options();
+  options.forest.num_trees = 5;
+  options.clock = &manual_clock;
+  options.oracle = rig.oracle;
+  options.oracle_min_overturns = 4;
+  options.oracle_overturn_fraction = 0.25;
+  options.reservoir.capacity_per_class = 64;
+
+  RetrainDriver driver(small_detector(5), options);
+  rig.feed(driver, /*mislabeled=*/1);  // one overturn in ten audits
+  const auto result = driver.audit_now(100'000'000);
+  EXPECT_EQ(result.overturned, 1u);
+  EXPECT_FALSE(result.demoted);
+  EXPECT_FALSE(result.retrain_fired);
+  EXPECT_EQ(driver.rollbacks(), 0u);
+  // The single overturn still corrected the reservoir label.
+  EXPECT_EQ(driver.reservoir().infection_count(), 5u);
+}
+
+TEST(RetrainDriverOracleTest, ExtremeDelayWithholdsEveryVerdict) {
+  OracleRig rig;
+  ServeOptions options;
+  options.clock = &manual_clock;
+  options.oracle = rig.oracle;
+  options.oracle_delay_s = 1e9;  // nothing is ever old enough
+  options.reservoir.capacity_per_class = 64;
+  RetrainDriver driver(small_detector(5), options);
+  rig.feed(driver, 4);
+  const auto result = driver.audit_now(100'000'000);
+  EXPECT_EQ(result.audited, 0u);
+  EXPECT_EQ(result.overturned, 0u);
+  EXPECT_EQ(result.unavailable, 0u);
+  EXPECT_FALSE(result.demoted);
+  EXPECT_EQ(driver.reservoir().benign_count(), 6u) << "no labels may move";
+}
+
+TEST(RetrainDriverOracleTest, AuditsRunAutomaticallyOffTheVerdictTap) {
+  dm::obs::MetricsRegistry reg;
+  OracleRig rig;
+  ServeOptions options;
+  options.metrics = &reg;
+  options.clock = &manual_clock;
+  options.oracle = rig.oracle;
+  options.oracle_audit_every_s = 5.0;  // trace-time cadence
+  options.reservoir.capacity_per_class = 64;
+  RetrainDriver driver(small_detector(5), options);
+  // Verdicts 1 s apart: the first anchors the cadence, the sixth (t=6s)
+  // crosses the 5 s boundary and fires an audit inline.
+  for (std::size_t i = 0; i < 7; ++i) {
+    auto wcg = benign_wcg(300 + i);
+    rig.oracle->truth[wcg_payload_digest(wcg)] = false;
+    driver.on_verdict(wcg, 0.1, false, 1'000'000 * (i + 1));
+  }
+  const auto panel = reg.snapshot();
+  EXPECT_EQ(panel.counter_value("dm.oracle.audits"), 1u);
+  EXPECT_GT(panel.counter_value("dm.oracle.audited"), 0u);
+}
+
+}  // namespace
+}  // namespace dm::serve

@@ -311,5 +311,95 @@ TEST(RetrainDriverTest, VerdictTapWiredIntoTheOnlineEngineDrivesTheLoop) {
             driver.reservoir().offered());
 }
 
+// ---- Fence-set gate --------------------------------------------------------
+
+TEST(RetrainDriverFenceTest, ImpossibleEpsilonRejectsBeforeShadowScoring) {
+  dm::obs::MetricsRegistry reg;
+  const auto incumbent = small_detector(5);
+  ServeOptions options;
+  options.forest = dm::core::paper_forest_options();
+  options.forest.num_trees = 5;
+  options.metrics = &reg;
+  options.clock = &manual_clock;
+  options.fence_holdout_fraction = 0.5;
+  // An unclearable bar: the candidate would have to beat the incumbent by
+  // more than a whole F1 point.  Perfect agreement cannot save it — the
+  // fence runs before the shadow phase ever starts.
+  options.fence_epsilon = -1.1;
+  RetrainDriver driver(incumbent, options);
+
+  const auto feed = make_feed(*incumbent, options.decision_threshold, 10);
+  for (std::size_t i = 0; i < feed.wcgs.size(); ++i) {
+    driver.on_verdict(feed.wcgs[i], feed.scores[i], feed.alerts[i], 1000 * i);
+  }
+  EXPECT_TRUE(driver.retrain_now()) << "the retrain itself ran";
+  EXPECT_EQ(driver.retrains(), 1u);
+  EXPECT_FALSE(driver.shadow_active()) << "fence reject must not stage";
+  EXPECT_EQ(driver.fence_rejects(), 1u);
+  EXPECT_EQ(driver.candidates_rejected(), 1u);
+  EXPECT_EQ(driver.swaps(), 0u);
+  EXPECT_EQ(driver.version(), 1u);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("dm.model.fence_evaluations"), 1u);
+  EXPECT_EQ(snap.counter_value("dm.model.fence_rejects"), 1u);
+  EXPECT_EQ(snap.counter_value("dm.model.shadow_scored"), 0u);
+  // The in-flight slot is released: the next retrain may proceed.
+  EXPECT_TRUE(driver.retrain_now());
+}
+
+TEST(RetrainDriverFenceTest, PassingCandidateProceedsThroughShadowToPublish) {
+  dm::obs::MetricsRegistry reg;
+  const auto incumbent = small_detector(5);
+  ServeOptions options;
+  options.forest = dm::core::paper_forest_options();
+  options.forest.num_trees = 5;
+  options.metrics = &reg;
+  options.clock = &manual_clock;
+  options.fence_holdout_fraction = 0.5;
+  options.fence_epsilon = 1.0;  // any candidate passes
+  options.shadow.min_queries = 2;
+  options.shadow.max_queries = 16;
+  options.shadow.agreement_threshold = 0.0;
+  RetrainDriver driver(incumbent, options);
+
+  const auto feed = make_feed(*incumbent, options.decision_threshold, 10);
+  for (std::size_t i = 0; i < feed.wcgs.size(); ++i) {
+    driver.on_verdict(feed.wcgs[i], feed.scores[i], feed.alerts[i], 1000 * i);
+  }
+  ASSERT_TRUE(driver.retrain_now());
+  EXPECT_EQ(reg.snapshot().counter_value("dm.model.fence_evaluations"), 1u);
+  EXPECT_EQ(driver.fence_rejects(), 0u);
+  ASSERT_TRUE(driver.shadow_active()) << "a passing candidate must stage";
+  const auto scorer = driver.make_scorer();
+  for (int i = 0; i < 2; ++i) scorer->score(feed.wcgs[0], nullptr);
+  EXPECT_FALSE(driver.shadow_active());
+  EXPECT_EQ(driver.swaps(), 1u);
+  EXPECT_EQ(driver.version(), 2u);
+}
+
+TEST(RetrainDriverFenceTest, DisabledFenceTrainsOnTheFullSnapshot) {
+  // fence_holdout_fraction == 0 must preserve the byte-identity no-op
+  // fence: two retrains on an unchanged reservoir serialize identically,
+  // and no fence evaluation is recorded.
+  dm::obs::MetricsRegistry reg;
+  const auto incumbent = small_detector(5);
+  ServeOptions options;
+  options.shadow_before_cutover = false;
+  options.forest = dm::core::paper_forest_options();
+  options.forest.num_trees = 5;
+  options.metrics = &reg;
+  options.clock = &manual_clock;
+  RetrainDriver driver(incumbent, options);
+  const auto feed = make_feed(*incumbent, options.decision_threshold, 10);
+  for (std::size_t i = 0; i < feed.wcgs.size(); ++i) {
+    driver.on_verdict(feed.wcgs[i], feed.scores[i], feed.alerts[i], 1000 * i);
+  }
+  ASSERT_TRUE(driver.retrain_now());
+  const std::string first = driver.last_trained_serialization();
+  ASSERT_TRUE(driver.retrain_now());
+  EXPECT_EQ(driver.last_trained_serialization(), first);
+  EXPECT_EQ(reg.snapshot().counter_value("dm.model.fence_evaluations"), 0u);
+}
+
 }  // namespace
 }  // namespace dm::serve
